@@ -1,0 +1,118 @@
+//! Connected components by parallel label propagation (hash-min):
+//! one of the extension algorithms beyond the paper's five, exercising
+//! `edge_map` until a fixed point.
+
+use aspen::{edge_map, GraphView, VertexSubset};
+use parlib::write_min_u32;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Computes connected-component labels: `label[v]` is the smallest
+/// vertex id in v's component.
+pub fn connected_components<G: GraphView>(graph: &G) -> Vec<u32> {
+    let n = graph.id_bound();
+    let labels: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
+    let mut frontier = VertexSubset::full(n);
+    while !frontier.is_empty() {
+        frontier = edge_map(
+            graph,
+            &frontier,
+            |u, v| {
+                let lu = labels[u as usize].load(Ordering::Relaxed);
+                write_min_u32(&labels[v as usize], lu)
+            },
+            |_| true,
+        );
+        // Deduplicate sparse frontiers (several writers can improve the
+        // same label in one round).
+        let mut ids = frontier.to_vec();
+        ids.sort_unstable();
+        ids.dedup();
+        frontier = VertexSubset::sparse(n, ids);
+    }
+    labels.into_iter().map(AtomicU32::into_inner).collect()
+}
+
+/// Number of distinct components given a label array.
+pub fn num_components(labels: &[u32]) -> usize {
+    let mut sorted: Vec<u32> = labels.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    sorted.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aspen::{CompressedEdges, Graph};
+
+    type G = Graph<CompressedEdges>;
+
+    fn sym(edges: &[(u32, u32)]) -> Vec<(u32, u32)> {
+        edges.iter().flat_map(|&(u, v)| [(u, v), (v, u)]).collect()
+    }
+
+    /// Union-find oracle.
+    fn oracle(n: usize, edges: &[(u32, u32)]) -> Vec<u32> {
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        fn find(p: &mut Vec<u32>, x: u32) -> u32 {
+            if p[x as usize] != x {
+                let r = find(p, p[x as usize]);
+                p[x as usize] = r;
+            }
+            p[x as usize]
+        }
+        for &(u, v) in edges {
+            let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+            if ru != rv {
+                parent[ru.max(rv) as usize] = ru.min(rv);
+            }
+        }
+        (0..n as u32).map(|v| find(&mut parent, v)).collect()
+    }
+
+    #[test]
+    fn two_components() {
+        let edges = sym(&[(0, 1), (1, 2), (4, 5)]);
+        let g = G::from_edges(&edges, Default::default());
+        let labels = connected_components(&g);
+        assert_eq!(labels[0], labels[2]);
+        assert_eq!(labels[4], labels[5]);
+        assert_ne!(labels[0], labels[4]);
+        // 3 isolated (id 3 exists implicitly in the 0..6 space)
+        assert_eq!(num_components(&labels), 3);
+    }
+
+    #[test]
+    fn matches_union_find_oracle() {
+        let mut edges = Vec::new();
+        for i in 0u32..100 {
+            if i % 7 != 0 {
+                edges.push((i, (i + 3) % 100));
+            }
+        }
+        let edges = sym(&edges);
+        let g = G::from_edges(&edges, Default::default());
+        let n = aspen::GraphView::id_bound(&g);
+        let got = connected_components(&g);
+        let want = oracle(n, &edges);
+        // Labels must induce the same partition.
+        for u in 0..n {
+            for v in 0..n {
+                assert_eq!(
+                    got[u] == got[v],
+                    want[u] == want[v],
+                    "partition disagrees on ({u},{v})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_ring_is_one_component() {
+        let edges: Vec<(u32, u32)> = (0..50u32).map(|i| (i, (i + 1) % 50)).collect();
+        let g = G::from_edges(&sym(&edges), Default::default());
+        let labels = connected_components(&g);
+        assert_eq!(num_components(&labels), 1);
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+}

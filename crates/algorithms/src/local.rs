@@ -1,0 +1,196 @@
+//! Local algorithms (§5.1, §7): `2-hop` and `Local-Cluster`.
+//!
+//! Local queries touch a small neighborhood, so they never build a flat
+//! snapshot — the `O(log n)` vertex-tree access is amortized against
+//! scanning the vertex's (on average `≥ log n`) incident edges. Both
+//! run sequentially per query; the experiments issue *many* queries
+//! concurrently (Tables 3–4 run 2048 of them).
+
+use aspen::{GraphView, VertexId};
+use std::collections::HashMap;
+
+/// The set of vertices within two hops of `src` (excluding `src`),
+/// deduplicated. The paper reports its size; we return the vertices.
+pub fn two_hop<G: GraphView>(graph: &G, src: VertexId) -> Vec<VertexId> {
+    let mut out: Vec<VertexId> = Vec::new();
+    graph.for_each_neighbor(src, &mut |v| out.push(v));
+    let first: Vec<VertexId> = out.clone();
+    for v in first {
+        graph.for_each_neighbor(v, &mut |w| out.push(w));
+    }
+    out.sort_unstable();
+    out.dedup();
+    out.retain(|&v| v != src);
+    out
+}
+
+/// Result of a [`local_cluster`] query.
+#[derive(Clone, Debug)]
+pub struct ClusterResult {
+    /// The vertices of the best sweep cut found.
+    pub cluster: Vec<VertexId>,
+    /// Conductance of that cut (lower is better; 1.0 when degenerate).
+    pub conductance: f64,
+}
+
+/// `Local-Cluster`: a sequential implementation of the Nibble-Serial
+/// clustering scheme [Spielman–Teng; Shun et al.], run with the paper's
+/// parameters `ε = 10⁻⁶`, `T = 10` by default.
+///
+/// A lazy truncated random walk diffuses mass from `src` for `T`
+/// steps; entries falling below `ε · deg(u)` are truncated, keeping
+/// the support (and hence the work) local. A sweep over vertices
+/// ordered by normalized mass returns the prefix with the best
+/// conductance.
+pub fn local_cluster<G: GraphView>(graph: &G, src: VertexId) -> ClusterResult {
+    local_cluster_with(graph, src, 1e-6, 10)
+}
+
+/// [`local_cluster`] with explicit truncation threshold and step count.
+pub fn local_cluster_with<G: GraphView>(
+    graph: &G,
+    src: VertexId,
+    eps: f64,
+    steps: usize,
+) -> ClusterResult {
+    let mut mass: HashMap<VertexId, f64> = HashMap::new();
+    mass.insert(src, 1.0);
+    for _ in 0..steps {
+        let mut next: HashMap<VertexId, f64> = HashMap::with_capacity(mass.len() * 2);
+        for (&u, &q) in &mass {
+            let deg = graph.degree(u);
+            if deg == 0 {
+                *next.entry(u).or_insert(0.0) += q;
+                continue;
+            }
+            // Lazy walk: hold half, spread half across neighbors.
+            *next.entry(u).or_insert(0.0) += q / 2.0;
+            let share = q / 2.0 / deg as f64;
+            graph.for_each_neighbor(u, &mut |v| {
+                *next.entry(v).or_insert(0.0) += share;
+            });
+        }
+        // Truncate small entries to keep the support local.
+        next.retain(|&u, q| *q >= eps * graph.degree(u).max(1) as f64);
+        mass = next;
+        if mass.is_empty() {
+            break;
+        }
+    }
+
+    // Sweep cut: order by q(u)/deg(u), take the best-conductance prefix.
+    let mut order: Vec<(VertexId, f64)> = mass
+        .iter()
+        .map(|(&u, &q)| (u, q / graph.degree(u).max(1) as f64))
+        .collect();
+    order.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("mass is finite"));
+
+    let total_vol = graph.num_edges() as f64;
+    let mut in_cut: std::collections::HashSet<VertexId> = std::collections::HashSet::new();
+    let mut vol = 0.0f64;
+    let mut boundary = 0.0f64;
+    let mut best = ClusterResult {
+        cluster: vec![src],
+        conductance: 1.0,
+    };
+    let mut prefix: Vec<VertexId> = Vec::new();
+    for &(u, _) in &order {
+        let deg = graph.degree(u) as f64;
+        let mut internal = 0.0;
+        graph.for_each_neighbor(u, &mut |v| {
+            if in_cut.contains(&v) {
+                internal += 1.0;
+            }
+        });
+        vol += deg;
+        boundary += deg - 2.0 * internal;
+        in_cut.insert(u);
+        prefix.push(u);
+        // Conductance is undefined for S = V; only proper cuts compete.
+        if vol >= total_vol {
+            break;
+        }
+        let denom = vol.min(total_vol - vol).max(1.0);
+        let cond = boundary / denom;
+        if cond < best.conductance {
+            best = ClusterResult {
+                cluster: prefix.clone(),
+                conductance: cond,
+            };
+        }
+    }
+    best.cluster.sort_unstable();
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aspen::{CompressedEdges, Graph};
+
+    type G = Graph<CompressedEdges>;
+
+    fn sym(edges: &[(u32, u32)]) -> Vec<(u32, u32)> {
+        edges.iter().flat_map(|&(u, v)| [(u, v), (v, u)]).collect()
+    }
+
+    /// Two 5-cliques joined by a single bridge edge.
+    fn barbell() -> G {
+        let mut edges = Vec::new();
+        for a in 0u32..5 {
+            for b in 0..5 {
+                if a < b {
+                    edges.push((a, b));
+                    edges.push((a + 5, b + 5));
+                }
+            }
+        }
+        edges.push((4, 5));
+        G::from_edges(&sym(&edges), Default::default())
+    }
+
+    #[test]
+    fn two_hop_on_path() {
+        let edges: Vec<(u32, u32)> = (0..9u32).map(|i| (i, i + 1)).collect();
+        let g = G::from_edges(&sym(&edges), Default::default());
+        assert_eq!(two_hop(&g, 0), vec![1, 2]);
+        assert_eq!(two_hop(&g, 5), vec![3, 4, 6, 7]);
+    }
+
+    #[test]
+    fn two_hop_excludes_source_and_dedups() {
+        let g = G::from_edges(&sym(&[(0, 1), (0, 2), (1, 2)]), Default::default());
+        assert_eq!(two_hop(&g, 0), vec![1, 2]);
+    }
+
+    #[test]
+    fn cluster_finds_clique_side_of_barbell() {
+        let g = barbell();
+        let r = local_cluster_with(&g, 1, 1e-9, 15);
+        // The left clique {0..4} is the natural low-conductance cut.
+        assert_eq!(r.cluster, vec![0, 1, 2, 3, 4]);
+        // one bridge edge over volume 21 (clique vol 20 + bridge)
+        assert!(r.conductance < 0.1, "conductance {}", r.conductance);
+    }
+
+    #[test]
+    fn cluster_from_isolated_vertex() {
+        let g = G::from_edges(&sym(&[(0, 1)]), Default::default()).insert_vertices(&[9]);
+        let r = local_cluster(&g, 9);
+        assert_eq!(r.cluster, vec![9]);
+    }
+
+    #[test]
+    fn truncation_keeps_support_small() {
+        // On a long path, aggressive truncation keeps the walk near the
+        // source.
+        let edges: Vec<(u32, u32)> = (0..499u32).map(|i| (i, i + 1)).collect();
+        let g = G::from_edges(&sym(&edges), Default::default());
+        let r = local_cluster_with(&g, 250, 1e-3, 10);
+        assert!(
+            r.cluster.len() < 50,
+            "support {} should stay local",
+            r.cluster.len()
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! Maximal independent set — the paper's third global benchmark.
+//!
+//! Luby-style rounds with fresh random priorities per round: every
+//! undecided vertex whose priority beats all undecided neighbors joins
+//! the set; its neighbors drop out. Expected `O(log n)` rounds.
+//! Priorities come from the deterministic `parlib` hash, so results are
+//! reproducible for a fixed seed (though *which* MIS is produced is
+//! arbitrary, as for any parallel MIS).
+
+use aspen::{GraphView, VertexId};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+const UNDECIDED: u8 = 0;
+const IN_SET: u8 = 1;
+const OUT: u8 = 2;
+
+/// Computes a maximal independent set; returns a membership mask.
+pub fn mis<G: GraphView>(graph: &G, seed: u64) -> Vec<bool> {
+    let n = graph.id_bound();
+    let state: Vec<AtomicU8> = (0..n).map(|_| AtomicU8::new(UNDECIDED)).collect();
+    let mut active: Vec<VertexId> = (0..n as u32).collect();
+    let mut round = 0u64;
+    while !active.is_empty() {
+        let pri = |v: VertexId| parlib::hash64_with_seed(u64::from(v), seed ^ round);
+        // Phase 1: winners — local priority maxima among undecided
+        // neighborhoods — join the set.
+        let winners: Vec<VertexId> = active
+            .par_iter()
+            .copied()
+            .filter(|&v| {
+                if state[v as usize].load(Ordering::Relaxed) != UNDECIDED {
+                    return false;
+                }
+                let pv = pri(v);
+                graph.for_each_neighbor_until(v, &mut |u| {
+                    if u == v || state[u as usize].load(Ordering::Relaxed) != UNDECIDED {
+                        return true;
+                    }
+                    let pu = pri(u);
+                    // deterministic tie-break on id
+                    pv > pu || (pv == pu && v > u)
+                })
+            })
+            .collect();
+        winners.par_iter().for_each(|&v| {
+            state[v as usize].store(IN_SET, Ordering::Relaxed);
+        });
+        // Phase 2: neighbors of winners drop out.
+        winners.par_iter().for_each(|&v| {
+            graph.for_each_neighbor(v, &mut |u| {
+                if u != v {
+                    let _ = state[u as usize].compare_exchange(
+                        UNDECIDED,
+                        OUT,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    );
+                }
+            });
+        });
+        active = active
+            .into_par_iter()
+            .filter(|&v| state[v as usize].load(Ordering::Relaxed) == UNDECIDED)
+            .collect();
+        round += 1;
+    }
+    state
+        .into_iter()
+        .map(|s| s.into_inner() == IN_SET)
+        .collect()
+}
+
+/// Checks MIS validity: independence and maximality.
+///
+/// # Panics
+///
+/// Panics with a description of the first violation. Exposed so
+/// integration tests and benches can verify results cheaply.
+pub fn verify_mis<G: GraphView>(graph: &G, in_set: &[bool]) {
+    let n = graph.id_bound();
+    assert_eq!(in_set.len(), n);
+    for v in 0..n as u32 {
+        if in_set[v as usize] {
+            graph.for_each_neighbor(v, &mut |u| {
+                assert!(
+                    u == v || !in_set[u as usize],
+                    "edge ({v},{u}) inside the independent set"
+                );
+            });
+        } else {
+            let mut has_set_neighbor = false;
+            graph.for_each_neighbor(v, &mut |u| {
+                if u != v && in_set[u as usize] {
+                    has_set_neighbor = true;
+                }
+            });
+            assert!(
+                has_set_neighbor,
+                "vertex {v} excluded without a neighbor in the set (not maximal)"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aspen::{CompressedEdges, Graph};
+
+    type G = Graph<CompressedEdges>;
+
+    fn sym(edges: &[(u32, u32)]) -> Vec<(u32, u32)> {
+        edges.iter().flat_map(|&(u, v)| [(u, v), (v, u)]).collect()
+    }
+
+    #[test]
+    fn triangle_yields_exactly_one() {
+        let g = G::from_edges(&sym(&[(0, 1), (1, 2), (0, 2)]), Default::default());
+        let m = mis(&g, 1);
+        assert_eq!(m.iter().filter(|&&b| b).count(), 1);
+        verify_mis(&g, &m);
+    }
+
+    #[test]
+    fn path_mis_is_valid() {
+        let edges: Vec<(u32, u32)> = (0..19u32).map(|i| (i, i + 1)).collect();
+        let g = G::from_edges(&sym(&edges), Default::default());
+        let m = mis(&g, 7);
+        verify_mis(&g, &m);
+        // Path MIS has at least ceil(n/3) members.
+        assert!(m.iter().filter(|&&b| b).count() >= 7);
+    }
+
+    #[test]
+    fn random_graph_valid_for_multiple_seeds() {
+        let mut edges = Vec::new();
+        for i in 0u32..150 {
+            edges.push((i, (i * 13 + 1) % 150));
+            edges.push((i, (i * 29 + 7) % 150));
+        }
+        let edges: Vec<_> = sym(&edges).into_iter().filter(|&(u, v)| u != v).collect();
+        let g = G::from_edges(&edges, Default::default());
+        for seed in [0, 1, 42] {
+            let m = mis(&g, seed);
+            verify_mis(&g, &m);
+        }
+    }
+
+    #[test]
+    fn edgeless_graph_takes_everything() {
+        let g = G::new(Default::default()).insert_vertices(&[0, 1, 2, 3]);
+        let m = mis(&g, 0);
+        assert!(m.iter().all(|&b| b));
+        verify_mis(&g, &m);
+    }
+}

@@ -1,0 +1,139 @@
+//! Single-source shortest paths over weighted graphs — the algorithm
+//! the paper's weighted-edge extension (§6 future work) exists to
+//! serve. Frontier-based Bellman–Ford in the Ligra style: each round
+//! relaxes the out-edges of the vertices whose distance improved.
+
+use aspen::{VertexId, WeightedGraph};
+use parlib::write_min_u32;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Distance label for unreachable vertices.
+pub const INF: u32 = u32::MAX;
+
+/// Computes shortest-path distances from `src` under non-negative
+/// `u32` edge weights. `O(rounds · m)` worst case, with `rounds`
+/// bounded by the longest shortest path's hop count.
+pub fn sssp(graph: &WeightedGraph, src: VertexId) -> Vec<u32> {
+    let n = aspen::GraphView::id_bound(graph);
+    assert!((src as usize) < n, "source {src} outside id space {n}");
+    let dist: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(INF)).collect();
+    dist[src as usize].store(0, Ordering::Relaxed);
+    let mut frontier: Vec<VertexId> = vec![src];
+    while !frontier.is_empty() {
+        let mut next: Vec<VertexId> = frontier
+            .par_iter()
+            .map(|&u| {
+                let du = dist[u as usize].load(Ordering::Relaxed);
+                let mut improved = Vec::new();
+                graph.for_each_weighted_neighbor(u, |v, w| {
+                    let cand = du.saturating_add(w);
+                    if write_min_u32(&dist[v as usize], cand) {
+                        improved.push(v);
+                    }
+                });
+                improved
+            })
+            .reduce(Vec::new, |mut a, mut b| {
+                a.append(&mut b);
+                a
+            });
+        next.par_sort_unstable();
+        next.dedup();
+        frontier = next;
+    }
+    dist.into_iter().map(AtomicU32::into_inner).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aspen::WeightedGraph;
+    use std::collections::BinaryHeap;
+
+    fn wsym(edges: &[(u32, u32, u32)]) -> Vec<(u32, u32, u32)> {
+        edges
+            .iter()
+            .flat_map(|&(u, v, w)| [(u, v, w), (v, u, w)])
+            .collect()
+    }
+
+    /// Dijkstra oracle.
+    fn dijkstra(g: &WeightedGraph, src: u32) -> Vec<u32> {
+        let n = aspen::GraphView::id_bound(g);
+        let mut dist = vec![INF; n];
+        dist[src as usize] = 0;
+        let mut heap = BinaryHeap::new();
+        heap.push(std::cmp::Reverse((0u32, src)));
+        while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+            if d > dist[u as usize] {
+                continue;
+            }
+            g.for_each_weighted_neighbor(u, |v, w| {
+                let nd = d + w;
+                if nd < dist[v as usize] {
+                    dist[v as usize] = nd;
+                    heap.push(std::cmp::Reverse((nd, v)));
+                }
+            });
+        }
+        dist
+    }
+
+    #[test]
+    fn weighted_path() {
+        let g = WeightedGraph::from_edges(
+            &wsym(&[(0, 1, 4), (1, 2, 1), (0, 2, 10)]),
+            Default::default(),
+        );
+        let d = sssp(&g, 0);
+        assert_eq!(d[0], 0);
+        assert_eq!(d[1], 4);
+        assert_eq!(d[2], 5, "via 1 beats the direct weight-10 edge");
+    }
+
+    #[test]
+    fn unreachable_stays_inf() {
+        let g = WeightedGraph::from_edges(&wsym(&[(0, 1, 1), (3, 4, 1)]), Default::default());
+        let d = sssp(&g, 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[3], INF);
+    }
+
+    #[test]
+    fn matches_dijkstra_on_random_graph() {
+        let mut edges = Vec::new();
+        for i in 0u32..120 {
+            edges.push((i, (i * 17 + 3) % 120, 1 + (i * 7) % 20));
+            edges.push((i, (i * 29 + 11) % 120, 1 + (i * 13) % 20));
+        }
+        let edges: Vec<_> = wsym(&edges)
+            .into_iter()
+            .filter(|&(u, v, _)| u != v)
+            .collect();
+        let g = WeightedGraph::from_edges(&edges, Default::default());
+        assert_eq!(sssp(&g, 0), dijkstra(&g, 0));
+        assert_eq!(sssp(&g, 55), dijkstra(&g, 55));
+    }
+
+    #[test]
+    fn weight_updates_change_routes() {
+        let g = WeightedGraph::from_edges(
+            &wsym(&[(0, 1, 2), (1, 2, 2), (0, 2, 100)]),
+            Default::default(),
+        );
+        assert_eq!(sssp(&g, 0)[2], 4);
+        // Re-price the direct edge cheaper; shortest path flips.
+        let g2 = g.insert_edges(&wsym(&[(0, 2, 1)]), |_, new| new);
+        assert_eq!(sssp(&g2, 0)[2], 1);
+        assert_eq!(sssp(&g, 0)[2], 4, "old snapshot keeps the old answer");
+    }
+
+    #[test]
+    fn zero_weight_edges_are_free() {
+        let g =
+            WeightedGraph::from_edges(&wsym(&[(0, 1, 0), (1, 2, 0)]), Default::default());
+        let d = sssp(&g, 0);
+        assert_eq!(d, vec![0, 0, 0]);
+    }
+}

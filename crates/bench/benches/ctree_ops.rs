@@ -1,0 +1,88 @@
+//! Criterion micro-benchmarks for the C-tree primitives underlying the
+//! paper's batch-update numbers: build, find, union, multi-insert and
+//! split.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ctree::{CTree, ChunkParams, DeltaCodec, PlainCodec};
+use std::hint::black_box;
+
+const N: u32 = 200_000;
+
+fn sorted_set(step: usize) -> Vec<u32> {
+    (0..N).step_by(step).collect()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let xs = sorted_set(1);
+    let mut g = c.benchmark_group("ctree_build");
+    g.sample_size(10);
+    for b in [8u32, 128, 1024] {
+        g.bench_with_input(BenchmarkId::new("delta", b), &b, |bench, &b| {
+            bench.iter(|| {
+                black_box(CTree::<DeltaCodec>::from_sorted(&xs, ChunkParams::with_b(b)))
+            });
+        });
+    }
+    g.bench_function("plain_b128", |bench| {
+        bench.iter(|| black_box(CTree::<PlainCodec>::from_sorted(&xs, ChunkParams::with_b(128))));
+    });
+    g.finish();
+}
+
+fn bench_find(c: &mut Criterion) {
+    let t = CTree::<DeltaCodec>::from_sorted(&sorted_set(1), ChunkParams::with_b(128));
+    c.bench_function("ctree_find_hit", |bench| {
+        let mut i = 0u32;
+        bench.iter(|| {
+            i = (i + 7919) % N;
+            black_box(t.contains(i))
+        });
+    });
+}
+
+fn bench_union(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ctree_union");
+    g.sample_size(10);
+    let a = CTree::<DeltaCodec>::from_sorted(&sorted_set(2), ChunkParams::with_b(128));
+    for step in [3usize, 17, 1001] {
+        let b = CTree::<DeltaCodec>::from_sorted(&sorted_set(step), ChunkParams::with_b(128));
+        g.bench_with_input(
+            BenchmarkId::new("other_size", b.len()),
+            &b,
+            |bench, other| {
+                bench.iter(|| black_box(a.union(other)));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_multi_insert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ctree_multi_insert");
+    g.sample_size(10);
+    let t = CTree::<DeltaCodec>::from_sorted(&sorted_set(2), ChunkParams::with_b(128));
+    for k in [10usize, 1000, 100_000] {
+        let batch: Vec<u32> = (0..k as u32).map(|i| i * 13 % N).collect();
+        g.bench_with_input(BenchmarkId::new("batch", k), &batch, |bench, batch| {
+            bench.iter(|| black_box(t.multi_insert(batch.clone())));
+        });
+    }
+    g.finish();
+}
+
+fn bench_split(c: &mut Criterion) {
+    let t = CTree::<DeltaCodec>::from_sorted(&sorted_set(1), ChunkParams::with_b(128));
+    c.bench_function("ctree_split_mid", |bench| {
+        bench.iter(|| black_box(t.split(N / 2)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_build,
+    bench_find,
+    bench_union,
+    bench_multi_insert,
+    bench_split
+);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion micro-benchmarks for the byte-code codec: the per-chunk
+//! encode/decode costs that §3.2 argues are cheap enough to leave the
+//! tree-operation bounds unchanged.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn chunk(len: usize, gap: u32) -> Vec<u32> {
+    (0..len as u32).map(|i| i * gap).collect()
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("encode_sorted");
+    for (name, gap) in [("dense_gap1", 1u32), ("sparse_gap1000", 1000)] {
+        let xs = chunk(256, gap);
+        g.bench_with_input(BenchmarkId::new(name, xs.len()), &xs, |bench, xs| {
+            bench.iter(|| black_box(encoder::encode_sorted(xs)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decode_sorted");
+    for (name, gap) in [("dense_gap1", 1u32), ("sparse_gap1000", 1000)] {
+        let xs = chunk(256, gap);
+        let bytes = encoder::encode_sorted(&xs);
+        g.bench_function(name, |bench| {
+            bench.iter(|| black_box(encoder::decode_sorted(&bytes, xs.len())));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion benchmarks for the query side: BFS/BC/MIS over the tiny
+//! dataset, edgeMap steps, and flat-snapshot construction — the
+//! micro-scale companions to Tables 3–6.
+
+use algorithms::{bc, bfs, mis, two_hop};
+use aspen::{edge_map, FlatSnapshot, VertexSubset};
+use bench_support::datasets::tiny;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_global_algorithms(c: &mut Criterion) {
+    let g = tiny().build();
+    let f = FlatSnapshot::new(&g);
+    let src = (0..f.len() as u32)
+        .max_by_key(|&v| f.degree(v))
+        .unwrap_or(0);
+    let mut grp = c.benchmark_group("global_algorithms");
+    grp.sample_size(20);
+    grp.bench_function("bfs_flat", |bench| {
+        bench.iter(|| black_box(bfs(&f, src)));
+    });
+    grp.bench_function("bfs_tree_lookups", |bench| {
+        bench.iter(|| black_box(bfs(&g, src)));
+    });
+    grp.bench_function("bc_flat", |bench| {
+        bench.iter(|| black_box(bc(&f, src)));
+    });
+    grp.bench_function("mis_flat", |bench| {
+        bench.iter(|| black_box(mis(&f, 3)));
+    });
+    grp.finish();
+}
+
+fn bench_flat_snapshot_build(c: &mut Criterion) {
+    let g = tiny().build();
+    c.bench_function("flat_snapshot_build", |bench| {
+        bench.iter(|| black_box(FlatSnapshot::new(&g)));
+    });
+}
+
+fn bench_edge_map_step(c: &mut Criterion) {
+    let g = tiny().build();
+    let f = FlatSnapshot::new(&g);
+    let n = f.len();
+    let frontier = VertexSubset::sparse(n, (0..64u32).collect());
+    c.bench_function("edge_map_one_step", |bench| {
+        bench.iter(|| black_box(edge_map(&f, &frontier, |_, _| true, |_| true)));
+    });
+}
+
+fn bench_local_query(c: &mut Criterion) {
+    let g = tiny().build();
+    let mut v = 0u32;
+    c.bench_function("two_hop_tree_lookups", |bench| {
+        bench.iter(|| {
+            v = (v + 37) % 1024;
+            black_box(two_hop(&g, v))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_global_algorithms,
+    bench_flat_snapshot_build,
+    bench_edge_map_step,
+    bench_local_query
+);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion benchmarks for graph batch updates — the micro-scale
+//! companion to Table 8: insertion/deletion throughput as a function
+//! of batch size, plus single-edge update latency (§7.3's sequential
+//! update regime).
+
+use aspen::{CompressedEdges, Graph, VersionedGraph};
+use bench_support::datasets::tiny;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use graphgen::Rmat;
+use std::hint::black_box;
+
+fn base_graph() -> Graph<CompressedEdges> {
+    tiny().build()
+}
+
+fn bench_batch_insert(c: &mut Criterion) {
+    let g = base_graph();
+    let gen = Rmat::new(tiny().scale, 0xFEED);
+    let mut grp = c.benchmark_group("graph_insert_edges");
+    grp.sample_size(10);
+    for k in [10usize, 1_000, 50_000] {
+        let batch = gen.edges(0, k);
+        grp.throughput(Throughput::Elements(k as u64));
+        grp.bench_with_input(BenchmarkId::from_parameter(k), &batch, |bench, batch| {
+            bench.iter(|| black_box(g.insert_edges(batch)));
+        });
+    }
+    grp.finish();
+}
+
+fn bench_batch_delete(c: &mut Criterion) {
+    let gen = Rmat::new(tiny().scale, 0xFEED);
+    let mut grp = c.benchmark_group("graph_delete_edges");
+    grp.sample_size(10);
+    for k in [10usize, 1_000, 50_000] {
+        let batch = gen.edges(0, k);
+        let g = base_graph().insert_edges(&batch);
+        grp.throughput(Throughput::Elements(k as u64));
+        grp.bench_with_input(BenchmarkId::from_parameter(k), &batch, |bench, batch| {
+            bench.iter(|| black_box(g.delete_edges(batch)));
+        });
+    }
+    grp.finish();
+}
+
+fn bench_single_edge_latency(c: &mut Criterion) {
+    let vg = VersionedGraph::new(base_graph());
+    let mut i = 0u32;
+    c.bench_function("versioned_single_undirected_update", |bench| {
+        bench.iter(|| {
+            i += 1;
+            vg.insert_edges_undirected(&[(i % 1024, (i / 2) % 1024)]);
+        });
+    });
+}
+
+fn bench_snapshot_acquire(c: &mut Criterion) {
+    let vg = VersionedGraph::new(base_graph());
+    c.bench_function("versioned_acquire_release", |bench| {
+        bench.iter(|| {
+            let v = vg.acquire();
+            black_box(v.num_edges());
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_batch_insert,
+    bench_batch_delete,
+    bench_single_edge_latency,
+    bench_snapshot_acquire
+);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks for the purely-functional tree substrate
+//! (the PAM-equivalent layer): build, point ops and bulk set ops.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ptree::Tree;
+use std::hint::black_box;
+
+const N: u32 = 100_000;
+
+fn keys(step: usize) -> Vec<u32> {
+    (0..N).step_by(step).collect()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let xs = keys(1);
+    let mut g = c.benchmark_group("ptree_build");
+    g.sample_size(10);
+    g.bench_function("from_sorted_100k", |bench| {
+        bench.iter(|| black_box(Tree::<u32>::from_sorted(&xs)));
+    });
+    g.finish();
+}
+
+fn bench_point_ops(c: &mut Criterion) {
+    let t = Tree::<u32>::from_sorted(&keys(1));
+    c.bench_function("ptree_find", |bench| {
+        let mut i = 0u32;
+        bench.iter(|| {
+            i = (i + 7919) % N;
+            black_box(t.find(&i))
+        });
+    });
+    c.bench_function("ptree_insert_persistent", |bench| {
+        let mut i = N;
+        bench.iter(|| {
+            i += 1;
+            black_box(t.insert(i, |_, n| n))
+        });
+    });
+}
+
+fn bench_set_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ptree_set_ops");
+    g.sample_size(10);
+    let a = Tree::<u32>::from_sorted(&keys(2));
+    for step in [3usize, 101] {
+        let b = Tree::<u32>::from_sorted(&keys(step));
+        g.bench_with_input(BenchmarkId::new("union", b.len()), &b, |bench, other| {
+            bench.iter(|| black_box(a.union(other, |x, _| *x)));
+        });
+        g.bench_with_input(
+            BenchmarkId::new("difference", b.len()),
+            &b,
+            |bench, other| {
+                bench.iter(|| black_box(a.difference(other)));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_build, bench_point_ops, bench_set_ops);
+criterion_main!(benches);

@@ -1,0 +1,312 @@
+//! Algorithm-performance experiments: Tables 3–4, 6, 11, 12, 13, 14–15.
+
+use super::{build_aspen, hub, query_vertices};
+use crate::datasets::Dataset;
+use crate::tables::Table;
+use crate::{fmt_secs, timed};
+use algorithms::{bc, bfs, bfs_directed, local_cluster, mis, two_hop};
+use aspen::{Direction, FlatSnapshot, Graph, UncompressedEdges};
+use baselines::{worklist_bfs, worklist_mis, CompressedCsr, Csr};
+use rayon::prelude::*;
+
+/// Number of local queries per measurement (the paper uses 2048; scale
+/// with the machine).
+const LOCAL_QUERIES: usize = 256;
+
+/// Tables 3 and 4: all five algorithms, single-thread vs all threads,
+/// with self-relative speedup.
+pub fn run_table3_4(datasets: &[Dataset]) -> Table {
+    let threads = parlib::num_threads();
+    let mut t = Table::new(
+        &format!("Tables 3-4: runtimes — 1 thread vs {threads} threads (speedup)"),
+        &["graph", "algorithm", "T(1)", &format!("T({threads})"), "SU"],
+    );
+    for d in datasets {
+        let (g, f) = build_aspen(d);
+        let src = hub(&f);
+        let locals = query_vertices(&f, LOCAL_QUERIES);
+
+        let mut push = |name: &str, t1: f64, tp: f64| {
+            t.row(&[
+                d.name.to_owned(),
+                name.to_owned(),
+                fmt_secs(t1),
+                fmt_secs(tp),
+                format!("{:.2}x", t1 / tp),
+            ]);
+        };
+
+        let (_, bfs_p) = timed(|| bfs(&f, src));
+        let bfs_1 = parlib::with_threads(1, || timed(|| bfs(&f, src)).1);
+        push("BFS", bfs_1, bfs_p);
+
+        let (_, bc_p) = timed(|| bc(&f, src));
+        let bc_1 = parlib::with_threads(1, || timed(|| bc(&f, src)).1);
+        push("BC", bc_1, bc_p);
+
+        let (_, mis_p) = timed(|| mis(&f, 42));
+        let mis_1 = parlib::with_threads(1, || timed(|| mis(&f, 42)).1);
+        push("MIS", mis_1, mis_p);
+
+        // Local queries: the sequential column runs them one after
+        // another on one thread; the parallel column runs the batch
+        // concurrently. Reported per-query.
+        let nq = locals.len().max(1) as f64;
+        let (_, th_seq) = timed(|| {
+            for &v in &locals {
+                std::hint::black_box(two_hop(&g, v));
+            }
+        });
+        let (_, th_par) = timed(|| {
+            locals.par_iter().for_each(|&v| {
+                std::hint::black_box(two_hop(&g, v));
+            });
+        });
+        push("2-hop", th_seq / nq, th_par / nq);
+
+        let (_, lc_seq) = timed(|| {
+            for &v in &locals {
+                std::hint::black_box(local_cluster(&g, v));
+            }
+        });
+        let (_, lc_par) = timed(|| {
+            locals.par_iter().for_each(|&v| {
+                std::hint::black_box(local_cluster(&g, v));
+            });
+        });
+        push("Local-Cluster", lc_seq / nq, lc_par / nq);
+    }
+    t
+}
+
+/// Table 6: BFS with and without a flat snapshot, plus the snapshot
+/// construction time.
+pub fn run_table6(datasets: &[Dataset]) -> Table {
+    let mut t = Table::new(
+        "Table 6: flat snapshots (§5.1)",
+        &["graph", "BFS w/o FS", "BFS with FS", "speedup", "FS build"],
+    );
+    for d in datasets {
+        let (g, _) = build_aspen(d);
+        let src = hub(&g);
+        let (_, without) = timed(|| bfs(&g, src));
+        let (f, fs_build) = timed(|| FlatSnapshot::new(&g));
+        let (_, with) = timed(|| bfs(&f, src));
+        t.row(&[
+            d.name.to_owned(),
+            fmt_secs(without),
+            fmt_secs(with + fs_build),
+            format!("{:.2}x", without / (with + fs_build)),
+            fmt_secs(fs_build),
+        ]);
+    }
+    t
+}
+
+/// Table 11: BFS and BC against the streaming baselines, all without
+/// direction optimization (neither Stinger's nor LLAMA's reference
+/// implementations use it).
+pub fn run_table11(datasets: &[Dataset]) -> Table {
+    let mut t = Table::new(
+        "Table 11: vs streaming systems (no direction optimization)",
+        &[
+            "graph", "algo", "Stinger-like", "LLAMA-like", "Aspen", "ST/A", "LL/A",
+        ],
+    );
+    for d in datasets {
+        let edges = d.edges();
+        // Aspen reaches the same state through batches too — but its
+        // C-trees are canonical, so batching leaves no scar tissue.
+        let (stinger, llama) = super::build_streamed_baselines(&edges);
+        let (_, f) = build_aspen(d);
+        let src = hub(&f);
+
+        let (_, st) = timed(|| bfs_directed(&stinger, src, Direction::ForceSparse));
+        let (_, ll) = timed(|| bfs_directed(&llama, src, Direction::ForceSparse));
+        let (_, asp) = timed(|| bfs_directed(&f, src, Direction::ForceSparse));
+        t.row(&[
+            d.name.to_owned(),
+            "BFS".into(),
+            fmt_secs(st),
+            fmt_secs(ll),
+            fmt_secs(asp),
+            format!("{:.2}x", st / asp),
+            format!("{:.2}x", ll / asp),
+        ]);
+
+        let (_, st) = timed(|| bc(&stinger, src));
+        let (_, ll) = timed(|| bc(&llama, src));
+        let (_, asp) = timed(|| bc(&f, src));
+        t.row(&[
+            d.name.to_owned(),
+            "BC".into(),
+            fmt_secs(st),
+            fmt_secs(ll),
+            fmt_secs(asp),
+            format!("{:.2}x", st / asp),
+            format!("{:.2}x", ll / asp),
+        ]);
+    }
+    t
+}
+
+/// Table 12: BFS, BC and MIS against the static frameworks: CSR
+/// (GAP-like), worklist scheduling (Galois-like) and compressed CSR
+/// (Ligra+-like).
+pub fn run_table12(datasets: &[Dataset]) -> Table {
+    let mut t = Table::new(
+        "Table 12: vs static frameworks",
+        &[
+            "graph", "algo", "GAP (csr)", "Galois (worklist)", "Ligra+ (ccsr)", "Aspen",
+        ],
+    );
+    for d in datasets {
+        let edges = d.edges();
+        let csr = Csr::from_edges(&edges);
+        let ccsr = CompressedCsr::from_edges(&edges);
+        let (_, f) = build_aspen(d);
+        let src = hub(&csr);
+
+        let (_, gap) = timed(|| bfs(&csr, src));
+        let (_, gal) = timed(|| worklist_bfs(&csr, src));
+        let (_, lig) = timed(|| bfs(&ccsr, src));
+        let (_, asp) = timed(|| bfs(&f, src));
+        t.row(&[
+            d.name.to_owned(),
+            "BFS".into(),
+            fmt_secs(gap),
+            fmt_secs(gal),
+            fmt_secs(lig),
+            fmt_secs(asp),
+        ]);
+
+        let (_, gap) = timed(|| bc(&csr, src));
+        let (_, lig) = timed(|| bc(&ccsr, src));
+        let (_, asp) = timed(|| bc(&f, src));
+        t.row(&[
+            d.name.to_owned(),
+            "BC".into(),
+            fmt_secs(gap),
+            "-".into(),
+            fmt_secs(lig),
+            fmt_secs(asp),
+        ]);
+
+        let (_, gal) = timed(|| worklist_mis(&csr, 1));
+        let (_, lig) = timed(|| mis(&ccsr, 1));
+        let (_, asp) = timed(|| mis(&f, 1));
+        t.row(&[
+            d.name.to_owned(),
+            "MIS".into(),
+            "-".into(),
+            fmt_secs(gal),
+            fmt_secs(lig),
+            fmt_secs(asp),
+        ]);
+    }
+    t
+}
+
+/// Table 13: BFS over uncompressed purely-functional trees vs C-trees
+/// with difference encoding.
+pub fn run_table13(datasets: &[Dataset]) -> Table {
+    let mut t = Table::new(
+        "Table 13: uncompressed trees vs C-trees (DE)",
+        &["graph", "uncompressed", "C-tree (DE)", "speedup"],
+    );
+    for d in datasets {
+        let edges = d.edges();
+        let unc: Graph<UncompressedEdges> = Graph::from_edges(&edges, ());
+        let unc_f = FlatSnapshot::new(&unc);
+        let (_, f) = build_aspen(d);
+        let src = hub(&f);
+        let (_, u) = timed(|| bfs(&unc_f, src));
+        let (_, c) = timed(|| bfs(&f, src));
+        t.row(&[
+            d.name.to_owned(),
+            fmt_secs(u),
+            fmt_secs(c),
+            format!("{:.2}x", u / c),
+        ]);
+    }
+    t
+}
+
+/// Tables 14–15: all five algorithms, Ligra+ (compressed CSR) vs
+/// Aspen, reporting Aspen's slowdown.
+pub fn run_table14_15(datasets: &[Dataset]) -> Table {
+    let mut t = Table::new(
+        "Tables 14-15: Ligra+ (ccsr) vs Aspen across all algorithms",
+        &["graph", "algorithm", "Ligra+", "Aspen", "A/L+"],
+    );
+    for d in datasets {
+        let edges = d.edges();
+        let ccsr = CompressedCsr::from_edges(&edges);
+        let (g, f) = build_aspen(d);
+        let src = hub(&ccsr);
+        let locals = query_vertices(&ccsr, LOCAL_QUERIES);
+        let nq = locals.len().max(1) as f64;
+
+        let mut push = |name: &str, lig: f64, asp: f64| {
+            t.row(&[
+                d.name.to_owned(),
+                name.to_owned(),
+                fmt_secs(lig),
+                fmt_secs(asp),
+                format!("{:.2}x", asp / lig),
+            ]);
+        };
+
+        let (_, lig) = timed(|| bfs(&ccsr, src));
+        let (_, asp) = timed(|| bfs(&f, src));
+        push("BFS", lig, asp);
+
+        let (_, lig) = timed(|| bc(&ccsr, src));
+        let (_, asp) = timed(|| bc(&f, src));
+        push("BC", lig, asp);
+
+        let (_, lig) = timed(|| mis(&ccsr, 5));
+        let (_, asp) = timed(|| mis(&f, 5));
+        push("MIS", lig, asp);
+
+        let (_, lig) = timed(|| {
+            locals.par_iter().for_each(|&v| {
+                std::hint::black_box(two_hop(&ccsr, v));
+            });
+        });
+        let (_, asp) = timed(|| {
+            locals.par_iter().for_each(|&v| {
+                std::hint::black_box(two_hop(&g, v));
+            });
+        });
+        push("2-hop", lig / nq, asp / nq);
+
+        let (_, lig) = timed(|| {
+            locals.par_iter().for_each(|&v| {
+                std::hint::black_box(local_cluster(&ccsr, v));
+            });
+        });
+        let (_, asp) = timed(|| {
+            locals.par_iter().for_each(|&v| {
+                std::hint::black_box(local_cluster(&g, v));
+            });
+        });
+        push("Local-Cluster", lig / nq, asp / nq);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::tiny;
+
+    #[test]
+    fn smoke_table6_and_13_on_tiny() {
+        let d = tiny();
+        let t6 = run_table6(&[d]);
+        assert!(t6.render().contains("tiny"));
+        let t13 = run_table13(&[d]);
+        assert!(t13.render().contains("tiny"));
+    }
+}

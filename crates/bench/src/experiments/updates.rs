@@ -1,0 +1,237 @@
+//! Update-throughput experiments: Tables 7, 8, 10 and Figure 5.
+
+use super::build_aspen;
+use crate::datasets::{default_b, Dataset};
+use crate::tables::Table;
+use crate::{fmt_rate, fmt_secs, median_time, timed};
+use algorithms::bfs;
+use aspen::{CompressedEdges, FlatSnapshot, Graph, VersionedGraph};
+use baselines::StingerLike;
+use graphgen::{build_update_stream, Rmat, Update};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Undirected edges sampled for the §7.3 stream (paper: 2M; scaled).
+const STREAM_SAMPLE: usize = 50_000;
+
+/// BFS queries timed against the concurrent update stream.
+const CONCURRENT_QUERIES: usize = 4;
+
+/// Table 7: simultaneous updates and global queries. A writer thread
+/// replays the §7.3 stream one edge at a time while BFS queries run;
+/// query latency is then re-measured in isolation.
+pub fn run_table7(datasets: &[Dataset]) -> Table {
+    let mut t = Table::new(
+        "Table 7: concurrent updates and queries",
+        &[
+            "graph",
+            "updates/s (directed)",
+            "update latency",
+            "BFS (concurrent)",
+            "BFS (isolated)",
+        ],
+    );
+    for d in datasets {
+        let edges = d.edges();
+        let undirected = edges.iter().filter(|&&(u, v)| u < v).count();
+        let sample = STREAM_SAMPLE.min(undirected / 2).max(1);
+        let setup = build_update_stream(&edges, sample, 0x517);
+        let vg: Arc<VersionedGraph<CompressedEdges>> = Arc::new(VersionedGraph::new(
+            Graph::from_edges(&setup.initial_edges, default_b()),
+        ));
+        let src = super::hub(&*vg.acquire());
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let applied = Arc::new(AtomicU64::new(0));
+        let writer = {
+            let vg = vg.clone();
+            let stop = stop.clone();
+            let applied = applied.clone();
+            let updates = setup.updates.clone();
+            std::thread::spawn(move || {
+                let start = std::time::Instant::now();
+                for u in updates.iter().cycle() {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    match *u {
+                        Update::Insert(a, b) => vg.insert_edges_undirected(&[(a, b)]),
+                        Update::Delete(a, b) => vg.delete_edges_undirected(&[(a, b)]),
+                    }
+                    applied.fetch_add(1, Ordering::Relaxed);
+                }
+                start.elapsed().as_secs_f64()
+            })
+        };
+
+        // Concurrent global queries, each on a fresh snapshot.
+        let (_, concurrent_total) = timed(|| {
+            for _ in 0..CONCURRENT_QUERIES {
+                let snap = vg.acquire();
+                let f = FlatSnapshot::new(&snap);
+                std::hint::black_box(bfs(&f, src));
+            }
+        });
+        stop.store(true, Ordering::Relaxed);
+        let writer_secs = writer.join().expect("writer thread");
+        let n_applied = applied.load(Ordering::Relaxed);
+        let rate = 2.0 * n_applied as f64 / writer_secs; // directed
+
+        // Isolated query latency on the final version.
+        let snap = vg.acquire();
+        let flat = FlatSnapshot::new(&snap);
+        let (_, isolated_total) = timed(|| {
+            for _ in 0..CONCURRENT_QUERIES {
+                std::hint::black_box(bfs(&flat, src));
+            }
+        });
+
+        t.row(&[
+            d.name.to_owned(),
+            fmt_rate(rate),
+            fmt_secs(1.0 / rate.max(1e-12)),
+            fmt_secs(concurrent_total / CONCURRENT_QUERIES as f64),
+            fmt_secs(isolated_total / CONCURRENT_QUERIES as f64),
+        ]);
+    }
+    t
+}
+
+/// Batch sizes for Table 8 / Figure 5 (paper sweeps 10 … 2·10⁹; scaled
+/// to the machine).
+pub const BATCH_SIZES: &[usize] = &[10, 1_000, 100_000, 1_000_000, 5_000_000];
+
+fn rmat_batch(d: &Dataset, offset: u64, size: usize) -> Vec<(u32, u32)> {
+    // Paper §7.4: updates are drawn from an rMAT stream (duplicates
+    // possible) over the same id space.
+    Rmat::new(d.scale, d.seed ^ 0xBA7C4).edges(offset, size)
+}
+
+/// Table 8: parallel batch-insert throughput across batch sizes.
+pub fn run_table8(datasets: &[Dataset]) -> Table {
+    let mut header: Vec<String> = vec!["graph".into()];
+    header.extend(BATCH_SIZES.iter().map(|b| format!("batch {b}")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        "Table 8: batch insertion throughput (directed edges/s)",
+        &header_refs,
+    );
+    for d in datasets {
+        let (g, _) = build_aspen(d);
+        let mut cells = vec![d.name.to_owned()];
+        for &bs in BATCH_SIZES {
+            let batch = rmat_batch(d, 0, bs);
+            let secs = median_time(3, || {
+                std::hint::black_box(g.insert_edges(&batch));
+            });
+            cells.push(fmt_rate(bs as f64 / secs));
+        }
+        t.row(&cells);
+    }
+    t
+}
+
+/// Figure 5: insertion *and* deletion throughput series per batch
+/// size, for the smallest and largest stand-in (log-log series in the
+/// paper).
+pub fn run_figure5(datasets: &[Dataset]) -> Table {
+    let mut t = Table::new(
+        "Figure 5: batch size vs throughput (insert and delete)",
+        &["graph", "op", "batch", "throughput"],
+    );
+    for d in datasets {
+        let (g, _) = build_aspen(d);
+        for &bs in BATCH_SIZES {
+            let batch = rmat_batch(d, 0, bs);
+            let ins = median_time(3, || {
+                std::hint::black_box(g.insert_edges(&batch));
+            });
+            // Delete from a graph that contains the batch, as the paper
+            // does (insert then delete the same batch).
+            let with = g.insert_edges(&batch);
+            let del = median_time(3, || {
+                std::hint::black_box(with.delete_edges(&batch));
+            });
+            t.row(&[
+                d.name.to_owned(),
+                "insert".into(),
+                bs.to_string(),
+                fmt_rate(bs as f64 / ins),
+            ]);
+            t.row(&[
+                d.name.to_owned(),
+                "delete".into(),
+                bs.to_string(),
+                fmt_rate(bs as f64 / del),
+            ]);
+        }
+    }
+    t
+}
+
+/// Batch sizes for the Stinger comparison (paper: 10 … 2·10⁶, the
+/// largest batch Stinger supports).
+pub const STINGER_BATCHES: &[usize] = &[10, 100, 1_000, 10_000, 100_000, 1_000_000, 2_000_000];
+
+/// Table 10: batch insertions into an (almost) empty graph — the
+/// regime Stinger's update path favors — Stinger-like vs Aspen.
+pub fn run_table10() -> Table {
+    let mut t = Table::new(
+        "Table 10: batch updates into an empty graph (directed edges/s)",
+        &[
+            "batch",
+            "Stinger-like time",
+            "Stinger-like rate",
+            "Aspen time",
+            "Aspen rate",
+        ],
+    );
+    // Paper: rMAT updates with n = 2^30; scaled to 2^20 ids.
+    let scale = 20u32;
+    let gen = Rmat::new(scale, 0x10_57);
+    for &bs in STINGER_BATCHES {
+        // Ten successive batches; median time (§7.5 methodology).
+        let batches: Vec<Vec<(u32, u32)>> =
+            (0..10u64).map(|i| gen.edges(i * bs as u64, bs)).collect();
+
+        let stinger = StingerLike::new(1 << scale);
+        let mut it = batches.iter();
+        let st = median_time(10, || {
+            stinger.insert_batch(it.next().expect("10 batches"));
+        });
+
+        let mut aspen_g: Graph<CompressedEdges> = Graph::new(default_b());
+        let mut it = batches.iter();
+        let asp = median_time(10, || {
+            aspen_g = aspen_g.insert_edges(it.next().expect("10 batches"));
+        });
+
+        t.row(&[
+            bs.to_string(),
+            fmt_secs(st),
+            fmt_rate(bs as f64 / st),
+            fmt_secs(asp),
+            fmt_rate(bs as f64 / asp),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::tiny;
+
+    #[test]
+    fn smoke_table7_on_tiny() {
+        let t = run_table7(&[tiny()]);
+        let s = t.render();
+        assert!(s.contains("tiny"));
+    }
+
+    #[test]
+    fn rmat_batch_is_reproducible() {
+        let d = tiny();
+        assert_eq!(rmat_batch(&d, 0, 100), rmat_batch(&d, 0, 100));
+    }
+}

@@ -1,0 +1,113 @@
+//! Shared support for the `repro` harness and the Criterion benches:
+//! the synthetic stand-in datasets, timing utilities, and plain-text
+//! table rendering.
+
+pub mod datasets;
+pub mod tables;
+
+use std::time::Instant;
+
+/// Times `f`, returning `(result, seconds)`.
+pub fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed().as_secs_f64())
+}
+
+/// Times `f` over `reps` runs and returns the median seconds
+/// (the paper reports medians for its update benchmarks, §7.4).
+pub fn median_time(reps: usize, mut f: impl FnMut()) -> f64 {
+    assert!(reps >= 1);
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("time is finite"));
+    times[times.len() / 2]
+}
+
+/// Formats a byte count as GB/MB/KB with 3 significant-ish digits.
+pub fn fmt_bytes(bytes: usize) -> String {
+    const GB: f64 = 1e9;
+    const MB: f64 = 1e6;
+    const KB: f64 = 1e3;
+    let b = bytes as f64;
+    if b >= GB {
+        format!("{:.2} GB", b / GB)
+    } else if b >= MB {
+        format!("{:.2} MB", b / MB)
+    } else if b >= KB {
+        format!("{:.2} KB", b / KB)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+/// Formats a rate (per second) with engineering suffixes.
+pub fn fmt_rate(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.2}B/s", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2}M/s", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2}K/s", rate / 1e3)
+    } else {
+        format!("{rate:.1}/s")
+    }
+}
+
+/// Formats seconds adaptively (s / ms / µs).
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.3} µs", s * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_returns_value() {
+        let (v, t) = timed(|| 2 + 2);
+        assert_eq!(v, 4);
+        assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn median_of_reps() {
+        let mut n = 0;
+        let t = median_time(3, || n += 1);
+        assert_eq!(n, 3);
+        assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2_500), "2.50 KB");
+        assert_eq!(fmt_bytes(3_000_000), "3.00 MB");
+        assert_eq!(fmt_bytes(1_500_000_000), "1.50 GB");
+    }
+
+    #[test]
+    fn rate_formatting() {
+        assert_eq!(fmt_rate(500.0), "500.0/s");
+        assert_eq!(fmt_rate(2.5e6), "2.50M/s");
+    }
+
+    #[test]
+    fn secs_formatting() {
+        assert_eq!(fmt_secs(2.0), "2.000 s");
+        assert_eq!(fmt_secs(0.002), "2.000 ms");
+        assert_eq!(fmt_secs(0.000002), "2.000 µs");
+    }
+}
+pub mod experiments;

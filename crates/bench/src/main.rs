@@ -1,0 +1,107 @@
+//! `repro` — regenerates every table and data figure of the paper's
+//! evaluation (§7) on the synthetic stand-in datasets.
+//!
+//! ```text
+//! repro <experiment> [--large] [--quick]
+//!
+//! experiments:
+//!   table1    graph statistics
+//!   table2    memory by representation
+//!   table3    algorithm runtimes + scalability (covers tables 3 and 4)
+//!   table5    chunk-size sweep
+//!   table6    flat snapshots
+//!   table7    concurrent updates + queries
+//!   table8    batch insertion throughput
+//!   figure5   insert/delete throughput series
+//!   table9    memory across systems
+//!   table10   batch updates into an empty graph (vs Stinger-like)
+//!   table11   vs streaming systems
+//!   table12   vs static frameworks
+//!   table13   uncompressed trees vs C-trees
+//!   table14   Ligra+ vs Aspen, all algorithms (covers tables 14 and 15)
+//!   all       everything above, in order
+//!
+//! flags:
+//!   --large   also run the web-graph stand-ins (slower)
+//!   --quick   tiny dataset only (CI smoke run)
+//! ```
+
+use bench_support::datasets::{self, Dataset};
+use bench_support::experiments as exp;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_owned());
+    let large = args.iter().any(|a| a == "--large");
+    let quick = args.iter().any(|a| a == "--quick");
+
+    let mut sets: Vec<Dataset> = if quick {
+        vec![datasets::tiny()]
+    } else {
+        datasets::SMALL.to_vec()
+    };
+    if large {
+        sets.extend_from_slice(datasets::LARGE);
+    }
+    let sweep_target = if quick {
+        datasets::tiny()
+    } else {
+        *datasets::SMALL.last().expect("small tier nonempty")
+    };
+
+    println!(
+        "# repro: {} on {} datasets, {} threads\n",
+        which,
+        sets.len(),
+        parlib::num_threads()
+    );
+
+    let run = |name: &str| which == name || which == "all";
+
+    if run("table1") {
+        exp::run_table1(&sets).print();
+    }
+    if run("table2") {
+        exp::run_table2(&sets).print();
+    }
+    if run("table3") || which == "table4" {
+        exp::run_table3_4(&sets).print();
+    }
+    if run("table5") {
+        exp::run_table5(&sweep_target).print();
+    }
+    if run("table6") {
+        exp::run_table6(&sets).print();
+    }
+    if run("table7") {
+        exp::run_table7(&sets).print();
+    }
+    if run("table8") {
+        exp::run_table8(&sets).print();
+    }
+    if run("figure5") {
+        exp::run_figure5(&sets).print();
+    }
+    if run("table9") {
+        exp::run_table9(&sets).print();
+    }
+    if run("table10") {
+        exp::run_table10().print();
+    }
+    if run("table11") {
+        exp::run_table11(&sets).print();
+    }
+    if run("table12") {
+        exp::run_table12(&sets).print();
+    }
+    if run("table13") {
+        exp::run_table13(&sets).print();
+    }
+    if run("table14") || which == "table15" {
+        exp::run_table14_15(&sets).print();
+    }
+}

@@ -1,0 +1,198 @@
+//! `vertexSubset`: Ligra's frontier representation (§2).
+//!
+//! A subset is either **sparse** (an unordered list of vertex ids) or
+//! **dense** (a boolean array over the id space). `edgeMap` converts
+//! between them as part of direction optimization; algorithms mostly
+//! treat the type abstractly.
+
+use crate::edges::VertexId;
+
+/// A subset of the vertices `0..n`.
+#[derive(Clone, Debug)]
+pub struct VertexSubset {
+    n: usize,
+    repr: Repr,
+}
+
+#[derive(Clone, Debug)]
+enum Repr {
+    Sparse(Vec<VertexId>),
+    Dense(Vec<bool>),
+}
+
+impl VertexSubset {
+    /// The empty subset over an id space of size `n`.
+    pub fn empty(n: usize) -> Self {
+        VertexSubset {
+            n,
+            repr: Repr::Sparse(Vec::new()),
+        }
+    }
+
+    /// A singleton subset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    pub fn single(n: usize, v: VertexId) -> Self {
+        assert!((v as usize) < n, "vertex {v} out of id space {n}");
+        VertexSubset {
+            n,
+            repr: Repr::Sparse(vec![v]),
+        }
+    }
+
+    /// A sparse subset from a list of distinct ids.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds assert every id is below `n`.
+    pub fn sparse(n: usize, ids: Vec<VertexId>) -> Self {
+        debug_assert!(ids.iter().all(|&v| (v as usize) < n));
+        VertexSubset {
+            n,
+            repr: Repr::Sparse(ids),
+        }
+    }
+
+    /// A dense subset from a membership array of length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flags.len() != n`.
+    pub fn dense(n: usize, flags: Vec<bool>) -> Self {
+        assert_eq!(flags.len(), n, "dense subset length mismatch");
+        VertexSubset {
+            n,
+            repr: Repr::Dense(flags),
+        }
+    }
+
+    /// The full subset `0..n`.
+    pub fn full(n: usize) -> Self {
+        VertexSubset {
+            n,
+            repr: Repr::Dense(vec![true; n]),
+        }
+    }
+
+    /// Size of the underlying id space.
+    #[inline]
+    pub fn id_space(&self) -> usize {
+        self.n
+    }
+
+    /// Number of member vertices.
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            Repr::Sparse(ids) => ids.len(),
+            Repr::Dense(flags) => flags.iter().filter(|&&b| b).count(),
+        }
+    }
+
+    /// Whether the subset is empty.
+    pub fn is_empty(&self) -> bool {
+        match &self.repr {
+            Repr::Sparse(ids) => ids.is_empty(),
+            Repr::Dense(flags) => !flags.iter().any(|&b| b),
+        }
+    }
+
+    /// Membership test. `O(1)` dense, `O(|S|)` sparse.
+    pub fn contains(&self, v: VertexId) -> bool {
+        match &self.repr {
+            Repr::Sparse(ids) => ids.contains(&v),
+            Repr::Dense(flags) => flags.get(v as usize).copied().unwrap_or(false),
+        }
+    }
+
+    /// The member ids (unordered for sparse subsets).
+    pub fn to_vec(&self) -> Vec<VertexId> {
+        match &self.repr {
+            Repr::Sparse(ids) => ids.clone(),
+            Repr::Dense(flags) => flags
+                .iter()
+                .enumerate()
+                .filter(|(_, &b)| b)
+                .map(|(i, _)| i as VertexId)
+                .collect(),
+        }
+    }
+
+    /// Whether the subset currently uses the dense representation.
+    pub fn is_dense(&self) -> bool {
+        matches!(self.repr, Repr::Dense(_))
+    }
+
+    /// Converts to the sparse representation (no-op if already sparse).
+    pub fn to_sparse(&self) -> VertexSubset {
+        VertexSubset {
+            n: self.n,
+            repr: Repr::Sparse(self.to_vec()),
+        }
+    }
+
+    /// Converts to the dense representation (no-op if already dense).
+    pub fn to_dense(&self) -> VertexSubset {
+        match &self.repr {
+            Repr::Dense(_) => self.clone(),
+            Repr::Sparse(ids) => {
+                let mut flags = vec![false; self.n];
+                for &v in ids {
+                    flags[v as usize] = true;
+                }
+                VertexSubset {
+                    n: self.n,
+                    repr: Repr::Dense(flags),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_single() {
+        let e = VertexSubset::empty(10);
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        let s = VertexSubset::single(10, 3);
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(3));
+        assert!(!s.contains(4));
+    }
+
+    #[test]
+    fn dense_sparse_roundtrip() {
+        let s = VertexSubset::sparse(8, vec![1, 5, 7]);
+        let d = s.to_dense();
+        assert!(d.is_dense());
+        assert_eq!(d.len(), 3);
+        assert!(d.contains(5));
+        let mut back = d.to_sparse().to_vec();
+        back.sort_unstable();
+        assert_eq!(back, vec![1, 5, 7]);
+    }
+
+    #[test]
+    fn full_has_everything() {
+        let f = VertexSubset::full(5);
+        assert_eq!(f.len(), 5);
+        assert!((0..5).all(|v| f.contains(v)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of id space")]
+    fn single_bounds_checked() {
+        let _ = VertexSubset::single(3, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dense_length_checked() {
+        let _ = VertexSubset::dense(4, vec![true; 3]);
+    }
+}

@@ -1,0 +1,114 @@
+//! [`GraphView`]: the read-only neighborhood interface all algorithms
+//! and all engines (Aspen snapshots, flat snapshots, and the baseline
+//! systems in `aspen-baselines`) implement.
+
+use crate::edges::VertexId;
+
+/// Read-only access to a graph's structure.
+///
+/// Vertex ids are assumed to live in `0..id_bound()`; ids with no
+/// vertex behave as isolated (degree 0). This lets algorithms allocate
+/// flat arrays indexed by id, as Ligra does.
+pub trait GraphView: Sync {
+    /// Exclusive upper bound on vertex identifiers (`max id + 1`).
+    fn id_bound(&self) -> usize;
+
+    /// Number of directed edges.
+    fn num_edges(&self) -> u64;
+
+    /// Out-degree of `v` (0 for absent ids).
+    fn degree(&self, v: VertexId) -> usize;
+
+    /// Calls `f` on every out-neighbor of `v` in increasing order.
+    fn for_each_neighbor(&self, v: VertexId, f: &mut dyn FnMut(VertexId));
+
+    /// Like [`for_each_neighbor`](Self::for_each_neighbor) but stops
+    /// early when `f` returns `false`. Returns `false` iff stopped.
+    fn for_each_neighbor_until(&self, v: VertexId, f: &mut dyn FnMut(VertexId) -> bool) -> bool {
+        let mut complete = true;
+        self.for_each_neighbor(v, &mut |u| {
+            if complete && !f(u) {
+                complete = false;
+            }
+        });
+        complete
+    }
+
+    /// The out-neighbors of `v` as a sorted `Vec`.
+    fn neighbors(&self, v: VertexId) -> Vec<VertexId> {
+        let mut out = Vec::with_capacity(self.degree(v));
+        self.for_each_neighbor(v, &mut |u| out.push(u));
+        out
+    }
+}
+
+impl<T: GraphView + ?Sized> GraphView for &T {
+    fn id_bound(&self) -> usize {
+        (**self).id_bound()
+    }
+    fn num_edges(&self) -> u64 {
+        (**self).num_edges()
+    }
+    fn degree(&self, v: VertexId) -> usize {
+        (**self).degree(v)
+    }
+    fn for_each_neighbor(&self, v: VertexId, f: &mut dyn FnMut(VertexId)) {
+        (**self).for_each_neighbor(v, f)
+    }
+    fn for_each_neighbor_until(&self, v: VertexId, f: &mut dyn FnMut(VertexId) -> bool) -> bool {
+        (**self).for_each_neighbor_until(v, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy view for testing trait defaults: vertex v has neighbors
+    /// v+1..v+3 modulo n.
+    struct Ring {
+        n: u32,
+    }
+
+    impl GraphView for Ring {
+        fn id_bound(&self) -> usize {
+            self.n as usize
+        }
+        fn num_edges(&self) -> u64 {
+            u64::from(self.n) * 2
+        }
+        fn degree(&self, _v: VertexId) -> usize {
+            2
+        }
+        fn for_each_neighbor(&self, v: VertexId, f: &mut dyn FnMut(VertexId)) {
+            f((v + 1) % self.n);
+            f((v + 2) % self.n);
+        }
+    }
+
+    #[test]
+    fn default_until_stops_early() {
+        let r = Ring { n: 10 };
+        let mut seen = 0;
+        let completed = r.for_each_neighbor_until(0, &mut |_| {
+            seen += 1;
+            false
+        });
+        assert!(!completed);
+        assert_eq!(seen, 1);
+    }
+
+    #[test]
+    fn default_neighbors_collects() {
+        let r = Ring { n: 10 };
+        assert_eq!(r.neighbors(8), vec![9, 0]);
+    }
+
+    #[test]
+    fn reference_impl_delegates() {
+        let r = Ring { n: 4 };
+        let by_ref: &dyn GraphView = &r;
+        assert_eq!((&by_ref).id_bound(), 4);
+        assert_eq!((&r).neighbors(0), vec![1, 2]);
+    }
+}

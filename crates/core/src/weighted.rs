@@ -1,0 +1,378 @@
+//! Weighted graphs — the paper's stated future-work extension (§6),
+//! built on the weighted C-tree ([`ctree::WCTree`]): per-vertex maps
+//! from neighbor id to edge weight, compressed Ligra+-style (id deltas
+//! interleaved with varint weights).
+//!
+//! The update interface mirrors the unweighted [`Graph`](crate::Graph):
+//! `insert_edges` takes `(src, dst, weight)` triples with a combiner
+//! for weights of pre-existing edges (so edge-weight *updates* are the
+//! same operation as insertions — the semantics §5 sketches), and
+//! `delete_edges` removes by endpoint pair.
+
+use crate::edges::VertexId;
+use crate::view::GraphView;
+use ctree::{CTree, ChunkParams, WCTree, Weight};
+use ptree::{CountAug, Entry, Measure, Tree};
+use rayon::prelude::*;
+
+/// A weighted directed edge.
+pub type WeightedEdge = (VertexId, VertexId, Weight);
+
+/// One vertex with its weighted adjacency map.
+#[derive(Clone, Debug)]
+pub struct WVertexEntry {
+    /// Vertex identifier.
+    pub id: VertexId,
+    /// Neighbor → weight map.
+    pub edges: WCTree,
+}
+
+impl Entry for WVertexEntry {
+    type Key = VertexId;
+
+    #[inline]
+    fn key(&self) -> &VertexId {
+        &self.id
+    }
+}
+
+/// Degree measure for the `O(1)` edge count.
+#[derive(Clone, Debug)]
+pub struct WEdgeMeasure;
+
+impl Measure<WVertexEntry> for WEdgeMeasure {
+    #[inline]
+    fn measure(e: &WVertexEntry) -> u64 {
+        e.edges.len() as u64
+    }
+}
+
+type WVertexTree = Tree<WVertexEntry, CountAug<WEdgeMeasure>>;
+
+/// An immutable snapshot of a weighted graph.
+///
+/// # Example
+///
+/// ```
+/// use aspen::WeightedGraph;
+///
+/// let g = WeightedGraph::from_edges(
+///     &[(0, 1, 7), (1, 0, 7), (1, 2, 3), (2, 1, 3)],
+///     Default::default(),
+/// );
+/// assert_eq!(g.weight(1, 2), Some(3));
+/// let g2 = g.insert_edges(&[(1, 2, 10)], |_old, new| new); // weight update
+/// assert_eq!(g2.weight(1, 2), Some(10));
+/// assert_eq!(g.weight(1, 2), Some(3)); // snapshot unchanged
+/// ```
+#[derive(Clone)]
+pub struct WeightedGraph {
+    vertices: WVertexTree,
+    cfg: ChunkParams,
+}
+
+impl std::fmt::Debug for WeightedGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WeightedGraph")
+            .field("num_vertices", &self.num_vertices())
+            .field("num_edges", &self.num_edges())
+            .finish()
+    }
+}
+
+impl Default for WeightedGraph {
+    fn default() -> Self {
+        Self::new(ChunkParams::default())
+    }
+}
+
+impl WeightedGraph {
+    /// The empty weighted graph.
+    pub fn new(cfg: ChunkParams) -> Self {
+        WeightedGraph {
+            vertices: Tree::new(),
+            cfg,
+        }
+    }
+
+    /// Builds from weighted directed edges; duplicate `(src, dst)`
+    /// pairs keep the last weight.
+    pub fn from_edges(edges: &[WeightedEdge], cfg: ChunkParams) -> Self {
+        let mut sorted = edges.to_vec();
+        sorted.par_sort_unstable_by_key(|&(u, v, _)| (u, v));
+        sorted.dedup_by_key(|&mut (u, v, _)| (u, v));
+        let mut all_ids: Vec<VertexId> = sorted.iter().flat_map(|&(u, v, _)| [u, v]).collect();
+        all_ids.par_sort_unstable();
+        all_ids.dedup();
+        let mut entries = Vec::with_capacity(all_ids.len());
+        let mut i = 0usize;
+        for &id in &all_ids {
+            let start = i;
+            while i < sorted.len() && sorted[i].0 == id {
+                i += 1;
+            }
+            let pairs: Vec<(u32, Weight)> =
+                sorted[start..i].iter().map(|&(_, v, w)| (v, w)).collect();
+            entries.push(WVertexEntry {
+                id,
+                edges: WCTree::from_sorted(&pairs, cfg),
+            });
+        }
+        WeightedGraph {
+            vertices: Tree::from_sorted(&entries),
+            cfg,
+        }
+    }
+
+    /// Number of vertices; `O(1)`.
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of directed edges; `O(1)` via augmentation.
+    pub fn num_edges(&self) -> u64 {
+        self.vertices.aug().value()
+    }
+
+    /// The weight of edge `(u, v)`, if present; `O(log n + b)`.
+    pub fn weight(&self, u: VertexId, v: VertexId) -> Option<Weight> {
+        self.vertices.find(&u).and_then(|e| e.edges.get(v))
+    }
+
+    /// Degree of `v`; `O(log n)`.
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.vertices.find(&v).map_or(0, |e| e.edges.len())
+    }
+
+    /// Calls `f(neighbor, weight)` for every out-edge of `v`.
+    pub fn for_each_weighted_neighbor(&self, v: VertexId, f: impl FnMut(VertexId, Weight)) {
+        if let Some(e) = self.vertices.find(&v) {
+            e.edges.for_each(f);
+        }
+    }
+
+    /// Inserts (or updates) weighted directed edges. When `(u, v)`
+    /// already exists, the new weight is `combine(old, new)`; batch
+    /// duplicates fold the same way.
+    pub fn insert_edges(
+        &self,
+        batch: &[WeightedEdge],
+        combine: impl Fn(Weight, Weight) -> Weight + Copy + Sync,
+    ) -> Self {
+        if batch.is_empty() {
+            return self.clone();
+        }
+        let cfg = self.cfg;
+        let mut sorted = batch.to_vec();
+        sorted.par_sort_unstable_by_key(|&(u, v, _)| (u, v));
+        let mut entries: Vec<WVertexEntry> = Vec::new();
+        let mut i = 0usize;
+        while i < sorted.len() {
+            let src = sorted[i].0;
+            let mut pairs: Vec<(u32, Weight)> = Vec::new();
+            while i < sorted.len() && sorted[i].0 == src {
+                let (_, v, w) = sorted[i];
+                match pairs.last_mut() {
+                    Some(last) if last.0 == v => last.1 = combine(last.1, w),
+                    _ => pairs.push((v, w)),
+                }
+                i += 1;
+            }
+            entries.push(WVertexEntry {
+                id: src,
+                edges: WCTree::from_sorted(&pairs, cfg),
+            });
+        }
+        // Destination-only endpoints become isolated vertices.
+        let mut endpoints: Vec<VertexId> = sorted.iter().map(|&(_, v, _)| v).collect();
+        endpoints.sort_unstable();
+        endpoints.dedup();
+        let dst_entries: Vec<WVertexEntry> = endpoints
+            .into_iter()
+            .filter(|&id| {
+                entries.binary_search_by_key(&id, |e| e.id).is_err()
+                    && self.vertices.find(&id).is_none()
+            })
+            .map(|id| WVertexEntry {
+                id,
+                edges: WCTree::new(cfg),
+            })
+            .collect();
+        let vertices = self.vertices.multi_insert(entries, |old, new| WVertexEntry {
+            id: old.id,
+            edges: old.edges.union(&new.edges, combine),
+        });
+        let vertices = if dst_entries.is_empty() {
+            vertices
+        } else {
+            vertices.multi_insert(dst_entries, |old, _new| old.clone())
+        };
+        WeightedGraph { vertices, cfg }
+    }
+
+    /// Deletes directed edges by endpoint pair.
+    pub fn delete_edges(&self, batch: &[(VertexId, VertexId)]) -> Self {
+        if batch.is_empty() {
+            return self.clone();
+        }
+        let cfg = self.cfg;
+        let mut sorted = batch.to_vec();
+        sorted.par_sort_unstable();
+        sorted.dedup();
+        let mut entries: Vec<WVertexEntry> = Vec::new();
+        let mut kill_sets: Vec<CTree<ctree::DeltaCodec>> = Vec::new();
+        let mut i = 0usize;
+        while i < sorted.len() {
+            let src = sorted[i].0;
+            let start = i;
+            while i < sorted.len() && sorted[i].0 == src {
+                i += 1;
+            }
+            if self.vertices.find(&src).is_none() {
+                continue;
+            }
+            let ids: Vec<u32> = sorted[start..i].iter().map(|&(_, v)| v).collect();
+            kill_sets.push(CTree::from_sorted(&ids, cfg));
+            entries.push(WVertexEntry {
+                id: src,
+                edges: WCTree::new(cfg),
+            });
+        }
+        // Pair each batch entry with its kill set by position: encode
+        // the index into the placeholder entry via a lookaside table.
+        let kill_by_src: std::collections::HashMap<VertexId, CTree<ctree::DeltaCodec>> = entries
+            .iter()
+            .map(|e| e.id)
+            .zip(kill_sets)
+            .collect();
+        let vertices = self.vertices.multi_insert(entries, |old, _new| {
+            let kill = kill_by_src
+                .get(&old.id)
+                .expect("kill set exists for batched source");
+            WVertexEntry {
+                id: old.id,
+                edges: old.edges.difference(kill),
+            }
+        });
+        WeightedGraph { vertices, cfg }
+    }
+
+    /// Heap bytes of the structure.
+    pub fn memory_bytes(&self) -> usize {
+        let edges =
+            self.vertices
+                .map_reduce(|e| e.edges.memory_bytes() as u64, |a, b| a + b, || 0) as usize;
+        self.vertices.memory_bytes() + edges
+    }
+
+    /// Validates invariants (tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cached count or tree invariant is stale.
+    pub fn check_invariants(&self) {
+        self.vertices.check_invariants();
+        let mut total = 0u64;
+        self.vertices.for_each_seq(&mut |e| {
+            e.edges.check_invariants();
+            total += e.edges.len() as u64;
+        });
+        assert_eq!(total, self.num_edges(), "weighted edge count stale");
+    }
+}
+
+impl GraphView for WeightedGraph {
+    fn id_bound(&self) -> usize {
+        self.vertices.last().map_or(0, |e| e.id as usize + 1)
+    }
+
+    fn num_edges(&self) -> u64 {
+        WeightedGraph::num_edges(self)
+    }
+
+    fn degree(&self, v: VertexId) -> usize {
+        WeightedGraph::degree(self, v)
+    }
+
+    fn for_each_neighbor(&self, v: VertexId, f: &mut dyn FnMut(VertexId)) {
+        self.for_each_weighted_neighbor(v, |u, _| f(u));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn wsym(edges: &[(u32, u32, u32)]) -> Vec<WeightedEdge> {
+        edges
+            .iter()
+            .flat_map(|&(u, v, w)| [(u, v, w), (v, u, w)])
+            .collect()
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let g = WeightedGraph::from_edges(&wsym(&[(0, 1, 5), (1, 2, 9)]), Default::default());
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.weight(0, 1), Some(5));
+        assert_eq!(g.weight(2, 1), Some(9));
+        assert_eq!(g.weight(0, 2), None);
+        g.check_invariants();
+    }
+
+    #[test]
+    fn insert_updates_existing_weight() {
+        let g = WeightedGraph::from_edges(&wsym(&[(0, 1, 5)]), Default::default());
+        let min = g.insert_edges(&wsym(&[(0, 1, 3)]), |old, new| old.min(new));
+        assert_eq!(min.weight(0, 1), Some(3));
+        let keep = g.insert_edges(&wsym(&[(0, 1, 9)]), |old, _| old);
+        assert_eq!(keep.weight(0, 1), Some(5));
+        assert_eq!(g.weight(0, 1), Some(5), "snapshot stable");
+    }
+
+    #[test]
+    fn delete_edges_by_pair() {
+        let g = WeightedGraph::from_edges(
+            &wsym(&[(0, 1, 1), (1, 2, 2), (0, 2, 3)]),
+            Default::default(),
+        );
+        let g2 = g.delete_edges(&[(1, 2), (2, 1)]);
+        assert_eq!(g2.weight(1, 2), None);
+        assert_eq!(g2.weight(0, 2), Some(3));
+        assert_eq!(g2.num_edges(), 4);
+        g2.check_invariants();
+    }
+
+    #[test]
+    fn batch_matches_oracle() {
+        let mut oracle: BTreeMap<(u32, u32), u32> = BTreeMap::new();
+        let mut g = WeightedGraph::new(ChunkParams::with_b(8));
+        for round in 0..20u32 {
+            let batch: Vec<WeightedEdge> = (0..50)
+                .map(|i| {
+                    let u = (round * 7 + i) % 64;
+                    let v = (round * 13 + i * 3 + 1) % 64;
+                    (u, v, round + i)
+                })
+                .collect();
+            g = g.insert_edges(&batch, |_, new| new);
+            for &(u, v, w) in &batch {
+                oracle.insert((u, v), w);
+            }
+        }
+        assert_eq!(g.num_edges() as usize, oracle.len());
+        for (&(u, v), &w) in &oracle {
+            assert_eq!(g.weight(u, v), Some(w), "edge ({u},{v})");
+        }
+        g.check_invariants();
+    }
+
+    #[test]
+    fn graph_view_ignores_weights() {
+        let g = WeightedGraph::from_edges(&wsym(&[(0, 1, 5), (0, 2, 7)]), Default::default());
+        assert_eq!(GraphView::neighbors(&g, 0), vec![1, 2]);
+        assert_eq!(GraphView::id_bound(&g), 3);
+    }
+}

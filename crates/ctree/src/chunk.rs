@@ -1,0 +1,502 @@
+//! Chunks: the contiguous arrays of elements hanging off C-tree nodes.
+//!
+//! A chunk stores a sorted set of `u32` values together with a small
+//! header caching `first`, `last` and `len`. The header is what lets
+//! `Split` read chunk boundaries in `O(1)` instead of decoding the chunk
+//! — the optimization Appendix 10.3 calls out as necessary for the
+//! `O(b log n)` split bound.
+//!
+//! Storage is pluggable through [`ChunkCodec`]:
+//!
+//! * [`PlainCodec`] — a shared `u32` array ("Aspen (No DE)" in Table 2),
+//! * [`DeltaCodec`] — difference encoding + byte codes ("Aspen (DE)").
+//!
+//! Chunks are immutable; all operations produce new chunks. Cloning is
+//! `O(1)` (the payload is behind an `Arc`), so copying a path of tree
+//! nodes during a functional update copies *headers*, not data — the
+//! contrast with B-trees drawn in Figure 2 of the paper.
+
+use std::sync::Arc;
+
+/// How a chunk stores its sorted elements.
+///
+/// This trait is sealed in spirit: the two implementations below cover
+/// the representations evaluated in the paper.
+pub trait ChunkCodec: Clone + Send + Sync + 'static {
+    /// The payload type (always cheaply cloneable).
+    type Storage: Clone + Send + Sync;
+
+    /// Encodes a strictly-increasing slice.
+    fn encode(xs: &[u32]) -> Self::Storage;
+
+    /// Decodes `len` elements, appending to `out`.
+    fn decode(storage: &Self::Storage, len: usize, out: &mut Vec<u32>);
+
+    /// Heap bytes used by the payload.
+    fn storage_bytes(storage: &Self::Storage) -> usize;
+
+    /// Human-readable codec name for reports.
+    fn name() -> &'static str;
+}
+
+/// Uncompressed chunk storage: a shared `u32` slice.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlainCodec;
+
+impl ChunkCodec for PlainCodec {
+    type Storage = Arc<[u32]>;
+
+    #[inline]
+    fn encode(xs: &[u32]) -> Arc<[u32]> {
+        xs.into()
+    }
+
+    #[inline]
+    fn decode(storage: &Arc<[u32]>, len: usize, out: &mut Vec<u32>) {
+        debug_assert_eq!(storage.len(), len);
+        out.extend_from_slice(storage);
+    }
+
+    #[inline]
+    fn storage_bytes(storage: &Arc<[u32]>) -> usize {
+        storage.len() * std::mem::size_of::<u32>()
+    }
+
+    fn name() -> &'static str {
+        "plain"
+    }
+}
+
+/// Difference-encoded byte-code storage (§3.2, "Integer C-trees").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeltaCodec;
+
+impl ChunkCodec for DeltaCodec {
+    type Storage = Arc<[u8]>;
+
+    #[inline]
+    fn encode(xs: &[u32]) -> Arc<[u8]> {
+        encoder::encode_sorted(xs).into()
+    }
+
+    #[inline]
+    fn decode(storage: &Arc<[u8]>, len: usize, out: &mut Vec<u32>) {
+        out.extend(encoder::SortedDecoder::new(storage, len));
+    }
+
+    #[inline]
+    fn storage_bytes(storage: &Arc<[u8]>) -> usize {
+        storage.len()
+    }
+
+    fn name() -> &'static str {
+        "delta"
+    }
+}
+
+/// An immutable sorted set of `u32` with an `O(1)` boundary header.
+///
+/// The empty chunk has `len == 0`; `first`/`last` are meaningless then
+/// and guarded by the accessors.
+pub struct Chunk<C: ChunkCodec> {
+    len: u32,
+    first: u32,
+    last: u32,
+    data: C::Storage,
+}
+
+impl<C: ChunkCodec> Clone for Chunk<C> {
+    #[inline]
+    fn clone(&self) -> Self {
+        Chunk {
+            len: self.len,
+            first: self.first,
+            last: self.last,
+            data: self.data.clone(),
+        }
+    }
+}
+
+impl<C: ChunkCodec> std::fmt::Debug for Chunk<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.to_vec()).finish()
+    }
+}
+
+impl<C: ChunkCodec> Default for Chunk<C> {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl<C: ChunkCodec> PartialEq for Chunk<C> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.to_vec() == other.to_vec()
+    }
+}
+
+impl<C: ChunkCodec> Eq for Chunk<C> {}
+
+impl<C: ChunkCodec> Chunk<C> {
+    /// The empty chunk.
+    pub fn empty() -> Self {
+        Chunk {
+            len: 0,
+            first: 0,
+            last: 0,
+            data: C::encode(&[]),
+        }
+    }
+
+    /// Builds a chunk from a strictly increasing slice.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds assert strict monotonicity.
+    pub fn from_sorted(xs: &[u32]) -> Self {
+        debug_assert!(xs.windows(2).all(|w| w[0] < w[1]), "chunk input unsorted");
+        if xs.is_empty() {
+            return Self::empty();
+        }
+        Chunk {
+            len: xs.len() as u32,
+            first: xs[0],
+            last: *xs.last().expect("nonempty"),
+            data: C::encode(xs),
+        }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the chunk holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Smallest element (`O(1)` from the header).
+    #[inline]
+    pub fn first(&self) -> Option<u32> {
+        (self.len > 0).then_some(self.first)
+    }
+
+    /// Largest element (`O(1)` from the header).
+    #[inline]
+    pub fn last(&self) -> Option<u32> {
+        (self.len > 0).then_some(self.last)
+    }
+
+    /// Decodes the chunk into a sorted `Vec`.
+    pub fn to_vec(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.len());
+        C::decode(&self.data, self.len(), &mut out);
+        out
+    }
+
+    /// Appends the decoded elements to `out`.
+    pub fn decode_into(&self, out: &mut Vec<u32>) {
+        C::decode(&self.data, self.len(), out);
+    }
+
+    /// Membership test; `O(chunk size)` — chunks are `O(b log n)` w.h.p.
+    pub fn contains(&self, x: u32) -> bool {
+        if self.len == 0 || x < self.first || x > self.last {
+            return false;
+        }
+        self.to_vec().binary_search(&x).is_ok()
+    }
+
+    /// Heap bytes used (payload only; the header lives inline in the
+    /// tree node or C-tree root).
+    pub fn memory_bytes(&self) -> usize {
+        C::storage_bytes(&self.data)
+    }
+
+    /// Splits into `(elements < k, k ∈ chunk, elements > k)`.
+    pub fn split3(&self, k: u32) -> (Chunk<C>, bool, Chunk<C>) {
+        if self.is_empty() {
+            return (Self::empty(), false, Self::empty());
+        }
+        // O(1) fast paths off the header.
+        if k < self.first {
+            return (Self::empty(), false, self.clone());
+        }
+        if k > self.last {
+            return (self.clone(), false, Self::empty());
+        }
+        let xs = self.to_vec();
+        let (idx, found) = match xs.binary_search(&k) {
+            Ok(i) => (i, true),
+            Err(i) => (i, false),
+        };
+        let hi_start = if found { idx + 1 } else { idx };
+        (
+            Self::from_sorted(&xs[..idx]),
+            found,
+            Self::from_sorted(&xs[hi_start..]),
+        )
+    }
+
+    /// Splits into `(elements < bound, elements > bound)` where `bound`
+    /// of `None` means `+∞` (everything goes left).
+    ///
+    /// Used by `Union`/`Difference`/`Intersect` with `bound` set to the
+    /// smallest head of a neighbouring subtree; the bound is a head and
+    /// chunk elements are non-heads, so equality cannot occur.
+    pub fn split_lt(&self, bound: Option<u32>) -> (Chunk<C>, Chunk<C>) {
+        match bound {
+            None => (self.clone(), Self::empty()),
+            Some(b) => {
+                let (lo, found, hi) = self.split3(b);
+                debug_assert!(!found, "head value {b} found inside a chunk");
+                (lo, hi)
+            }
+        }
+    }
+
+    /// Merged sorted union of two chunks (duplicates collapse).
+    pub fn union(&self, other: &Chunk<C>) -> Chunk<C> {
+        if self.is_empty() {
+            return other.clone();
+        }
+        if other.is_empty() {
+            return self.clone();
+        }
+        let (a, b) = (self.to_vec(), other.to_vec());
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        Self::from_sorted(&out)
+    }
+
+    /// Concatenation fast path: requires every element of `self` to be
+    /// smaller than every element of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds assert the ordering precondition.
+    pub fn concat(&self, other: &Chunk<C>) -> Chunk<C> {
+        if self.is_empty() {
+            return other.clone();
+        }
+        if other.is_empty() {
+            return self.clone();
+        }
+        debug_assert!(self.last < other.first, "concat inputs overlap");
+        let mut xs = self.to_vec();
+        other.decode_into(&mut xs);
+        Self::from_sorted(&xs)
+    }
+
+    /// Elements of `self` not present in `other`.
+    pub fn difference(&self, other: &Chunk<C>) -> Chunk<C> {
+        if self.is_empty() || other.is_empty() {
+            return self.clone();
+        }
+        // Disjoint ranges: nothing to remove.
+        if other.last < self.first || other.first > self.last {
+            return self.clone();
+        }
+        let (a, b) = (self.to_vec(), other.to_vec());
+        let mut out = Vec::with_capacity(a.len());
+        let mut j = 0;
+        for x in a {
+            while j < b.len() && b[j] < x {
+                j += 1;
+            }
+            if j >= b.len() || b[j] != x {
+                out.push(x);
+            }
+        }
+        Self::from_sorted(&out)
+    }
+
+    /// Elements present in both chunks.
+    pub fn intersect(&self, other: &Chunk<C>) -> Chunk<C> {
+        if self.is_empty() || other.is_empty() {
+            return Self::empty();
+        }
+        if other.last < self.first || other.first > self.last {
+            return Self::empty();
+        }
+        let (a, b) = (self.to_vec(), other.to_vec());
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        Self::from_sorted(&out)
+    }
+
+    /// Elements satisfying `pred`, as a new chunk.
+    pub fn filter(&self, pred: impl FnMut(u32) -> bool) -> Chunk<C> {
+        let mut p = pred;
+        let kept: Vec<u32> = self.to_vec().into_iter().filter(|&x| p(x)).collect();
+        Self::from_sorted(&kept)
+    }
+
+    /// Checks the header against the payload; used by the C-tree
+    /// validator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cached `len`/`first`/`last` disagree with the data
+    /// or the data is not strictly increasing.
+    pub fn check(&self) {
+        let xs = self.to_vec();
+        assert_eq!(xs.len(), self.len(), "chunk len header stale");
+        assert!(xs.windows(2).all(|w| w[0] < w[1]), "chunk not sorted");
+        if let (Some(&f), Some(&l)) = (xs.first(), xs.last()) {
+            assert_eq!(f, self.first, "chunk first header stale");
+            assert_eq!(l, self.last, "chunk last header stale");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type PChunk = Chunk<PlainCodec>;
+    type DChunk = Chunk<DeltaCodec>;
+
+    #[test]
+    fn empty_chunk_basics() {
+        let c = DChunk::empty();
+        assert!(c.is_empty());
+        assert_eq!(c.first(), None);
+        assert_eq!(c.last(), None);
+        assert!(!c.contains(0));
+        assert!(c.to_vec().is_empty());
+        c.check();
+    }
+
+    #[test]
+    fn header_caches_boundaries() {
+        let c = DChunk::from_sorted(&[3, 9, 27]);
+        assert_eq!(c.first(), Some(3));
+        assert_eq!(c.last(), Some(27));
+        assert_eq!(c.len(), 3);
+        c.check();
+    }
+
+    #[test]
+    fn plain_and_delta_agree() {
+        let xs: Vec<u32> = (0..200).map(|i| i * 17 + 3).collect();
+        let p = PChunk::from_sorted(&xs);
+        let d = DChunk::from_sorted(&xs);
+        assert_eq!(p.to_vec(), d.to_vec());
+        // delta should compress a regular sequence well below 4B/elem
+        assert!(d.memory_bytes() < p.memory_bytes());
+    }
+
+    #[test]
+    fn contains_checks_membership() {
+        let c = DChunk::from_sorted(&[5, 10, 15]);
+        assert!(c.contains(10));
+        assert!(!c.contains(11));
+        assert!(!c.contains(4));
+        assert!(!c.contains(16));
+    }
+
+    #[test]
+    fn split3_cases() {
+        let c = DChunk::from_sorted(&[10, 20, 30, 40]);
+        let (lo, f, hi) = c.split3(20);
+        assert_eq!((lo.to_vec(), f, hi.to_vec()), (vec![10], true, vec![30, 40]));
+        let (lo, f, hi) = c.split3(25);
+        assert_eq!((lo.to_vec(), f, hi.to_vec()), (vec![10, 20], false, vec![30, 40]));
+        let (lo, f, hi) = c.split3(5);
+        assert_eq!((lo.len(), f, hi.len()), (0, false, 4));
+        let (lo, f, hi) = c.split3(100);
+        assert_eq!((lo.len(), f, hi.len()), (4, false, 0));
+    }
+
+    #[test]
+    fn split_lt_none_keeps_all_left() {
+        let c = DChunk::from_sorted(&[1, 2, 3]);
+        let (lo, hi) = c.split_lt(None);
+        assert_eq!(lo.len(), 3);
+        assert!(hi.is_empty());
+    }
+
+    #[test]
+    fn union_merges_with_dedup() {
+        let a = DChunk::from_sorted(&[1, 3, 5]);
+        let b = DChunk::from_sorted(&[2, 3, 6]);
+        assert_eq!(a.union(&b).to_vec(), vec![1, 2, 3, 5, 6]);
+        assert_eq!(a.union(&DChunk::empty()).to_vec(), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn concat_is_union_for_disjoint_ranges() {
+        let a = DChunk::from_sorted(&[1, 2]);
+        let b = DChunk::from_sorted(&[7, 9]);
+        assert_eq!(a.concat(&b).to_vec(), vec![1, 2, 7, 9]);
+        assert_eq!(DChunk::empty().concat(&b).to_vec(), vec![7, 9]);
+    }
+
+    #[test]
+    fn difference_and_intersect() {
+        let a = DChunk::from_sorted(&[1, 2, 3, 4, 5]);
+        let b = DChunk::from_sorted(&[2, 4, 6]);
+        assert_eq!(a.difference(&b).to_vec(), vec![1, 3, 5]);
+        assert_eq!(a.intersect(&b).to_vec(), vec![2, 4]);
+        // Disjoint fast paths.
+        let far = DChunk::from_sorted(&[100, 200]);
+        assert_eq!(a.difference(&far).to_vec(), vec![1, 2, 3, 4, 5]);
+        assert!(a.intersect(&far).is_empty());
+    }
+
+    #[test]
+    fn filter_keeps_predicate() {
+        let a = DChunk::from_sorted(&[1, 2, 3, 4]);
+        assert_eq!(a.filter(|x| x % 2 == 0).to_vec(), vec![2, 4]);
+    }
+
+    #[test]
+    fn delta_memory_is_one_byte_per_small_gap() {
+        let xs: Vec<u32> = (1000..1256).collect();
+        let d = DChunk::from_sorted(&xs);
+        assert_eq!(d.memory_bytes(), 2 + 255);
+    }
+
+    #[test]
+    fn eq_is_structural() {
+        let a = DChunk::from_sorted(&[1, 2]);
+        let b = DChunk::from_sorted(&[1, 2]);
+        let c = DChunk::from_sorted(&[1, 3]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

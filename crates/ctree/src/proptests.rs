@@ -1,0 +1,173 @@
+//! Property tests: every C-tree operation is checked against a sorted
+//! `Vec`/`BTreeSet` oracle over random element sets **and random chunk
+//! parameters**, with the full structural validator run on every
+//! result. Randomising `b` matters: `b = 1` degenerates to a plain
+//! tree, huge `b` to a single prefix chunk, and the interesting routing
+//! logic lives in between.
+
+use crate::{CTree, ChunkParams, DeltaCodec, PlainCodec, WCTree};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+fn elems() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(0u32..2_000, 0..400).prop_map(|mut v| {
+        v.sort_unstable();
+        v.dedup();
+        v
+    })
+}
+
+fn bs() -> impl Strategy<Value = u32> {
+    prop_oneof![Just(1u32), 2u32..10, 10u32..300, Just(1u32 << 16)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn build_roundtrip(xs in elems(), b in bs()) {
+        let t: CTree<DeltaCodec> = CTree::from_sorted(&xs, ChunkParams::with_b(b));
+        prop_assert_eq!(t.to_vec(), xs.clone());
+        prop_assert_eq!(t.len(), xs.len());
+        t.check_invariants();
+    }
+
+    #[test]
+    fn contains_matches_set(xs in elems(), b in bs(), probe in proptest::collection::vec(0u32..2_000, 20)) {
+        let t: CTree<DeltaCodec> = CTree::from_sorted(&xs, ChunkParams::with_b(b));
+        let s: BTreeSet<u32> = xs.iter().copied().collect();
+        for q in probe {
+            prop_assert_eq!(t.contains(q), s.contains(&q));
+        }
+    }
+
+    #[test]
+    fn split_partitions(xs in elems(), b in bs(), k in 0u32..2_000) {
+        let t: CTree<DeltaCodec> = CTree::from_sorted(&xs, ChunkParams::with_b(b));
+        let (lo, found, hi) = t.split(k);
+        prop_assert_eq!(lo.to_vec(), xs.iter().copied().filter(|&x| x < k).collect::<Vec<_>>());
+        prop_assert_eq!(hi.to_vec(), xs.iter().copied().filter(|&x| x > k).collect::<Vec<_>>());
+        prop_assert_eq!(found, xs.binary_search(&k).is_ok());
+        lo.check_invariants();
+        hi.check_invariants();
+    }
+
+    #[test]
+    fn union_matches_oracle(xs in elems(), ys in elems(), b in bs()) {
+        let p = ChunkParams::with_b(b);
+        let u = CTree::<DeltaCodec>::from_sorted(&xs, p).union(&CTree::from_sorted(&ys, p));
+        let oracle: Vec<u32> = xs.iter().chain(ys.iter()).copied().collect::<BTreeSet<_>>().into_iter().collect();
+        prop_assert_eq!(u.to_vec(), oracle);
+        u.check_invariants();
+    }
+
+    #[test]
+    fn difference_matches_oracle(xs in elems(), ys in elems(), b in bs()) {
+        let p = ChunkParams::with_b(b);
+        let d = CTree::<DeltaCodec>::from_sorted(&xs, p).difference(&CTree::from_sorted(&ys, p));
+        let sy: BTreeSet<u32> = ys.iter().copied().collect();
+        let oracle: Vec<u32> = xs.iter().copied().filter(|x| !sy.contains(x)).collect();
+        prop_assert_eq!(d.to_vec(), oracle);
+        d.check_invariants();
+    }
+
+    #[test]
+    fn intersect_matches_oracle(xs in elems(), ys in elems(), b in bs()) {
+        let p = ChunkParams::with_b(b);
+        let i = CTree::<DeltaCodec>::from_sorted(&xs, p).intersect(&CTree::from_sorted(&ys, p));
+        let sy: BTreeSet<u32> = ys.iter().copied().collect();
+        let oracle: Vec<u32> = xs.iter().copied().filter(|x| sy.contains(x)).collect();
+        prop_assert_eq!(i.to_vec(), oracle);
+        i.check_invariants();
+    }
+
+    #[test]
+    fn plain_codec_agrees_with_delta(xs in elems(), ys in elems(), b in bs()) {
+        let p = ChunkParams::with_b(b);
+        let du = CTree::<DeltaCodec>::from_sorted(&xs, p).union(&CTree::from_sorted(&ys, p));
+        let pu = CTree::<PlainCodec>::from_sorted(&xs, p).union(&CTree::from_sorted(&ys, p));
+        prop_assert_eq!(du.to_vec(), pu.to_vec());
+    }
+
+    #[test]
+    fn set_algebra_laws(xs in elems(), ys in elems(), b in bs()) {
+        let p = ChunkParams::with_b(b);
+        let a = CTree::<DeltaCodec>::from_sorted(&xs, p);
+        let c = CTree::<DeltaCodec>::from_sorted(&ys, p);
+        // |A ∪ B| = |A| + |B| - |A ∩ B|
+        prop_assert_eq!(a.union(&c).len() + a.intersect(&c).len(), a.len() + c.len());
+        // (A \ B) ∪ (A ∩ B) = A
+        let rebuilt = a.difference(&c).union(&a.intersect(&c));
+        prop_assert_eq!(rebuilt.to_vec(), a.to_vec());
+    }
+
+    #[test]
+    fn multi_insert_then_delete_is_difference(xs in elems(), batch in elems(), b in bs()) {
+        let p = ChunkParams::with_b(b);
+        let t = CTree::<DeltaCodec>::from_sorted(&xs, p);
+        let round = t.multi_insert(batch.clone()).multi_delete(batch.clone());
+        let sb: BTreeSet<u32> = batch.iter().copied().collect();
+        let oracle: Vec<u32> = xs.iter().copied().filter(|x| !sb.contains(x)).collect();
+        prop_assert_eq!(round.to_vec(), oracle);
+        round.check_invariants();
+    }
+
+    #[test]
+    fn snapshots_survive_updates(xs in elems(), batch in elems(), b in bs()) {
+        let p = ChunkParams::with_b(b);
+        let t = CTree::<DeltaCodec>::from_sorted(&xs, p);
+        let snapshot = t.clone();
+        let _new = t.multi_insert(batch);
+        prop_assert_eq!(snapshot.to_vec(), xs);
+    }
+
+    #[test]
+    fn weighted_build_and_get(xs in elems(), b in bs()) {
+        let pairs: Vec<(u32, u32)> = xs.iter().map(|&x| (x, x.wrapping_mul(3) + 1)).collect();
+        let t = WCTree::from_sorted(&pairs, ChunkParams::with_b(b));
+        prop_assert_eq!(t.to_vec(), pairs.clone());
+        prop_assert_eq!(t.len(), pairs.len());
+        for &(id, w) in pairs.iter().take(20) {
+            prop_assert_eq!(t.get(id), Some(w));
+        }
+        t.check_invariants();
+    }
+
+    #[test]
+    fn weighted_union_matches_map_oracle(xs in elems(), ys in elems(), b in bs()) {
+        let p = ChunkParams::with_b(b);
+        let ax: Vec<(u32, u32)> = xs.iter().map(|&x| (x, x + 1)).collect();
+        let by: Vec<(u32, u32)> = ys.iter().map(|&y| (y, 2 * y + 5)).collect();
+        let u = WCTree::from_sorted(&ax, p).union(&WCTree::from_sorted(&by, p), |a, c| a.min(c));
+        let mut oracle: BTreeMap<u32, u32> = ax.into_iter().collect();
+        for (id, w) in by {
+            oracle.entry(id).and_modify(|v| *v = (*v).min(w)).or_insert(w);
+        }
+        prop_assert_eq!(u.to_vec(), oracle.into_iter().collect::<Vec<_>>());
+        u.check_invariants();
+    }
+
+    #[test]
+    fn weighted_difference_matches_oracle(xs in elems(), kill in elems(), b in bs()) {
+        let p = ChunkParams::with_b(b);
+        let pairs: Vec<(u32, u32)> = xs.iter().map(|&x| (x, x ^ 7)).collect();
+        let t = WCTree::from_sorted(&pairs, p);
+        let d = t.difference(&CTree::from_sorted(&kill, p));
+        let ks: BTreeSet<u32> = kill.iter().copied().collect();
+        let oracle: Vec<(u32, u32)> = pairs.into_iter().filter(|(id, _)| !ks.contains(id)).collect();
+        prop_assert_eq!(d.to_vec(), oracle);
+        d.check_invariants();
+    }
+
+    #[test]
+    fn weighted_split_partitions(xs in elems(), b in bs(), k in 0u32..2_000) {
+        let pairs: Vec<(u32, u32)> = xs.iter().map(|&x| (x, x + 9)).collect();
+        let t = WCTree::from_sorted(&pairs, ChunkParams::with_b(b));
+        let (lo, found, hi) = t.split(k);
+        prop_assert_eq!(lo.to_vec(), pairs.iter().copied().filter(|&(id, _)| id < k).collect::<Vec<_>>());
+        prop_assert_eq!(hi.to_vec(), pairs.iter().copied().filter(|&(id, _)| id > k).collect::<Vec<_>>());
+        prop_assert_eq!(found.is_some(), xs.binary_search(&k).is_ok());
+        lo.check_invariants();
+        hi.check_invariants();
+    }
+}

@@ -1,0 +1,595 @@
+//! Set operations on C-trees: `Split`, `Union`, `Difference`,
+//! `Intersect`, and the batch wrappers `MultiInsert`/`MultiDelete`.
+//!
+//! These follow Algorithms 1–3 of the paper. The structure of all three
+//! binary operations is the same: expose the root `(k₂, v₂)` of one
+//! tree, split the other C-tree at `k₂`, route the two straddling
+//! chunks (`k₂`'s tail and the split-off prefix) across the recursion
+//! boundary using the `O(1)` chunk headers, recurse on both sides in
+//! parallel, and reassemble with `join`/`join2` over the head trees.
+//!
+//! Because heads are selected by a hash of the element (§3.1), an
+//! element is a head in *every* C-tree that contains it; chunks
+//! therefore never hide a key that the other tree uses as a tree node,
+//! which is the property all the routing logic relies on.
+//!
+//! Cost bounds (§4.2): `Union`/`Difference`/`Intersect` run in
+//! `O(b²·k·log(n/k + 1))` expected work and `O(b log k log n)` depth
+//! w.h.p. for `k = min(|A|,|B|)`, `n = max(|A|,|B|)`; `Split` runs in
+//! `O(b log n)` w.h.p.
+
+use crate::chunk::{Chunk, ChunkCodec};
+use crate::tree::{CTree, ChunkParams, HeadTail, HeadTree};
+use ptree::Tree;
+
+/// Combined size below which recursions stop spawning rayon tasks.
+const SEQ_SETOP: usize = 1 << 12;
+
+impl<C: ChunkCodec> CTree<C> {
+    /// Splits into `(elements < k, k ∈ self, elements > k)`
+    /// (Algorithm 3). `O(b log n)` work and depth w.h.p.
+    ///
+    /// ```
+    /// use ctree::{ChunkParams, CTree};
+    /// let t: CTree = CTree::from_sorted(&[1, 4, 9, 16], ChunkParams::with_b(4));
+    /// let (lo, found, hi) = t.split(9);
+    /// assert_eq!(lo.to_vec(), vec![1, 4]);
+    /// assert!(found);
+    /// assert_eq!(hi.to_vec(), vec![16]);
+    /// ```
+    pub fn split(&self, k: u32) -> (CTree<C>, bool, CTree<C>) {
+        let p = self.params;
+        // Case 1: k lands inside (or before) the prefix — resolved with
+        // the O(1) header reads, no tree descent.
+        if let Some(last) = self.prefix.last() {
+            if k <= last {
+                let (pl, found, pr) = self.prefix.split3(k);
+                return (
+                    CTree::assemble(p, Tree::new(), pl),
+                    found,
+                    CTree::assemble(p, self.tree.clone(), pr),
+                );
+            }
+        }
+        // Case 2: k is beyond the prefix; recurse on the head tree. The
+        // left result keeps our prefix; the recursion never produces a
+        // left prefix of its own.
+        let (lt, found, right) = split_tree(p, &self.tree, k);
+        (
+            CTree::assemble(p, lt, self.prefix.clone()),
+            found,
+            right,
+        )
+    }
+
+    /// The union of two C-trees (Algorithm 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two trees were built with different
+    /// [`ChunkParams`] — head selection must agree for the recursive
+    /// decomposition to be meaningful.
+    pub fn union(&self, other: &CTree<C>) -> CTree<C> {
+        assert_eq!(
+            self.params, other.params,
+            "union of C-trees with different chunk parameters"
+        );
+        union_rec(self, other)
+    }
+
+    /// Elements of `self` not present in `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatched [`ChunkParams`].
+    pub fn difference(&self, other: &CTree<C>) -> CTree<C> {
+        assert_eq!(
+            self.params, other.params,
+            "difference of C-trees with different chunk parameters"
+        );
+        difference_rec(self, other)
+    }
+
+    /// Elements present in both trees.
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatched [`ChunkParams`].
+    pub fn intersect(&self, other: &CTree<C>) -> CTree<C> {
+        assert_eq!(
+            self.params, other.params,
+            "intersect of C-trees with different chunk parameters"
+        );
+        intersect_rec(self, other)
+    }
+
+    /// Inserts a batch of values: `Build` over the batch, then `Union`
+    /// (§4.1). Duplicates within the batch are collapsed.
+    pub fn multi_insert(&self, batch: Vec<u32>) -> CTree<C> {
+        if batch.is_empty() {
+            return self.clone();
+        }
+        self.union(&CTree::build(batch, self.params))
+    }
+
+    /// Deletes a batch of values: `Build`, then `Difference` (§4.1).
+    pub fn multi_delete(&self, batch: Vec<u32>) -> CTree<C> {
+        if batch.is_empty() {
+            return self.clone();
+        }
+        self.difference(&CTree::build(batch, self.params))
+    }
+}
+
+/// `join2` over C-trees: concatenates two key-disjoint C-trees where
+/// every element of `left` precedes every element of `right`. The right
+/// prefix — non-head elements with no head of their own to the left in
+/// `right` — is absorbed into the tail of `left`'s last head (or into
+/// `left`'s prefix when `left` has no heads).
+pub(crate) fn ctree_join2<C: ChunkCodec>(left: CTree<C>, right: CTree<C>) -> CTree<C> {
+    let p = left.params;
+    match left.tree.split_last() {
+        None => {
+            // `left` is prefix-only.
+            CTree::assemble(p, right.tree, left.prefix.concat(&right.prefix))
+        }
+        Some((rest, last)) => {
+            let tail = last.tail.concat(&right.prefix);
+            let tree = Tree::join(
+                rest,
+                HeadTail {
+                    head: last.head,
+                    tail,
+                },
+                right.tree,
+            );
+            CTree::assemble(p, tree, left.prefix)
+        }
+    }
+}
+
+/// Splits a head tree (whose enclosing prefix has already been handled)
+/// at `k`. Returns `(left head tree, found, right C-tree)`; the left
+/// side never acquires a prefix because the input has none.
+fn split_tree<C: ChunkCodec>(
+    p: ChunkParams,
+    tree: &HeadTree<C>,
+    k: u32,
+) -> (HeadTree<C>, bool, CTree<C>) {
+    let Some((l, ht, r)) = tree.expose() else {
+        return (Tree::new(), false, CTree::new(p));
+    };
+    let (head, tail) = (ht.head, ht.tail.clone());
+    match k.cmp(&head) {
+        std::cmp::Ordering::Equal => {
+            // The matched head is dropped; its tail survives as the
+            // right part's prefix (paper Algorithm 3, case EQ).
+            (l, true, CTree::assemble(p, r, tail))
+        }
+        std::cmp::Ordering::Less => {
+            let (ll, found, lr) = split_tree(p, &l, k);
+            let right_tree = Tree::join(lr.tree, HeadTail { head, tail }, r);
+            (ll, found, CTree::assemble(p, right_tree, lr.prefix))
+        }
+        std::cmp::Ordering::Greater => {
+            // O(1) header read decides whether k splits this tail.
+            if tail.last().is_some_and(|last| k <= last) {
+                let (vl, found, vr) = tail.split3(k);
+                let left_tree = Tree::join(l, HeadTail { head, tail: vl }, Tree::new());
+                (left_tree, found, CTree::assemble(p, r, vr))
+            } else {
+                let (rl, found, right) = split_tree(p, &r, k);
+                let left_tree = Tree::join(l, HeadTail { head, tail }, rl);
+                (left_tree, found, right)
+            }
+        }
+    }
+}
+
+fn maybe_par<L: Send, R: Send>(
+    par: bool,
+    l: impl FnOnce() -> L + Send,
+    r: impl FnOnce() -> R + Send,
+) -> (L, R) {
+    if par {
+        rayon::join(l, r)
+    } else {
+        (l(), r())
+    }
+}
+
+fn union_rec<C: ChunkCodec>(a: &CTree<C>, b: &CTree<C>) -> CTree<C> {
+    let p = a.params;
+    if a.tree.is_empty() {
+        return union_bc(&a.prefix, b);
+    }
+    if b.tree.is_empty() {
+        return union_bc(&b.prefix, a);
+    }
+    let (l2, ht2, r2) = b.tree.expose().expect("b.tree nonempty");
+    let (k2, v2) = (ht2.head, ht2.tail.clone());
+    let (b1, _found, bright) = a.split(k2);
+    let (bt2, bp2) = (bright.tree, bright.prefix);
+
+    // Route the straddling chunks (paper lines 9–11): elements of k2's
+    // tail past the first head of A's right part belong deeper right;
+    // elements of A's split-off prefix past the first head of R2
+    // likewise. What remains of both merges into k2's new tail.
+    let m1 = bt2.first().map(|ht| ht.head);
+    let m2 = r2.first().map(|ht| ht.head);
+    let (vl, vr) = v2.split_lt(m1);
+    let (pl, pr) = bp2.split_lt(m2);
+    let new_tail = vl.union(&pl);
+
+    let left_a = b1;
+    let left_b = CTree::assemble(p, l2, b.prefix.clone());
+    let right_a = CTree::assemble(p, bt2, pr);
+    let right_b = CTree::assemble(p, r2, vr);
+    let par = left_a.len() + left_b.len() + right_a.len() + right_b.len() > SEQ_SETOP;
+    let (cl, cr) = maybe_par(
+        par,
+        || union_rec(&left_a, &left_b),
+        || union_rec(&right_a, &right_b),
+    );
+    // The right recursion's prefix is empty (its inputs' prefixes both
+    // sit above a head); concat keeps this robust either way.
+    let tail = new_tail.concat(&cr.prefix);
+    let tree = Tree::join(cl.tree, HeadTail { head: k2, tail }, cr.tree);
+    CTree::assemble(p, tree, cl.prefix)
+}
+
+/// Base case of `Union` (Algorithm 2): merges a prefix-only C-tree
+/// (`p1`) into `c2`.
+fn union_bc<C: ChunkCodec>(p1: &Chunk<C>, c2: &CTree<C>) -> CTree<C> {
+    let p = c2.params;
+    if p1.is_empty() {
+        return c2.clone();
+    }
+    let Some(first_head) = c2.first_head() else {
+        // Both sides are prefix-only.
+        return CTree::assemble(p, Tree::new(), p1.union(&c2.prefix));
+    };
+    let (pl, pr) = p1.split_lt(Some(first_head));
+    let new_prefix = pl.union(&c2.prefix);
+    if pr.is_empty() {
+        return CTree::assemble(p, c2.tree.clone(), new_prefix);
+    }
+    // Distribute the remaining elements to their heads (paper lines
+    // 7–9): group the sorted run by predecessor head, then MultiInsert
+    // the freshened (head, tail) pairs.
+    let updates = group_by_head(&c2.tree, &pr);
+    let tree = c2.tree.multi_insert(updates, |old, new| HeadTail {
+        head: old.head,
+        tail: old.tail.union(&new.tail),
+    });
+    CTree::assemble(p, tree, new_prefix)
+}
+
+/// Groups the sorted non-head elements of `chunk` by their predecessor
+/// head in `tree`, returning one `(head, chunk-of-elements)` entry per
+/// distinct head. Every element must lie above the first head of
+/// `tree`.
+fn group_by_head<C: ChunkCodec>(tree: &HeadTree<C>, chunk: &Chunk<C>) -> Vec<HeadTail<C>> {
+    let xs = chunk.to_vec();
+    let mut groups: Vec<HeadTail<C>> = Vec::new();
+    let mut run: Vec<u32> = Vec::new();
+    let mut cur_head: Option<u32> = None;
+    for x in xs {
+        let h = tree
+            .find_le(&x)
+            .expect("element below every head reached group_by_head")
+            .head;
+        if Some(h) != cur_head {
+            if let Some(head) = cur_head {
+                groups.push(HeadTail {
+                    head,
+                    tail: Chunk::from_sorted(&run),
+                });
+                run.clear();
+            }
+            cur_head = Some(h);
+        }
+        run.push(x);
+    }
+    if let Some(head) = cur_head {
+        groups.push(HeadTail {
+            head,
+            tail: Chunk::from_sorted(&run),
+        });
+    }
+    groups
+}
+
+fn difference_rec<C: ChunkCodec>(a: &CTree<C>, b: &CTree<C>) -> CTree<C> {
+    let p = a.params;
+    if a.is_empty() || b.is_empty() {
+        return a.clone();
+    }
+    if b.tree.is_empty() {
+        return difference_bc(a, &b.prefix);
+    }
+    if a.tree.is_empty() {
+        // `a` is prefix-only; keep what `b` does not contain.
+        return CTree::assemble(p, Tree::new(), a.prefix.filter(|x| !b.contains(x)));
+    }
+    let (l2, ht2, r2) = b.tree.expose().expect("b.tree nonempty");
+    let (k2, v2) = (ht2.head, ht2.tail.clone());
+    // k2 ∈ B, so if A holds it (necessarily as a head) the split drops
+    // it; A's copy of the tail survives as the right part's prefix.
+    let (al, _found, aright) = a.split(k2);
+    let (atr, apr) = (aright.tree, aright.prefix);
+
+    let m1 = atr.first().map(|ht| ht.head);
+    let (vl, vr) = v2.split_lt(m1);
+    // vl's removals can only hit A's straddling prefix; vr's reach into
+    // the tails of A's right tree, carried there as B's prefix.
+    let apr2 = apr.difference(&vl);
+
+    let left_a = al;
+    let left_b = CTree::assemble(p, l2, b.prefix.clone());
+    let right_a = CTree::assemble(p, atr, apr2);
+    let right_b = CTree::assemble(p, r2, vr);
+    let par = left_a.len() + left_b.len() + right_a.len() + right_b.len() > SEQ_SETOP;
+    let (dl, dr) = maybe_par(
+        par,
+        || difference_rec(&left_a, &left_b),
+        || difference_rec(&right_a, &right_b),
+    );
+    ctree_join2(dl, dr)
+}
+
+/// Base case of `Difference`: removes the (non-head) elements of `p2`
+/// from `a`.
+fn difference_bc<C: ChunkCodec>(a: &CTree<C>, p2: &Chunk<C>) -> CTree<C> {
+    let p = a.params;
+    if p2.is_empty() {
+        return a.clone();
+    }
+    let Some(first_head) = a.first_head() else {
+        return CTree::assemble(p, Tree::new(), a.prefix.difference(p2));
+    };
+    let (pl, pr) = p2.split_lt(Some(first_head));
+    let new_prefix = a.prefix.difference(&pl);
+    if pr.is_empty() {
+        return CTree::assemble(p, a.tree.clone(), new_prefix);
+    }
+    let updates = group_by_head(&a.tree, &pr);
+    let tree = a.tree.multi_insert(updates, |old, new| HeadTail {
+        head: old.head,
+        tail: old.tail.difference(&new.tail),
+    });
+    CTree::assemble(p, tree, new_prefix)
+}
+
+fn intersect_rec<C: ChunkCodec>(a: &CTree<C>, b: &CTree<C>) -> CTree<C> {
+    let p = a.params;
+    if a.is_empty() || b.is_empty() {
+        return CTree::new(p);
+    }
+    if b.tree.is_empty() {
+        // Result elements are exactly b.prefix ∩ a: all non-heads, so
+        // the result is prefix-only.
+        return CTree::assemble(p, Tree::new(), b.prefix.filter(|x| a.contains(x)));
+    }
+    if a.tree.is_empty() {
+        return CTree::assemble(p, Tree::new(), a.prefix.filter(|x| b.contains(x)));
+    }
+    let (l2, ht2, r2) = b.tree.expose().expect("b.tree nonempty");
+    let (k2, v2) = (ht2.head, ht2.tail.clone());
+    let (al, found, aright) = a.split(k2);
+    let (atr, apr) = (aright.tree, aright.prefix);
+
+    let m1 = atr.first().map(|ht| ht.head);
+    let m2 = r2.first().map(|ht| ht.head);
+    // The zone (k2, min(m1, m2)) holds A-elements only in `apr` and
+    // B-elements only in `v2`; their intersection is settled here. The
+    // leftovers (`ph` beyond R2's first head, `vr` beyond A's) travel
+    // into the right recursion as prefixes.
+    let mid = apr.intersect(&v2);
+    let (_, vr) = v2.split_lt(m1);
+    let (_, ph) = apr.split_lt(m2);
+
+    let left_a = al;
+    let left_b = CTree::assemble(p, l2, b.prefix.clone());
+    let right_a = CTree::assemble(p, atr, ph);
+    let right_b = CTree::assemble(p, r2, vr);
+    let par = left_a.len() + left_b.len() + right_a.len() + right_b.len() > SEQ_SETOP;
+    let (il, ir) = maybe_par(
+        par,
+        || intersect_rec(&left_a, &left_b),
+        || intersect_rec(&right_a, &right_b),
+    );
+    let after_k2 = mid.concat(&ir.prefix);
+    if found {
+        let tree = Tree::join(
+            il.tree,
+            HeadTail {
+                head: k2,
+                tail: after_k2,
+            },
+            ir.tree,
+        );
+        CTree::assemble(p, tree, il.prefix)
+    } else {
+        ctree_join2(il, CTree::assemble(p, ir.tree, after_k2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::DeltaCodec;
+    use std::collections::BTreeSet;
+
+    fn ct(xs: &[u32], b: u32) -> CTree<DeltaCodec> {
+        CTree::build(xs.to_vec(), ChunkParams::with_b(b))
+    }
+
+    fn oracle_union(a: &[u32], b: &[u32]) -> Vec<u32> {
+        a.iter().chain(b).copied().collect::<BTreeSet<_>>().into_iter().collect()
+    }
+
+    #[test]
+    fn split_basic() {
+        let t = ct(&(0..100).collect::<Vec<_>>(), 8);
+        let (lo, found, hi) = t.split(50);
+        assert!(found);
+        assert_eq!(lo.to_vec(), (0..50).collect::<Vec<_>>());
+        assert_eq!(hi.to_vec(), (51..100).collect::<Vec<_>>());
+        lo.check_invariants();
+        hi.check_invariants();
+    }
+
+    #[test]
+    fn split_missing_key_and_extremes() {
+        let t = ct(&(0..100).step_by(2).collect::<Vec<_>>(), 8);
+        let (lo, found, hi) = t.split(51);
+        assert!(!found);
+        assert_eq!(lo.len() + hi.len(), t.len());
+        let (lo, found, hi) = t.split(1000);
+        assert!(!found && hi.is_empty());
+        assert_eq!(lo.len(), t.len());
+        let (lo, found, _hi) = t.split(0);
+        assert!(found);
+        assert!(lo.is_empty());
+    }
+
+    #[test]
+    fn union_disjoint_and_overlapping() {
+        for b in [2, 16, 128] {
+            let a = ct(&(0..500).step_by(2).collect::<Vec<_>>(), b);
+            let c = ct(&(0..500).step_by(3).collect::<Vec<_>>(), b);
+            let u = a.union(&c);
+            assert_eq!(
+                u.to_vec(),
+                oracle_union(&a.to_vec(), &c.to_vec()),
+                "b={b}"
+            );
+            u.check_invariants();
+            // persistence
+            assert_eq!(a.len(), 250);
+        }
+    }
+
+    #[test]
+    fn union_with_empty_sides() {
+        let a = ct(&[1, 2, 3], 4);
+        let e = CTree::new(ChunkParams::with_b(4));
+        assert_eq!(a.union(&e).to_vec(), vec![1, 2, 3]);
+        assert_eq!(e.union(&a).to_vec(), vec![1, 2, 3]);
+        assert!(e.union(&e).is_empty());
+    }
+
+    #[test]
+    fn union_prefix_only_sides() {
+        // With a huge b nothing is promoted: both trees are prefix-only.
+        let a = ct(&[1, 5, 9], 1 << 20);
+        let c = ct(&[2, 5, 7], 1 << 20);
+        let u = a.union(&c);
+        assert_eq!(u.to_vec(), vec![1, 2, 5, 7, 9]);
+        u.check_invariants();
+    }
+
+    #[test]
+    fn difference_matches_oracle() {
+        for b in [2, 16, 128] {
+            let xs: Vec<u32> = (0..600).filter(|x| x % 7 != 0).collect();
+            let ys: Vec<u32> = (0..600).step_by(2).collect();
+            let d = ct(&xs, b).difference(&ct(&ys, b));
+            let sy: BTreeSet<u32> = ys.iter().copied().collect();
+            let expect: Vec<u32> = xs.iter().copied().filter(|x| !sy.contains(x)).collect();
+            assert_eq!(d.to_vec(), expect, "b={b}");
+            d.check_invariants();
+        }
+    }
+
+    #[test]
+    fn difference_removes_heads_and_reattaches_tails() {
+        // Remove only the head elements; their tails must survive,
+        // re-attached to predecessors.
+        let xs: Vec<u32> = (0..2000).collect();
+        let t = ct(&xs, 16);
+        let heads: Vec<u32> = xs
+            .iter()
+            .copied()
+            .filter(|&x| t.params().is_head(x))
+            .collect();
+        assert!(!heads.is_empty());
+        let d = t.difference(&ct(&heads, 16));
+        let hs: BTreeSet<u32> = heads.into_iter().collect();
+        let expect: Vec<u32> = xs.into_iter().filter(|x| !hs.contains(x)).collect();
+        assert_eq!(d.to_vec(), expect);
+        d.check_invariants();
+    }
+
+    #[test]
+    fn intersect_matches_oracle() {
+        for b in [2, 16, 128] {
+            let xs: Vec<u32> = (0..600).step_by(2).collect();
+            let ys: Vec<u32> = (0..600).step_by(3).collect();
+            let i = ct(&xs, b).intersect(&ct(&ys, b));
+            let expect: Vec<u32> = (0..600).step_by(6).collect();
+            assert_eq!(i.to_vec(), expect, "b={b}");
+            i.check_invariants();
+        }
+    }
+
+    #[test]
+    fn intersect_disjoint_is_empty() {
+        let a = ct(&(0..100).collect::<Vec<_>>(), 8);
+        let c = ct(&(1000..1100).collect::<Vec<_>>(), 8);
+        assert!(a.intersect(&c).is_empty());
+    }
+
+    #[test]
+    fn multi_insert_delete_roundtrip() {
+        let base = ct(&(0..1000).step_by(3).collect::<Vec<_>>(), 32);
+        let batch: Vec<u32> = (0..1000).step_by(5).collect();
+        let inserted = base.multi_insert(batch.clone());
+        for &x in &batch {
+            assert!(inserted.contains(x));
+        }
+        inserted.check_invariants();
+        let removed = inserted.multi_delete(batch.clone());
+        let sb: BTreeSet<u32> = batch.into_iter().collect();
+        let expect: Vec<u32> = (0..1000)
+            .step_by(3)
+            .filter(|x| !sb.contains(x))
+            .collect();
+        assert_eq!(removed.to_vec(), expect);
+        removed.check_invariants();
+    }
+
+    #[test]
+    fn multi_insert_empty_batch_is_noop_clone() {
+        let base = ct(&[1, 2, 3], 8);
+        assert_eq!(base.multi_insert(vec![]).to_vec(), vec![1, 2, 3]);
+        assert_eq!(base.multi_delete(vec![]).to_vec(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different chunk parameters")]
+    fn union_rejects_mismatched_params() {
+        let a = ct(&[1], 8);
+        let b = ct(&[2], 16);
+        let _ = a.union(&b);
+    }
+
+    #[test]
+    fn union_is_commutative_and_idempotent() {
+        let a = ct(&(0..300).step_by(2).collect::<Vec<_>>(), 16);
+        let b = ct(&(0..300).step_by(5).collect::<Vec<_>>(), 16);
+        assert_eq!(a.union(&b).to_vec(), b.union(&a).to_vec());
+        assert_eq!(a.union(&a).to_vec(), a.to_vec());
+    }
+
+    #[test]
+    fn large_union_parallel_path() {
+        // Crosses SEQ_SETOP to exercise the rayon branch.
+        let xs: Vec<u32> = (0..40_000).step_by(2).collect();
+        let ys: Vec<u32> = (0..40_000).step_by(3).collect();
+        let u = ct(&xs, 128).union(&ct(&ys, 128));
+        assert_eq!(u.to_vec(), oracle_union(&xs, &ys));
+        u.check_invariants();
+    }
+}

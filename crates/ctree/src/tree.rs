@@ -1,0 +1,505 @@
+//! The [`CTree`] structure: construction, search, traversal, validation.
+
+use crate::chunk::{Chunk, ChunkCodec, DeltaCodec};
+use ptree::{CountAug, Entry, Measure, Tree};
+use std::marker::PhantomData;
+
+/// Seed for head selection; independent from the treap-priority seed in
+/// `ptree` so the two samplings are uncorrelated (§2's hash family
+/// assumption).
+const HEAD_SEED: u64 = 0x0c0f_fee1_2345_6789;
+
+/// Chunking configuration shared by every C-tree participating in a
+/// binary operation.
+///
+/// `b` is the expected chunk size: each element is promoted to a *head*
+/// independently with probability `1/b` (§3.1). The paper fixes
+/// `b = 2⁸` for its main experiments (Table 5); [`ChunkParams::default`]
+/// matches that.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChunkParams {
+    /// Expected chunk size (must be ≥ 1).
+    pub b: u32,
+    /// Seed selecting the hash function used for head promotion.
+    pub seed: u64,
+}
+
+impl ChunkParams {
+    /// Parameters with expected chunk size `b` and the default seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b == 0`.
+    pub fn with_b(b: u32) -> Self {
+        assert!(b >= 1, "chunk parameter b must be >= 1");
+        ChunkParams { b, seed: HEAD_SEED }
+    }
+
+    /// Whether `x` is promoted to a head under these parameters.
+    ///
+    /// An element chosen as head is a head in *every* C-tree containing
+    /// it (with equal params) — the stability property that makes the
+    /// recursive set operations line up (§3.1).
+    #[inline]
+    pub fn is_head(&self, x: u32) -> bool {
+        parlib::hash64_with_seed(u64::from(x), self.seed) % u64::from(self.b) == 0
+    }
+}
+
+impl Default for ChunkParams {
+    fn default() -> Self {
+        Self::with_b(128)
+    }
+}
+
+/// A head element together with its tail chunk; the entry type of the
+/// underlying purely-functional head tree.
+#[derive(Clone, Debug)]
+pub struct HeadTail<C: ChunkCodec> {
+    /// The promoted element.
+    pub head: u32,
+    /// The non-head elements between `head` and the next head.
+    pub tail: Chunk<C>,
+}
+
+impl<C: ChunkCodec> Entry for HeadTail<C> {
+    type Key = u32;
+
+    #[inline]
+    fn key(&self) -> &u32 {
+        &self.head
+    }
+}
+
+/// Measures a head-tail pair as `1 + |tail|`, so the head tree's
+/// augmented value is the total element count — giving `O(1)`
+/// [`CTree::len`].
+#[derive(Clone, Debug)]
+pub struct ElementCount<C>(PhantomData<C>);
+
+impl<C: ChunkCodec> Measure<HeadTail<C>> for ElementCount<C> {
+    #[inline]
+    fn measure(entry: &HeadTail<C>) -> u64 {
+        1 + entry.tail.len() as u64
+    }
+}
+
+/// The purely-functional tree over heads, augmented with element counts.
+pub type HeadTree<C> = Tree<HeadTail<C>, CountAug<ElementCount<C>>>;
+
+/// A compressed purely-functional search tree over `u32` elements
+/// (§3, the paper's core contribution).
+///
+/// A C-tree is a balanced tree over hash-promoted *heads*, each carrying
+/// a contiguous compressed *tail* chunk, plus one *prefix* chunk for the
+/// elements before the first head. Relative to a plain purely-functional
+/// tree this cuts the number of tree nodes by a factor of `b` and stores
+/// elements contiguously, which is what makes graph compression
+/// techniques applicable (difference encoding within chunks).
+///
+/// All operations are persistent: they return new trees and never
+/// mutate, so a clone is an `O(1)` snapshot.
+///
+/// # Example
+///
+/// ```
+/// use ctree::{ChunkParams, CTree};
+///
+/// let t: CTree = CTree::from_sorted(&[1, 5, 9, 12], ChunkParams::with_b(4));
+/// let t2 = t.union(&CTree::from_sorted(&[5, 7], ChunkParams::with_b(4)));
+/// assert_eq!(t2.to_vec(), vec![1, 5, 7, 9, 12]);
+/// assert_eq!(t.len(), 4); // original snapshot untouched
+/// ```
+pub struct CTree<C: ChunkCodec = DeltaCodec> {
+    pub(crate) params: ChunkParams,
+    pub(crate) prefix: Chunk<C>,
+    pub(crate) tree: HeadTree<C>,
+}
+
+impl<C: ChunkCodec> Clone for CTree<C> {
+    #[inline]
+    fn clone(&self) -> Self {
+        CTree {
+            params: self.params,
+            prefix: self.prefix.clone(),
+            tree: self.tree.clone(),
+        }
+    }
+}
+
+impl<C: ChunkCodec> std::fmt::Debug for CTree<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CTree")
+            .field("b", &self.params.b)
+            .field("elements", &self.to_vec())
+            .finish()
+    }
+}
+
+impl<C: ChunkCodec> PartialEq for CTree<C> {
+    fn eq(&self, other: &Self) -> bool {
+        self.params == other.params && self.len() == other.len() && self.to_vec() == other.to_vec()
+    }
+}
+
+impl<C: ChunkCodec> Eq for CTree<C> {}
+
+impl<C: ChunkCodec> Default for CTree<C> {
+    fn default() -> Self {
+        Self::new(ChunkParams::default())
+    }
+}
+
+impl<C: ChunkCodec> CTree<C> {
+    /// Creates an empty C-tree with the given chunking parameters.
+    pub fn new(params: ChunkParams) -> Self {
+        CTree {
+            params,
+            prefix: Chunk::empty(),
+            tree: Tree::new(),
+        }
+    }
+
+    pub(crate) fn assemble(params: ChunkParams, tree: HeadTree<C>, prefix: Chunk<C>) -> Self {
+        CTree {
+            params,
+            prefix,
+            tree,
+        }
+    }
+
+    /// The chunking parameters this tree was built with.
+    #[inline]
+    pub fn params(&self) -> ChunkParams {
+        self.params
+    }
+
+    /// Builds a C-tree from a strictly increasing slice.
+    ///
+    /// `O(n)` work after sorting; partitions the input at head
+    /// positions and builds the head tree bottom-up (the paper's
+    /// `Build`, §4).
+    ///
+    /// # Panics
+    ///
+    /// Debug builds assert strict monotonicity.
+    pub fn from_sorted(xs: &[u32], params: ChunkParams) -> Self {
+        debug_assert!(xs.windows(2).all(|w| w[0] < w[1]), "input unsorted");
+        let head_idx = parlib::filter_indices(xs, |&x| params.is_head(x));
+        let Some(&first_head) = head_idx.first() else {
+            return CTree {
+                params,
+                prefix: Chunk::from_sorted(xs),
+                tree: Tree::new(),
+            };
+        };
+        let prefix = Chunk::from_sorted(&xs[..first_head]);
+        let entries: Vec<HeadTail<C>> = head_idx
+            .iter()
+            .enumerate()
+            .map(|(i, &hi)| {
+                let tail_end = head_idx.get(i + 1).copied().unwrap_or(xs.len());
+                HeadTail {
+                    head: xs[hi],
+                    tail: Chunk::from_sorted(&xs[hi + 1..tail_end]),
+                }
+            })
+            .collect();
+        CTree {
+            params,
+            prefix,
+            tree: Tree::from_sorted(&entries),
+        }
+    }
+
+    /// Builds from an arbitrary (unsorted, possibly duplicated) set of
+    /// values. `O(n log n)` work from the sort.
+    pub fn build(mut xs: Vec<u32>, params: ChunkParams) -> Self {
+        xs.sort_unstable();
+        xs.dedup();
+        Self::from_sorted(&xs, params)
+    }
+
+    /// Total number of elements; `O(1)` via the count augmentation.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.prefix.len() + self.tree.aug().value() as usize
+    }
+
+    /// Whether no elements are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.prefix.is_empty() && self.tree.is_empty()
+    }
+
+    /// Membership test — the paper's `Find` (§4): a head-tree search
+    /// plus one chunk scan; `O(b + log n)` expected work.
+    pub fn contains(&self, x: u32) -> bool {
+        if self.prefix.last().is_some_and(|l| x <= l) {
+            return self.prefix.contains(x);
+        }
+        match self.tree.find_le(&x) {
+            Some(ht) => ht.head == x || ht.tail.contains(x),
+            None => false,
+        }
+    }
+
+    /// Smallest element, `O(log n)`.
+    pub fn first(&self) -> Option<u32> {
+        self.prefix
+            .first()
+            .or_else(|| self.tree.first().map(|ht| ht.head))
+    }
+
+    /// Largest element, `O(log n)`.
+    pub fn last(&self) -> Option<u32> {
+        match self.tree.last() {
+            Some(ht) => ht.tail.last().or(Some(ht.head)),
+            None => self.prefix.last(),
+        }
+    }
+
+    /// Smallest head in the head tree, if any. Drives the chunk routing
+    /// decisions inside the set operations.
+    #[inline]
+    pub(crate) fn first_head(&self) -> Option<u32> {
+        self.tree.first().map(|ht| ht.head)
+    }
+
+    /// Sequential in-order traversal (the paper's `Map` with a
+    /// sequential driver).
+    pub fn for_each(&self, mut f: impl FnMut(u32)) {
+        for x in self.prefix.to_vec() {
+            f(x);
+        }
+        self.tree.for_each_seq(&mut |ht| {
+            f(ht.head);
+            for x in ht.tail.to_vec() {
+                f(x);
+            }
+        });
+    }
+
+    /// Parallel traversal: `f` is applied to every element, chunks in
+    /// parallel across tree nodes. `O(n)` work, `O(b log n)` depth
+    /// w.h.p. (§4.2). Order of invocation is unspecified.
+    pub fn par_for_each(&self, f: impl Fn(u32) + Sync) {
+        for x in self.prefix.to_vec() {
+            f(x);
+        }
+        self.tree.par_for_each(|ht| {
+            f(ht.head);
+            for x in ht.tail.to_vec() {
+                f(x);
+            }
+        });
+    }
+
+    /// All elements in increasing order.
+    pub fn to_vec(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.len());
+        self.prefix.decode_into(&mut out);
+        self.tree.for_each_seq(&mut |ht| {
+            out.push(ht.head);
+            ht.tail.decode_into(&mut out);
+        });
+        out
+    }
+
+    /// Number of head (tree) nodes; `n/b` in expectation. Exposed for
+    /// the space accounting in Tables 2 and 5.
+    pub fn num_heads(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Heap bytes used by this C-tree: tree nodes plus chunk payloads.
+    ///
+    /// Structural sharing is *not* deducted — this reports the size of
+    /// the tree as if it were the sole owner, matching how the paper
+    /// accounts for a single version.
+    pub fn memory_bytes(&self) -> usize {
+        let chunk_bytes = self.tree.map_reduce(
+            |ht| ht.tail.memory_bytes() as u64,
+            |a, b| a + b,
+            || 0,
+        ) as usize;
+        self.prefix.memory_bytes() + chunk_bytes + self.tree.memory_bytes()
+    }
+
+    /// Validates every structural invariant; used heavily by tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics on: unsorted/overlapping chunks, stale chunk headers,
+    /// non-head elements in the head tree, head elements inside chunks,
+    /// prefix overlapping the first head, or a stale count augmentation.
+    pub fn check_invariants(&self) {
+        self.tree.check_invariants();
+        self.prefix.check();
+        for x in self.prefix.to_vec() {
+            assert!(!self.params.is_head(x), "head {x} found in prefix");
+        }
+        if let Some(h) = self.first_head() {
+            if let Some(l) = self.prefix.last() {
+                assert!(l < h, "prefix reaches past first head");
+            }
+        } else {
+            // no heads -> no tree
+            assert!(self.tree.is_empty());
+        }
+        let entries: Vec<HeadTail<C>> = self.tree.to_vec();
+        for (i, ht) in entries.iter().enumerate() {
+            assert!(
+                self.params.is_head(ht.head),
+                "non-head {} used as tree key",
+                ht.head
+            );
+            ht.tail.check();
+            let next = entries.get(i + 1).map(|n| n.head);
+            for x in ht.tail.to_vec() {
+                assert!(x > ht.head, "tail element {x} <= head {}", ht.head);
+                assert!(!self.params.is_head(x), "head {x} stored in a tail");
+                if let Some(nx) = next {
+                    assert!(x < nx, "tail element {x} >= next head {nx}");
+                }
+            }
+        }
+    }
+}
+
+impl<C: ChunkCodec> FromIterator<u32> for CTree<C> {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        Self::build(iter.into_iter().collect(), ChunkParams::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::PlainCodec;
+
+    fn dt(xs: &[u32], b: u32) -> CTree<DeltaCodec> {
+        CTree::build(xs.to_vec(), ChunkParams::with_b(b))
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t: CTree = CTree::new(ChunkParams::default());
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.first(), None);
+        assert_eq!(t.last(), None);
+        assert!(!t.contains(3));
+        t.check_invariants();
+    }
+
+    #[test]
+    fn build_roundtrip_various_b() {
+        let xs: Vec<u32> = (0..3000).map(|i| i * 3 + 1).collect();
+        for b in [1, 2, 8, 64, 256, 4096] {
+            let t = dt(&xs, b);
+            assert_eq!(t.to_vec(), xs, "b={b}");
+            assert_eq!(t.len(), xs.len());
+            t.check_invariants();
+        }
+    }
+
+    #[test]
+    fn b_one_promotes_everything() {
+        let t = dt(&[1, 2, 3, 4, 5], 1);
+        assert_eq!(t.num_heads(), 5);
+        assert!(t.prefix.is_empty());
+    }
+
+    #[test]
+    fn head_count_is_about_n_over_b() {
+        let n = 50_000u32;
+        let xs: Vec<u32> = (0..n).collect();
+        let b = 64;
+        let t = dt(&xs, b);
+        let heads = t.num_heads() as f64;
+        let expect = f64::from(n) / f64::from(b);
+        assert!(
+            (heads - expect).abs() < expect * 0.3,
+            "heads {heads} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn contains_everything_built() {
+        let xs: Vec<u32> = (0..2000).map(|i| i * 7 % 16_384).collect();
+        let t = dt(&xs, 32);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        for &x in &sorted {
+            assert!(t.contains(x), "missing {x}");
+        }
+        assert!(!t.contains(16_385));
+    }
+
+    #[test]
+    fn first_last() {
+        let t = dt(&[100, 7, 5000], 16);
+        assert_eq!(t.first(), Some(7));
+        assert_eq!(t.last(), Some(5000));
+    }
+
+    #[test]
+    fn len_is_o1_and_correct() {
+        let xs: Vec<u32> = (0..10_000).step_by(2).collect();
+        let t = dt(&xs, 128);
+        assert_eq!(t.len(), xs.len());
+    }
+
+    #[test]
+    fn for_each_in_order() {
+        let xs: Vec<u32> = (0..1000).map(|i| i * 11 % 8192).collect();
+        let t = dt(&xs, 16);
+        let mut seen = Vec::new();
+        t.for_each(|x| seen.push(x));
+        assert_eq!(seen, t.to_vec());
+        assert!(seen.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn par_for_each_visits_all() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let xs: Vec<u32> = (1..=3000).collect();
+        let t = dt(&xs, 64);
+        let sum = AtomicU64::new(0);
+        t.par_for_each(|x| {
+            sum.fetch_add(u64::from(x), Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 3000 * 3001 / 2);
+    }
+
+    #[test]
+    fn memory_shrinks_with_bigger_b() {
+        let xs: Vec<u32> = (0..20_000).collect();
+        let small_b = CTree::<DeltaCodec>::from_sorted(&xs, ChunkParams::with_b(2));
+        let big_b = CTree::<DeltaCodec>::from_sorted(&xs, ChunkParams::with_b(256));
+        assert!(big_b.memory_bytes() < small_b.memory_bytes());
+    }
+
+    #[test]
+    fn delta_beats_plain_on_dense_sets() {
+        let xs: Vec<u32> = (0..20_000).collect();
+        let plain = CTree::<PlainCodec>::from_sorted(&xs, ChunkParams::with_b(128));
+        let delta = CTree::<DeltaCodec>::from_sorted(&xs, ChunkParams::with_b(128));
+        assert!(delta.memory_bytes() < plain.memory_bytes() / 2);
+        assert_eq!(plain.to_vec(), delta.to_vec());
+    }
+
+    #[test]
+    fn from_iterator_dedups() {
+        let t: CTree = vec![5u32, 1, 5, 3].into_iter().collect();
+        assert_eq!(t.to_vec(), vec![1, 3, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "b must be >= 1")]
+    fn zero_b_rejected() {
+        let _ = ChunkParams::with_b(0);
+    }
+}

@@ -1,0 +1,899 @@
+//! Weighted C-trees: the paper's stated future-work extension.
+//!
+//! §6: *"Aspen currently does not support weighted edges, but we plan
+//! to add this functionality using a similar compression scheme for
+//! weights as used in Ligra+ in the future."* This module implements
+//! that plan: a C-tree over `(id, weight)` pairs ordered by id, whose
+//! chunks store byte-coded id *differences* interleaved with varint
+//! weights — the Ligra+ weight layout.
+//!
+//! The structure mirrors [`CTree`](crate::CTree): hash-promoted heads
+//! (on ids, so an id is a head in every weighted C-tree containing it),
+//! a prefix chunk, and tails hanging off a purely-functional head tree.
+//! `union` takes a weight combiner for ids present on both sides;
+//! `difference` removes by id. These two are what the weighted graph
+//! layer needs for `InsertEdges`/`DeleteEdges`.
+
+use crate::tree::ChunkParams;
+use ptree::{CountAug, Entry, Measure, Tree};
+use std::sync::Arc;
+
+/// Edge weight type: 32-bit, as in Ligra+'s integer-weight mode.
+pub type Weight = u32;
+
+/// A weighted element: a vertex id and its weight.
+pub type WElem = (u32, Weight);
+
+/// A compressed chunk of `(id, weight)` pairs sorted by id.
+///
+/// Ids are difference-encoded; each gap is followed by the varint
+/// weight. Headers cache `first`/`last` ids and the length for the
+/// `O(1)` boundary reads the split routing needs.
+#[derive(Clone)]
+pub struct WChunk {
+    len: u32,
+    first: u32,
+    last: u32,
+    bytes: Arc<[u8]>,
+}
+
+impl std::fmt::Debug for WChunk {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.to_vec()).finish()
+    }
+}
+
+impl Default for WChunk {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl WChunk {
+    /// The empty chunk.
+    pub fn empty() -> Self {
+        WChunk {
+            len: 0,
+            first: 0,
+            last: 0,
+            bytes: Arc::from([] as [u8; 0]),
+        }
+    }
+
+    /// Builds from pairs strictly increasing in id.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds assert id monotonicity.
+    pub fn from_sorted(pairs: &[WElem]) -> Self {
+        debug_assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0));
+        let Some((&(first, _), &(last, _))) = pairs.first().zip(pairs.last()) else {
+            return Self::empty();
+        };
+        let mut bytes = Vec::with_capacity(pairs.len() * 3);
+        let mut prev = None;
+        for &(id, w) in pairs {
+            let gap = match prev {
+                None => id,
+                Some(p) => id - p,
+            };
+            encoder::encode_u32(gap, &mut bytes);
+            encoder::encode_u32(w, &mut bytes);
+            prev = Some(id);
+        }
+        WChunk {
+            len: pairs.len() as u32,
+            first,
+            last,
+            bytes: bytes.into(),
+        }
+    }
+
+    /// Number of pairs.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the chunk is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Smallest id (`O(1)`).
+    #[inline]
+    pub fn first_id(&self) -> Option<u32> {
+        (self.len > 0).then_some(self.first)
+    }
+
+    /// Largest id (`O(1)`).
+    #[inline]
+    pub fn last_id(&self) -> Option<u32> {
+        (self.len > 0).then_some(self.last)
+    }
+
+    /// Decodes all pairs.
+    pub fn to_vec(&self) -> Vec<WElem> {
+        let mut out = Vec::with_capacity(self.len());
+        let mut pos = 0usize;
+        let mut prev = 0u32;
+        for i in 0..self.len {
+            let (gap, used) = encoder::decode_u32(&self.bytes[pos..]);
+            pos += used;
+            let (w, used) = encoder::decode_u32(&self.bytes[pos..]);
+            pos += used;
+            let id = if i == 0 { gap } else { prev + gap };
+            prev = id;
+            out.push((id, w));
+        }
+        out
+    }
+
+    /// Weight of `id`, if present. `O(chunk size)`.
+    pub fn get(&self, id: u32) -> Option<Weight> {
+        if self.len == 0 || id < self.first || id > self.last {
+            return None;
+        }
+        self.to_vec()
+            .binary_search_by_key(&id, |&(i, _)| i)
+            .ok()
+            .map(|idx| self.to_vec()[idx].1)
+    }
+
+    /// Splits into `(pairs with id < k, pair at k, pairs with id > k)`.
+    pub fn split3(&self, k: u32) -> (WChunk, Option<WElem>, WChunk) {
+        if self.is_empty() || k < self.first {
+            return (Self::empty(), None, self.clone());
+        }
+        if k > self.last {
+            return (self.clone(), None, Self::empty());
+        }
+        let xs = self.to_vec();
+        match xs.binary_search_by_key(&k, |&(i, _)| i) {
+            Ok(i) => (
+                Self::from_sorted(&xs[..i]),
+                Some(xs[i]),
+                Self::from_sorted(&xs[i + 1..]),
+            ),
+            Err(i) => (Self::from_sorted(&xs[..i]), None, Self::from_sorted(&xs[i..])),
+        }
+    }
+
+    /// Splits by an optional exclusive upper bound (`None` = +∞).
+    pub fn split_lt(&self, bound: Option<u32>) -> (WChunk, WChunk) {
+        match bound {
+            None => (self.clone(), Self::empty()),
+            Some(b) => {
+                let (lo, mid, hi) = self.split3(b);
+                debug_assert!(mid.is_none(), "head id found inside a weighted chunk");
+                (lo, hi)
+            }
+        }
+    }
+
+    /// Sorted merge; ids on both sides combine weights with `f`.
+    pub fn union(&self, other: &WChunk, f: impl Fn(Weight, Weight) -> Weight) -> WChunk {
+        if self.is_empty() {
+            return other.clone();
+        }
+        if other.is_empty() {
+            return self.clone();
+        }
+        let (a, b) = (self.to_vec(), other.to_vec());
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Less => {
+                    out.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push((a[i].0, f(a[i].1, b[j].1)));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        Self::from_sorted(&out)
+    }
+
+    /// Concatenation: all ids of `self` must precede all ids of
+    /// `other`.
+    pub fn concat(&self, other: &WChunk) -> WChunk {
+        if self.is_empty() {
+            return other.clone();
+        }
+        if other.is_empty() {
+            return self.clone();
+        }
+        debug_assert!(self.last < other.first, "weighted concat overlap");
+        let mut xs = self.to_vec();
+        xs.extend(other.to_vec());
+        Self::from_sorted(&xs)
+    }
+
+    /// Pairs of `self` whose ids are absent from `ids`.
+    pub fn difference_ids(&self, ids: &crate::chunk::Chunk<crate::chunk::DeltaCodec>) -> WChunk {
+        if self.is_empty() || ids.is_empty() {
+            return self.clone();
+        }
+        let remove = ids.to_vec();
+        let mut j = 0usize;
+        let kept: Vec<WElem> = self
+            .to_vec()
+            .into_iter()
+            .filter(|&(id, _)| {
+                while j < remove.len() && remove[j] < id {
+                    j += 1;
+                }
+                j >= remove.len() || remove[j] != id
+            })
+            .collect();
+        Self::from_sorted(&kept)
+    }
+
+    /// Heap bytes of the payload.
+    pub fn memory_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Header-vs-payload consistency check for tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics on stale headers or unsorted payloads.
+    pub fn check(&self) {
+        let xs = self.to_vec();
+        assert_eq!(xs.len(), self.len());
+        assert!(xs.windows(2).all(|w| w[0].0 < w[1].0));
+        if let (Some(f), Some(l)) = (xs.first(), xs.last()) {
+            assert_eq!(f.0, self.first);
+            assert_eq!(l.0, self.last);
+        }
+    }
+}
+
+/// A head entry in the weighted C-tree.
+#[derive(Clone, Debug)]
+pub struct WHeadTail {
+    /// The promoted id.
+    pub head: u32,
+    /// The head's own weight.
+    pub weight: Weight,
+    /// Pairs between this head and the next.
+    pub tail: WChunk,
+}
+
+impl Entry for WHeadTail {
+    type Key = u32;
+
+    #[inline]
+    fn key(&self) -> &u32 {
+        &self.head
+    }
+}
+
+/// Counts `1 + |tail|` per head for `O(1)` length.
+#[derive(Clone, Debug)]
+pub struct WCount;
+
+impl Measure<WHeadTail> for WCount {
+    #[inline]
+    fn measure(e: &WHeadTail) -> u64 {
+        1 + e.tail.len() as u64
+    }
+}
+
+type WHeadTree = Tree<WHeadTail, CountAug<WCount>>;
+
+/// A weighted C-tree: a sorted map from `u32` ids to [`Weight`]s with
+/// the C-tree layout and compression.
+///
+/// # Example
+///
+/// ```
+/// use ctree::{ChunkParams, WCTree};
+///
+/// let a = WCTree::from_sorted(&[(1, 10), (5, 50)], ChunkParams::with_b(4));
+/// let b = WCTree::from_sorted(&[(5, 7), (9, 90)], ChunkParams::with_b(4));
+/// let u = a.union(&b, |x, y| x + y);
+/// assert_eq!(u.get(5), Some(57));
+/// assert_eq!(u.len(), 3);
+/// ```
+#[derive(Clone)]
+pub struct WCTree {
+    params: ChunkParams,
+    prefix: WChunk,
+    tree: WHeadTree,
+}
+
+impl std::fmt::Debug for WCTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WCTree")
+            .field("b", &self.params.b)
+            .field("pairs", &self.to_vec())
+            .finish()
+    }
+}
+
+impl WCTree {
+    /// Empty weighted C-tree.
+    pub fn new(params: ChunkParams) -> Self {
+        WCTree {
+            params,
+            prefix: WChunk::empty(),
+            tree: Tree::new(),
+        }
+    }
+
+    fn assemble(params: ChunkParams, tree: WHeadTree, prefix: WChunk) -> Self {
+        WCTree {
+            params,
+            prefix,
+            tree,
+        }
+    }
+
+    /// The chunking parameters.
+    #[inline]
+    pub fn params(&self) -> ChunkParams {
+        self.params
+    }
+
+    /// Builds from pairs strictly increasing in id.
+    pub fn from_sorted(pairs: &[WElem], params: ChunkParams) -> Self {
+        debug_assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0));
+        let head_idx: Vec<usize> = pairs
+            .iter()
+            .enumerate()
+            .filter(|(_, &(id, _))| params.is_head(id))
+            .map(|(i, _)| i)
+            .collect();
+        let Some(&first_head) = head_idx.first() else {
+            return WCTree::assemble(params, Tree::new(), WChunk::from_sorted(pairs));
+        };
+        let prefix = WChunk::from_sorted(&pairs[..first_head]);
+        let entries: Vec<WHeadTail> = head_idx
+            .iter()
+            .enumerate()
+            .map(|(i, &hi)| {
+                let tail_end = head_idx.get(i + 1).copied().unwrap_or(pairs.len());
+                WHeadTail {
+                    head: pairs[hi].0,
+                    weight: pairs[hi].1,
+                    tail: WChunk::from_sorted(&pairs[hi + 1..tail_end]),
+                }
+            })
+            .collect();
+        WCTree::assemble(params, Tree::from_sorted(&entries), prefix)
+    }
+
+    /// Builds from arbitrary pairs; duplicate ids combine weights with
+    /// `f` (later occurrences are `f`'s second argument).
+    pub fn build(
+        mut pairs: Vec<WElem>,
+        params: ChunkParams,
+        f: impl Fn(Weight, Weight) -> Weight,
+    ) -> Self {
+        pairs.sort_unstable_by_key(|&(id, _)| id);
+        let mut merged: Vec<WElem> = Vec::with_capacity(pairs.len());
+        for (id, w) in pairs {
+            match merged.last_mut() {
+                Some(last) if last.0 == id => last.1 = f(last.1, w),
+                _ => merged.push((id, w)),
+            }
+        }
+        Self::from_sorted(&merged, params)
+    }
+
+    /// Total number of pairs; `O(1)`.
+    pub fn len(&self) -> usize {
+        self.prefix.len() + self.tree.aug().value() as usize
+    }
+
+    /// Whether no pairs are stored.
+    pub fn is_empty(&self) -> bool {
+        self.prefix.is_empty() && self.tree.is_empty()
+    }
+
+    /// The weight of `id`, if present.
+    pub fn get(&self, id: u32) -> Option<Weight> {
+        if self.prefix.last_id().is_some_and(|l| id <= l) {
+            return self.prefix.get(id);
+        }
+        let ht = self.tree.find_le(&id)?;
+        if ht.head == id {
+            Some(ht.weight)
+        } else {
+            ht.tail.get(id)
+        }
+    }
+
+    /// All pairs in id order.
+    pub fn to_vec(&self) -> Vec<WElem> {
+        let mut out = self.prefix.to_vec();
+        self.tree.for_each_seq(&mut |ht| {
+            out.push((ht.head, ht.weight));
+            out.extend(ht.tail.to_vec());
+        });
+        out
+    }
+
+    /// Applies `f` to every `(id, weight)` pair in id order.
+    pub fn for_each(&self, mut f: impl FnMut(u32, Weight)) {
+        for (id, w) in self.prefix.to_vec() {
+            f(id, w);
+        }
+        self.tree.for_each_seq(&mut |ht| {
+            f(ht.head, ht.weight);
+            for (id, w) in ht.tail.to_vec() {
+                f(id, w);
+            }
+        });
+    }
+
+    /// Splits at `k` into `(pairs < k, pair at k, pairs > k)`.
+    pub fn split(&self, k: u32) -> (WCTree, Option<WElem>, WCTree) {
+        let p = self.params;
+        if let Some(last) = self.prefix.last_id() {
+            if k <= last {
+                let (pl, found, pr) = self.prefix.split3(k);
+                return (
+                    WCTree::assemble(p, Tree::new(), pl),
+                    found,
+                    WCTree::assemble(p, self.tree.clone(), pr),
+                );
+            }
+        }
+        let (lt, found, right) = split_wtree(p, &self.tree, k);
+        (
+            WCTree::assemble(p, lt, self.prefix.clone()),
+            found,
+            right,
+        )
+    }
+
+    /// Union with `f` combining weights of shared ids
+    /// (`f(self_weight, other_weight)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatched [`ChunkParams`].
+    pub fn union(&self, other: &WCTree, f: impl Fn(Weight, Weight) -> Weight + Copy + Sync) -> WCTree {
+        assert_eq!(self.params, other.params, "weighted union params mismatch");
+        wunion(self, other, f)
+    }
+
+    /// Removes all pairs whose id appears in `ids`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatched [`ChunkParams`].
+    pub fn difference(&self, ids: &crate::CTree<crate::DeltaCodec>) -> WCTree {
+        assert_eq!(
+            self.params,
+            ids.params(),
+            "weighted difference params mismatch"
+        );
+        wdifference(self, ids)
+    }
+
+    /// Inserts pairs, combining duplicate ids with `f`.
+    pub fn multi_insert(
+        &self,
+        pairs: Vec<WElem>,
+        f: impl Fn(Weight, Weight) -> Weight + Copy + Sync,
+    ) -> WCTree {
+        if pairs.is_empty() {
+            return self.clone();
+        }
+        self.union(&WCTree::build(pairs, self.params, f), f)
+    }
+
+    /// Deletes ids.
+    pub fn multi_delete(&self, ids: Vec<u32>) -> WCTree {
+        if ids.is_empty() {
+            return self.clone();
+        }
+        self.difference(&crate::CTree::build(ids, self.params))
+    }
+
+    /// Heap bytes: head-tree nodes plus all chunk payloads.
+    pub fn memory_bytes(&self) -> usize {
+        let chunks = self
+            .tree
+            .map_reduce(|ht| ht.tail.memory_bytes() as u64, |a, b| a + b, || 0)
+            as usize;
+        self.prefix.memory_bytes() + chunks + self.tree.memory_bytes()
+    }
+
+    /// Validates all structural invariants (tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the first violation.
+    pub fn check_invariants(&self) {
+        self.tree.check_invariants();
+        self.prefix.check();
+        for (id, _) in self.prefix.to_vec() {
+            assert!(!self.params.is_head(id), "head {id} in weighted prefix");
+        }
+        let entries: Vec<WHeadTail> = self.tree.to_vec();
+        if let Some(first) = entries.first() {
+            if let Some(l) = self.prefix.last_id() {
+                assert!(l < first.head, "weighted prefix reaches past first head");
+            }
+        }
+        for (i, ht) in entries.iter().enumerate() {
+            assert!(self.params.is_head(ht.head), "non-head key {}", ht.head);
+            ht.tail.check();
+            let next = entries.get(i + 1).map(|n| n.head);
+            for (id, _) in ht.tail.to_vec() {
+                assert!(id > ht.head);
+                assert!(!self.params.is_head(id), "head {id} inside weighted tail");
+                if let Some(nx) = next {
+                    assert!(id < nx);
+                }
+            }
+        }
+    }
+
+    fn first_head(&self) -> Option<u32> {
+        self.tree.first().map(|ht| ht.head)
+    }
+}
+
+fn split_wtree(p: ChunkParams, tree: &WHeadTree, k: u32) -> (WHeadTree, Option<WElem>, WCTree) {
+    let Some((l, ht, r)) = tree.expose() else {
+        return (Tree::new(), None, WCTree::new(p));
+    };
+    let (head, weight, tail) = (ht.head, ht.weight, ht.tail.clone());
+    match k.cmp(&head) {
+        std::cmp::Ordering::Equal => (l, Some((head, weight)), WCTree::assemble(p, r, tail)),
+        std::cmp::Ordering::Less => {
+            let (ll, found, lr) = split_wtree(p, &l, k);
+            let right = Tree::join(lr.tree, WHeadTail { head, weight, tail }, r);
+            (ll, found, WCTree::assemble(p, right, lr.prefix))
+        }
+        std::cmp::Ordering::Greater => {
+            if tail.last_id().is_some_and(|last| k <= last) {
+                let (vl, found, vr) = tail.split3(k);
+                let left = Tree::join(l, WHeadTail { head, weight, tail: vl }, Tree::new());
+                (left, found, WCTree::assemble(p, r, vr))
+            } else {
+                let (rl, found, right) = split_wtree(p, &r, k);
+                let left = Tree::join(l, WHeadTail { head, weight, tail }, rl);
+                (left, found, right)
+            }
+        }
+    }
+}
+
+fn wjoin2(left: WCTree, right: WCTree) -> WCTree {
+    let p = left.params;
+    match left.tree.split_last() {
+        None => WCTree::assemble(p, right.tree, left.prefix.concat(&right.prefix)),
+        Some((rest, last)) => {
+            let tail = last.tail.concat(&right.prefix);
+            let tree = Tree::join(
+                rest,
+                WHeadTail {
+                    head: last.head,
+                    weight: last.weight,
+                    tail,
+                },
+                right.tree,
+            );
+            WCTree::assemble(p, tree, left.prefix)
+        }
+    }
+}
+
+fn wunion(a: &WCTree, b: &WCTree, f: impl Fn(Weight, Weight) -> Weight + Copy + Sync) -> WCTree {
+    let p = a.params;
+    if a.tree.is_empty() {
+        return wunion_bc(&a.prefix, b, |b_w, a_w| f(a_w, b_w));
+    }
+    if b.tree.is_empty() {
+        return wunion_bc(&b.prefix, a, f);
+    }
+    let (l2, ht2, r2) = b.tree.expose().expect("b.tree nonempty");
+    let (k2, w2, v2) = (ht2.head, ht2.weight, ht2.tail.clone());
+    let (b1, found, bright) = a.split(k2);
+    let (bt2, bp2) = (bright.tree, bright.prefix);
+    let m1 = bt2.first().map(|ht| ht.head);
+    let m2 = r2.first().map(|ht| ht.head);
+    let (vl, vr) = v2.split_lt(m1);
+    let (pl, pr) = bp2.split_lt(m2);
+    // Shared ids inside the straddling chunks combine as (a, b).
+    let new_tail = pl.union(&vl, f);
+    let weight = match found {
+        Some((_, aw)) => f(aw, w2),
+        None => w2,
+    };
+    let cl = wunion(&b1, &WCTree::assemble(p, l2, b.prefix.clone()), f);
+    let cr = wunion(
+        &WCTree::assemble(p, bt2, pr),
+        &WCTree::assemble(p, r2, vr),
+        f,
+    );
+    let tail = new_tail.concat(&cr.prefix);
+    let tree = Tree::join(
+        cl.tree,
+        WHeadTail {
+            head: k2,
+            weight,
+            tail,
+        },
+        cr.tree,
+    );
+    WCTree::assemble(p, tree, cl.prefix)
+}
+
+/// Merges a prefix-only weighted C-tree into `c`; `f(c_weight,
+/// prefix_weight)` combines shared ids.
+fn wunion_bc(p1: &WChunk, c: &WCTree, f: impl Fn(Weight, Weight) -> Weight + Copy + Sync) -> WCTree {
+    let p = c.params;
+    if p1.is_empty() {
+        return c.clone();
+    }
+    let Some(first_head) = c.first_head() else {
+        return WCTree::assemble(p, Tree::new(), c.prefix.union(p1, f));
+    };
+    let (pl, pr) = p1.split_lt(Some(first_head));
+    let new_prefix = c.prefix.union(&pl, f);
+    if pr.is_empty() {
+        return WCTree::assemble(p, c.tree.clone(), new_prefix);
+    }
+    // Group the leftover pairs by predecessor head and MultiInsert.
+    let mut groups: Vec<WHeadTail> = Vec::new();
+    let mut run: Vec<WElem> = Vec::new();
+    let mut cur: Option<u32> = None;
+    for (id, w) in pr.to_vec() {
+        let h = c
+            .tree
+            .find_le(&id)
+            .expect("pair below all heads in wunion_bc")
+            .head;
+        if Some(h) != cur {
+            if let Some(head) = cur {
+                groups.push(WHeadTail {
+                    head,
+                    weight: 0,
+                    tail: WChunk::from_sorted(&run),
+                });
+                run.clear();
+            }
+            cur = Some(h);
+        }
+        run.push((id, w));
+    }
+    if let Some(head) = cur {
+        groups.push(WHeadTail {
+            head,
+            weight: 0,
+            tail: WChunk::from_sorted(&run),
+        });
+    }
+    let tree = c.tree.multi_insert(groups, |old, new| WHeadTail {
+        head: old.head,
+        weight: old.weight,
+        tail: old.tail.union(&new.tail, f),
+    });
+    WCTree::assemble(p, tree, new_prefix)
+}
+
+fn wdifference(a: &WCTree, ids: &crate::CTree<crate::DeltaCodec>) -> WCTree {
+    // Head stability: an id is a head in the weighted tree iff it is a
+    // head in the id C-tree, so the same recursive decomposition
+    // applies. For simplicity and because deletions carry no weights,
+    // we route on the id tree's structure via its sorted id runs.
+    let p = a.params;
+    if a.is_empty() || ids.is_empty() {
+        return a.clone();
+    }
+    // Expose the id-tree through its split interface indirectly: take
+    // the ids in sorted order and split them into head ids (which must
+    // be deleted from the head tree) and non-head ids (deleted from
+    // chunks). Work is O(|ids| log n + moved chunks), the MultiDelete
+    // bound with b-factor constants.
+    let all_ids = ids.to_vec();
+    let (head_ids, chunk_ids): (Vec<u32>, Vec<u32>) =
+        all_ids.into_iter().partition(|&id| p.is_head(id));
+
+    // 1. Remove non-head ids from prefix and tails.
+    let remove_chunk = crate::Chunk::<crate::DeltaCodec>::from_sorted(&chunk_ids);
+    let mut out = WCTree::assemble(
+        p,
+        a.tree.clone(),
+        a.prefix.difference_ids(&remove_chunk),
+    );
+    if !chunk_ids.is_empty() {
+        if let Some(first_head) = out.first_head() {
+            let (_, beyond) = remove_chunk.split_lt(Some(first_head));
+            if !beyond.is_empty() {
+                let mut groups: Vec<WHeadTail> = Vec::new();
+                let mut run: Vec<u32> = Vec::new();
+                let mut cur: Option<u32> = None;
+                let flush = |head: Option<u32>, run: &mut Vec<u32>, groups: &mut Vec<WHeadTail>| {
+                    if let Some(head) = head {
+                        groups.push(WHeadTail {
+                            head,
+                            weight: 0,
+                            tail: wchunk_of_ids(&crate::Chunk::from_sorted(run)),
+                        });
+                        run.clear();
+                    }
+                };
+                for id in beyond.to_vec() {
+                    let h = out.tree.find_le(&id).expect("id beyond first head").head;
+                    if Some(h) != cur {
+                        flush(cur, &mut run, &mut groups);
+                        cur = Some(h);
+                    }
+                    run.push(id);
+                }
+                flush(cur, &mut run, &mut groups);
+                let tree = out.tree.multi_insert(groups, |old, new| WHeadTail {
+                    head: old.head,
+                    weight: old.weight,
+                    tail: old.tail.difference_ids(&id_chunk_of(&new.tail)),
+                });
+                out = WCTree::assemble(p, tree, out.prefix);
+            }
+        }
+    }
+
+    // 2. Remove head ids: split each out of the tree; its tail merges
+    //    back via join2 (ids deleted one head at a time; head deletions
+    //    are a 1/b fraction of the batch in expectation).
+    for hid in head_ids {
+        let (l, _, r) = out.split(hid);
+        out = wjoin2(l, r);
+    }
+    out
+}
+
+/// Lifts an id chunk into a weighted chunk with zero weights (carrier
+/// for deletion batches inside the head tree's MultiInsert).
+fn wchunk_of_ids(ids: &crate::Chunk<crate::DeltaCodec>) -> WChunk {
+    let pairs: Vec<WElem> = ids.to_vec().into_iter().map(|id| (id, 0)).collect();
+    WChunk::from_sorted(&pairs)
+}
+
+/// Extracts the ids of a weighted chunk.
+fn id_chunk_of(w: &WChunk) -> crate::Chunk<crate::DeltaCodec> {
+    let ids: Vec<u32> = w.to_vec().into_iter().map(|(id, _)| id).collect();
+    crate::Chunk::from_sorted(&ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn wt(pairs: &[(u32, u32)], b: u32) -> WCTree {
+        WCTree::build(pairs.to_vec(), ChunkParams::with_b(b), |_, new| new)
+    }
+
+    #[test]
+    fn wchunk_roundtrip() {
+        let pairs: Vec<WElem> = (0..100).map(|i| (i * 3, i * 7 + 1)).collect();
+        let c = WChunk::from_sorted(&pairs);
+        assert_eq!(c.to_vec(), pairs);
+        assert_eq!(c.first_id(), Some(0));
+        assert_eq!(c.last_id(), Some(297));
+        c.check();
+    }
+
+    #[test]
+    fn wchunk_union_combines() {
+        let a = WChunk::from_sorted(&[(1, 10), (3, 30)]);
+        let b = WChunk::from_sorted(&[(2, 20), (3, 5)]);
+        let u = a.union(&b, |x, y| x + y);
+        assert_eq!(u.to_vec(), vec![(1, 10), (2, 20), (3, 35)]);
+    }
+
+    #[test]
+    fn build_find_roundtrip_various_b() {
+        let pairs: Vec<WElem> = (0..800).map(|i| (i * 2, i + 1)).collect();
+        for b in [1u32, 4, 64, 1 << 16] {
+            let t = WCTree::from_sorted(&pairs, ChunkParams::with_b(b));
+            assert_eq!(t.to_vec(), pairs, "b={b}");
+            assert_eq!(t.len(), pairs.len());
+            assert_eq!(t.get(10), Some(6));
+            assert_eq!(t.get(11), None);
+            t.check_invariants();
+        }
+    }
+
+    #[test]
+    fn union_matches_map_oracle() {
+        for b in [2u32, 16, 256] {
+            let xs: Vec<WElem> = (0..500).step_by(2).map(|i| (i, i + 1)).collect();
+            let ys: Vec<WElem> = (0..500).step_by(3).map(|i| (i, 1000 + i)).collect();
+            let u = wt(&xs, b).union(&wt(&ys, b), |a, c| a + c);
+            let mut oracle: BTreeMap<u32, u32> = xs.iter().copied().collect();
+            for &(id, w) in &ys {
+                oracle
+                    .entry(id)
+                    .and_modify(|cur| *cur += w)
+                    .or_insert(w);
+            }
+            assert_eq!(
+                u.to_vec(),
+                oracle.into_iter().collect::<Vec<_>>(),
+                "b={b}"
+            );
+            u.check_invariants();
+        }
+    }
+
+    #[test]
+    fn difference_removes_heads_and_nonheads() {
+        for b in [2u32, 16, 256] {
+            let p = ChunkParams::with_b(b);
+            let pairs: Vec<WElem> = (0..600).map(|i| (i, i * 2)).collect();
+            let t = WCTree::from_sorted(&pairs, p);
+            let kill: Vec<u32> = (0..600).step_by(5).collect();
+            let d = t.difference(&crate::CTree::build(kill.clone(), p));
+            let ks: std::collections::BTreeSet<u32> = kill.into_iter().collect();
+            let expect: Vec<WElem> =
+                pairs.iter().copied().filter(|(id, _)| !ks.contains(id)).collect();
+            assert_eq!(d.to_vec(), expect, "b={b}");
+            d.check_invariants();
+        }
+    }
+
+    #[test]
+    fn multi_insert_then_delete_roundtrip() {
+        let p = ChunkParams::with_b(8);
+        let t = WCTree::from_sorted(&[(1, 1), (5, 5), (9, 9)], p);
+        let t2 = t.multi_insert(vec![(3, 3), (5, 50)], |old, new| old + new);
+        assert_eq!(t2.get(5), Some(55));
+        assert_eq!(t2.get(3), Some(3));
+        let t3 = t2.multi_delete(vec![3, 5]);
+        assert_eq!(t3.to_vec(), vec![(1, 1), (9, 9)]);
+        t3.check_invariants();
+    }
+
+    #[test]
+    fn split_partitions_pairs() {
+        let pairs: Vec<WElem> = (0..200).map(|i| (i, i)).collect();
+        let t = WCTree::from_sorted(&pairs, ChunkParams::with_b(8));
+        let (lo, found, hi) = t.split(100);
+        assert_eq!(found, Some((100, 100)));
+        assert_eq!(lo.len(), 100);
+        assert_eq!(hi.len(), 99);
+        lo.check_invariants();
+        hi.check_invariants();
+    }
+
+    #[test]
+    fn persistence_of_weighted_updates() {
+        let t = wt(&[(1, 1), (2, 2)], 4);
+        let snapshot = t.clone();
+        let _t2 = t.multi_insert(vec![(3, 3)], |_, n| n);
+        assert_eq!(snapshot.to_vec(), vec![(1, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn compression_is_compact_for_small_weights() {
+        let pairs: Vec<WElem> = (0..10_000).map(|i| (i, 1)).collect();
+        let t = WCTree::from_sorted(&pairs, ChunkParams::with_b(256));
+        // ~1 byte gap + 1 byte weight per pair, plus head nodes.
+        assert!(
+            t.memory_bytes() < pairs.len() * 4,
+            "memory {} too large",
+            t.memory_bytes()
+        );
+    }
+}

@@ -1,0 +1,192 @@
+//! Byte-code compression for sorted integer sequences.
+//!
+//! C-trees exploit that each chunk stores a *sorted* set of integers
+//! (§3.2, "Integer C-trees"): a chunk `{I1, …, Id}` is stored as the
+//! differences `{I1, I2−I1, …, Id−I(d−1)}`, each encoded with a variable
+//! length byte-code [Witten–Moffat–Bell; Ligra+]. Byte-codes decode fast
+//! while capturing most of the savings of shorter codes, which is the
+//! trade-off the paper makes.
+//!
+//! This crate provides the raw codec; the chunk structure that carries
+//! cached `first`/`last`/`len` headers lives in the `ctree` crate.
+//!
+//! # Example
+//!
+//! ```
+//! let xs = [3u32, 7, 8, 100, 1000];
+//! let bytes = encoder::encode_sorted(&xs);
+//! assert_eq!(encoder::decode_sorted(&bytes, xs.len()), xs);
+//! ```
+
+mod varint;
+
+pub use varint::{decode_u32, decode_u64, encode_u32, encode_u64, encoded_len_u32};
+
+/// Difference-encodes a strictly increasing slice of `u32` into a byte
+/// buffer: the first value verbatim (varint), then each gap.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if `xs` is not strictly increasing.
+pub fn encode_sorted(xs: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(xs.len() + 4);
+    encode_sorted_into(xs, &mut out);
+    out
+}
+
+/// Like [`encode_sorted`] but appends to an existing buffer, avoiding
+/// an allocation when packing many chunks.
+pub fn encode_sorted_into(xs: &[u32], out: &mut Vec<u8>) {
+    let mut prev: Option<u32> = None;
+    for &x in xs {
+        match prev {
+            None => encode_u32(x, out),
+            Some(p) => {
+                debug_assert!(x > p, "input not strictly increasing: {p} then {x}");
+                encode_u32(x - p, out);
+            }
+        }
+        prev = Some(x);
+    }
+}
+
+/// Decodes `count` difference-encoded values from `bytes`.
+///
+/// # Panics
+///
+/// Panics if `bytes` is truncated.
+pub fn decode_sorted(bytes: &[u8], count: usize) -> Vec<u32> {
+    let mut out = Vec::with_capacity(count);
+    let mut it = SortedDecoder::new(bytes, count);
+    while let Some(x) = it.next() {
+        out.push(x);
+    }
+    out
+}
+
+/// Streaming decoder over a difference-encoded buffer.
+///
+/// Decoding is sequential within a chunk; chunks are short
+/// (`O(b log n)` w.h.p., Lemma 3.1) so this does not affect the depth of
+/// parallel tree methods.
+#[derive(Debug, Clone)]
+pub struct SortedDecoder<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    remaining: usize,
+    prev: Option<u32>,
+}
+
+impl<'a> SortedDecoder<'a> {
+    /// Starts decoding `count` values from `bytes`.
+    pub fn new(bytes: &'a [u8], count: usize) -> Self {
+        Self {
+            bytes,
+            pos: 0,
+            remaining: count,
+            prev: None,
+        }
+    }
+}
+
+impl Iterator for SortedDecoder<'_> {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let (delta, used) = decode_u32(&self.bytes[self.pos..]);
+        self.pos += used;
+        let v = match self.prev {
+            None => delta,
+            Some(p) => p + delta,
+        };
+        self.prev = Some(v);
+        Some(v)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for SortedDecoder<'_> {}
+
+/// Number of bytes [`encode_sorted`] would produce, without allocating.
+pub fn encoded_size(xs: &[u32]) -> usize {
+    let mut total = 0usize;
+    let mut prev: Option<u32> = None;
+    for &x in xs {
+        total += encoded_len_u32(match prev {
+            None => x,
+            Some(p) => x - p,
+        });
+        prev = Some(x);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_roundtrip() {
+        let bytes = encode_sorted(&[]);
+        assert!(bytes.is_empty());
+        assert!(decode_sorted(&bytes, 0).is_empty());
+    }
+
+    #[test]
+    fn single_value_roundtrip() {
+        for v in [0u32, 1, 127, 128, u32::MAX] {
+            let bytes = encode_sorted(&[v]);
+            assert_eq!(decode_sorted(&bytes, 1), vec![v]);
+        }
+    }
+
+    #[test]
+    fn dense_run_compresses_to_one_byte_per_gap() {
+        let xs: Vec<u32> = (1000..2000).collect();
+        let bytes = encode_sorted(&xs);
+        // first value takes 2 bytes, every unit gap takes 1.
+        assert_eq!(bytes.len(), 2 + (xs.len() - 1));
+    }
+
+    #[test]
+    fn encoded_size_matches_actual() {
+        let xs = [5u32, 6, 300, 70_000, 70_001, 1 << 30];
+        assert_eq!(encoded_size(&xs), encode_sorted(&xs).len());
+    }
+
+    #[test]
+    fn decoder_is_exact_size() {
+        let xs = [1u32, 5, 9];
+        let bytes = encode_sorted(&xs);
+        let it = SortedDecoder::new(&bytes, 3);
+        assert_eq!(it.len(), 3);
+        assert_eq!(it.collect::<Vec<_>>(), xs);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_random_sorted_sets(mut xs in proptest::collection::vec(0u32..=u32::MAX, 0..300)) {
+            xs.sort_unstable();
+            xs.dedup();
+            let bytes = encode_sorted(&xs);
+            prop_assert_eq!(decode_sorted(&bytes, xs.len()), xs);
+        }
+
+        #[test]
+        fn compressed_never_larger_than_5x_count(mut xs in proptest::collection::vec(0u32..=u32::MAX, 1..300)) {
+            xs.sort_unstable();
+            xs.dedup();
+            let bytes = encode_sorted(&xs);
+            prop_assert!(bytes.len() <= 5 * xs.len());
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! LEB128-style variable-length byte codes.
+//!
+//! Each byte carries 7 payload bits; the high bit marks continuation.
+//! Small gaps — the common case after difference encoding a real-world
+//! adjacency list — take a single byte.
+
+/// Appends the byte-code of `v` to `out`.
+///
+/// ```
+/// let mut buf = Vec::new();
+/// encoder::encode_u32(300, &mut buf);
+/// assert_eq!(encoder::decode_u32(&buf), (300, 2));
+/// ```
+#[inline]
+pub fn encode_u32(mut v: u32, out: &mut Vec<u8>) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends the byte-code of a 64-bit value.
+#[inline]
+pub fn encode_u64(mut v: u64, out: &mut Vec<u8>) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decodes one value from the front of `bytes`; returns `(value,
+/// bytes_consumed)`.
+///
+/// # Panics
+///
+/// Panics if `bytes` is empty or the code is truncated.
+#[inline]
+pub fn decode_u32(bytes: &[u8]) -> (u32, usize) {
+    let mut v = 0u32;
+    let mut shift = 0u32;
+    for (i, &byte) in bytes.iter().enumerate() {
+        v |= u32::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return (v, i + 1);
+        }
+        shift += 7;
+    }
+    panic!("truncated varint");
+}
+
+/// Decodes one 64-bit value from the front of `bytes`.
+///
+/// # Panics
+///
+/// Panics if `bytes` is empty or the code is truncated.
+#[inline]
+pub fn decode_u64(bytes: &[u8]) -> (u64, usize) {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    for (i, &byte) in bytes.iter().enumerate() {
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return (v, i + 1);
+        }
+        shift += 7;
+    }
+    panic!("truncated varint");
+}
+
+/// Number of bytes [`encode_u32`] uses for `v`.
+#[inline]
+pub fn encoded_len_u32(v: u32) -> usize {
+    match v {
+        0..=0x7f => 1,
+        0x80..=0x3fff => 2,
+        0x4000..=0x1f_ffff => 3,
+        0x20_0000..=0xfff_ffff => 4,
+        _ => 5,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn boundaries_u32() {
+        for v in [0u32, 0x7f, 0x80, 0x3fff, 0x4000, 0x1f_ffff, 0x20_0000, u32::MAX] {
+            let mut buf = Vec::new();
+            encode_u32(v, &mut buf);
+            assert_eq!(buf.len(), encoded_len_u32(v), "len mismatch for {v}");
+            assert_eq!(decode_u32(&buf), (v, buf.len()));
+        }
+    }
+
+    #[test]
+    fn boundaries_u64() {
+        for v in [0u64, 127, 128, u64::from(u32::MAX), u64::MAX] {
+            let mut buf = Vec::new();
+            encode_u64(v, &mut buf);
+            assert_eq!(decode_u64(&buf), (v, buf.len()));
+        }
+    }
+
+    #[test]
+    fn back_to_back_codes() {
+        let mut buf = Vec::new();
+        encode_u32(1, &mut buf);
+        encode_u32(1_000_000, &mut buf);
+        let (a, used_a) = decode_u32(&buf);
+        let (b, used_b) = decode_u32(&buf[used_a..]);
+        assert_eq!((a, b), (1, 1_000_000));
+        assert_eq!(used_a + used_b, buf.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "truncated")]
+    fn truncated_code_panics() {
+        decode_u32(&[0x80]);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_u32(v in any::<u32>()) {
+            let mut buf = Vec::new();
+            encode_u32(v, &mut buf);
+            prop_assert_eq!(decode_u32(&buf), (v, buf.len()));
+        }
+
+        #[test]
+        fn roundtrip_u64(v in any::<u64>()) {
+            let mut buf = Vec::new();
+            encode_u64(v, &mut buf);
+            prop_assert_eq!(decode_u64(&buf), (v, buf.len()));
+        }
+    }
+}

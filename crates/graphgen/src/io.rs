@@ -1,0 +1,167 @@
+//! Plain-text adjacency-graph I/O.
+//!
+//! The format is the one Ligra/Problem Based Benchmark Suite use:
+//!
+//! ```text
+//! AdjacencyGraph
+//! <n>
+//! <m>
+//! <offset 0>
+//! ...
+//! <offset n-1>
+//! <edge 0>
+//! ...
+//! <edge m-1>
+//! ```
+//!
+//! Provided so the examples can persist and reload generated graphs;
+//! the benchmarks generate everything in memory.
+
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// In-memory adjacency-graph file content.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AdjacencyGraph {
+    /// Per-vertex offsets into `edges` (length `n`).
+    pub offsets: Vec<u64>,
+    /// Flattened destination lists (length `m`).
+    pub edges: Vec<u32>,
+}
+
+impl AdjacencyGraph {
+    /// Converts a sorted, deduplicated directed edge list over the id
+    /// space `0..n` into CSR-style offsets.
+    pub fn from_edge_list(n: u32, sorted_edges: &[(u32, u32)]) -> Self {
+        debug_assert!(sorted_edges.windows(2).all(|w| w[0] <= w[1]));
+        let mut offsets = vec![0u64; n as usize];
+        for &(u, _) in sorted_edges {
+            offsets[u as usize] += 1;
+        }
+        let mut acc = 0u64;
+        for o in offsets.iter_mut() {
+            let c = *o;
+            *o = acc;
+            acc += c;
+        }
+        AdjacencyGraph {
+            offsets,
+            edges: sorted_edges.iter().map(|&(_, v)| v).collect(),
+        }
+    }
+
+    /// Expands back into a directed edge list.
+    pub fn to_edge_list(&self) -> Vec<(u32, u32)> {
+        let n = self.offsets.len();
+        let mut out = Vec::with_capacity(self.edges.len());
+        for u in 0..n {
+            let start = self.offsets[u] as usize;
+            let end = if u + 1 < n {
+                self.offsets[u + 1] as usize
+            } else {
+                self.edges.len()
+            };
+            for &v in &self.edges[start..end] {
+                out.push((u as u32, v));
+            }
+        }
+        out
+    }
+
+    /// Writes in the AdjacencyGraph text format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from the filesystem.
+    pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
+        let f = std::fs::File::create(path)?;
+        let mut w = BufWriter::new(f);
+        writeln!(w, "AdjacencyGraph")?;
+        writeln!(w, "{}", self.offsets.len())?;
+        writeln!(w, "{}", self.edges.len())?;
+        for o in &self.offsets {
+            writeln!(w, "{o}")?;
+        }
+        for e in &self.edges {
+            writeln!(w, "{e}")?;
+        }
+        w.flush()
+    }
+
+    /// Reads the AdjacencyGraph text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on malformed headers or counts, and
+    /// propagates I/O failures.
+    pub fn read_from(path: &Path) -> std::io::Result<Self> {
+        let f = std::fs::File::open(path)?;
+        let mut lines = std::io::BufReader::new(f).lines();
+        let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_owned());
+        let header = lines.next().ok_or_else(|| bad("missing header"))??;
+        if header.trim() != "AdjacencyGraph" {
+            return Err(bad("not an AdjacencyGraph file"));
+        }
+        let mut next_num = |what: &str| -> std::io::Result<u64> {
+            let line = lines
+                .next()
+                .ok_or_else(|| bad(&format!("missing {what}")))??;
+            line.trim()
+                .parse::<u64>()
+                .map_err(|_| bad(&format!("bad {what}: {line}")))
+        };
+        let n = next_num("vertex count")? as usize;
+        let m = next_num("edge count")? as usize;
+        let mut offsets = Vec::with_capacity(n);
+        for _ in 0..n {
+            offsets.push(next_num("offset")?);
+        }
+        let mut edges = Vec::with_capacity(m);
+        for _ in 0..m {
+            edges.push(next_num("edge")? as u32);
+        }
+        Ok(AdjacencyGraph { offsets, edges })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AdjacencyGraph {
+        AdjacencyGraph::from_edge_list(4, &[(0, 1), (0, 2), (1, 0), (3, 2)])
+    }
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let g = sample();
+        assert_eq!(g.offsets, vec![0, 2, 3, 3]);
+        assert_eq!(g.to_edge_list(), vec![(0, 1), (0, 2), (1, 0), (3, 2)]);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = sample();
+        let dir = std::env::temp_dir();
+        let path = dir.join("aspen_test_adjgraph.txt");
+        g.write_to(&path).expect("write");
+        let back = AdjacencyGraph::read_from(&path).expect("read");
+        assert_eq!(g, back);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("aspen_test_bad.txt");
+        std::fs::write(&path, "NotAGraph\n1\n").expect("write");
+        assert!(AdjacencyGraph::read_from(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = AdjacencyGraph::from_edge_list(0, &[]);
+        assert!(g.to_edge_list().is_empty());
+    }
+}

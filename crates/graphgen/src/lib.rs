@@ -1,0 +1,20 @@
+//! Synthetic graph and update-stream generators.
+//!
+//! The paper evaluates on six real-world graphs (Table 1) that are
+//! multi-gigabyte downloads; this reproduction substitutes rMAT graphs
+//! with matched average degree ([`Rmat`]) — rMAT's heavy-tailed degree
+//! distribution is the standard proxy for such social/web networks —
+//! plus a uniform Erdős–Rényi generator ([`er_edges`]) for ablations.
+//! [`build_update_stream`] reproduces the §7.3 insert/delete stream
+//! methodology, and [`AdjacencyGraph`] reads/writes the Ligra-style
+//! text format.
+
+mod er;
+mod io;
+mod rmat;
+mod stream;
+
+pub use er::{er_edges, er_symmetric_edges};
+pub use io::AdjacencyGraph;
+pub use rmat::{Rmat, RmatParams};
+pub use stream::{build_update_stream, StreamSetup, Update};

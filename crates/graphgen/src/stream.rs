@@ -1,0 +1,170 @@
+//! Update-stream construction following the paper's methodology.
+//!
+//! §7.3: *"we generate an update stream by randomly sampling 2 million
+//! edges from the input graph to use as updates. We sub-sample 90% of
+//! the sample to use as edge insertions, and immediately delete them
+//! from the input graph. The remaining 10% are kept in the graph, as we
+//! will delete them over the course of the update stream. The update
+//! stream is a random permutation of these insertions and deletions."*
+//!
+//! [`build_update_stream`] reproduces that recipe over any edge list
+//! (scaled down to the sample size the caller asks for).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One element of an update stream: an undirected edge to insert or
+/// delete.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Update {
+    /// Insert the undirected edge `(u, v)`.
+    Insert(u32, u32),
+    /// Delete the undirected edge `(u, v)`.
+    Delete(u32, u32),
+}
+
+impl Update {
+    /// The endpoints regardless of direction.
+    pub fn endpoints(&self) -> (u32, u32) {
+        match *self {
+            Update::Insert(u, v) | Update::Delete(u, v) => (u, v),
+        }
+    }
+}
+
+/// The §7.3 experiment setup: a starting graph (with the insertion
+/// sample removed) and the shuffled update stream to replay onto it.
+#[derive(Clone, Debug)]
+pub struct StreamSetup {
+    /// Symmetric directed edges of the graph to load before streaming.
+    pub initial_edges: Vec<(u32, u32)>,
+    /// The shuffled insert/delete stream (undirected updates).
+    pub updates: Vec<Update>,
+}
+
+/// Builds a §7.3-style workload from a symmetric directed edge list.
+///
+/// `sample` undirected edges are drawn from the graph: 90% become
+/// insertions (and are removed from the initial graph), 10% become
+/// deletions (and stay in). The combined stream is randomly permuted.
+///
+/// # Panics
+///
+/// Panics if the graph holds fewer than `sample` undirected edges.
+pub fn build_update_stream(
+    symmetric_edges: &[(u32, u32)],
+    sample: usize,
+    seed: u64,
+) -> StreamSetup {
+    // Undirected representatives: keep (u, v) with u < v.
+    let mut undirected: Vec<(u32, u32)> = symmetric_edges
+        .iter()
+        .copied()
+        .filter(|&(u, v)| u < v)
+        .collect();
+    assert!(
+        undirected.len() >= sample,
+        "graph has {} undirected edges, need {sample}",
+        undirected.len()
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    undirected.shuffle(&mut rng);
+    let sampled = &undirected[..sample];
+    let n_inserts = sample * 9 / 10;
+    let (to_insert, to_delete) = sampled.split_at(n_inserts);
+
+    // Insertion sample leaves the initial graph; deletion sample stays.
+    let removed: std::collections::HashSet<(u32, u32)> = to_insert.iter().copied().collect();
+    let initial_edges: Vec<(u32, u32)> = symmetric_edges
+        .iter()
+        .copied()
+        .filter(|&(u, v)| {
+            let key = if u < v { (u, v) } else { (v, u) };
+            !removed.contains(&key)
+        })
+        .collect();
+
+    let mut updates: Vec<Update> = to_insert
+        .iter()
+        .map(|&(u, v)| Update::Insert(u, v))
+        .chain(to_delete.iter().map(|&(u, v)| Update::Delete(u, v)))
+        .collect();
+    updates.shuffle(&mut rng);
+    StreamSetup {
+        initial_edges,
+        updates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rmat::Rmat;
+
+    fn setup() -> StreamSetup {
+        let edges = Rmat::new(10, 11).symmetric_graph_edges(20_000);
+        build_update_stream(&edges, 1000, 5)
+    }
+
+    #[test]
+    fn ninety_ten_split() {
+        let s = setup();
+        let inserts = s
+            .updates
+            .iter()
+            .filter(|u| matches!(u, Update::Insert(..)))
+            .count();
+        let deletes = s.updates.len() - inserts;
+        assert_eq!(inserts, 900);
+        assert_eq!(deletes, 100);
+    }
+
+    #[test]
+    fn insertions_absent_deletions_present_initially() {
+        let s = setup();
+        let initial: std::collections::HashSet<(u32, u32)> =
+            s.initial_edges.iter().copied().collect();
+        for u in &s.updates {
+            let (a, b) = u.endpoints();
+            match u {
+                Update::Insert(..) => {
+                    assert!(!initial.contains(&(a, b)), "insert target already present");
+                    assert!(!initial.contains(&(b, a)));
+                }
+                Update::Delete(..) => {
+                    assert!(initial.contains(&(a, b)), "delete target missing");
+                    assert!(initial.contains(&(b, a)), "initial graph asymmetric");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stream_is_permuted_not_grouped() {
+        let s = setup();
+        // A random permutation of 900 inserts + 100 deletes should not
+        // keep all deletes at the end.
+        let first_delete = s
+            .updates
+            .iter()
+            .position(|u| matches!(u, Update::Delete(..)))
+            .unwrap();
+        assert!(first_delete < 900, "deletes clustered at the end");
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let edges = Rmat::new(10, 11).symmetric_graph_edges(20_000);
+        let a = build_update_stream(&edges, 500, 7);
+        let b = build_update_stream(&edges, 500, 7);
+        assert_eq!(a.updates, b.updates);
+    }
+
+    #[test]
+    #[should_panic(expected = "undirected edges")]
+    fn rejects_oversized_sample() {
+        let edges = vec![(0u32, 1u32), (1, 0)];
+        let _ = build_update_stream(&edges, 10, 1);
+    }
+}

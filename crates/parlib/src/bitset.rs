@@ -1,0 +1,164 @@
+//! A lock-free concurrent bitset.
+//!
+//! Graph traversals (BFS, BC, MIS) need a "visited" flag per vertex that
+//! many threads race to set. `AtomicBitset` packs 64 flags per word and
+//! offers a `test_and_set` whose winner is unambiguous, which is exactly
+//! the compare-and-swap idiom Ligra-style frameworks use inside
+//! `edgeMap`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fixed-capacity bitset supporting concurrent reads and writes.
+#[derive(Debug)]
+pub struct AtomicBitset {
+    words: Vec<AtomicU64>,
+    len: usize,
+}
+
+impl AtomicBitset {
+    /// Creates a bitset with all `len` bits cleared.
+    ///
+    /// ```
+    /// let bs = parlib::AtomicBitset::new(100);
+    /// assert!(!bs.get(7));
+    /// ```
+    pub fn new(len: usize) -> Self {
+        let nwords = (len + 63) / 64;
+        let mut words = Vec::with_capacity(nwords);
+        words.resize_with(nwords, || AtomicU64::new(0));
+        Self { words, len }
+    }
+
+    /// Number of bits in the set.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bitset has zero capacity.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.words[i / 64].load(Ordering::Relaxed) >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets bit `i`; returns `true` iff this call changed it from 0 to 1
+    /// (i.e. the caller "won" the race).
+    ///
+    /// ```
+    /// let bs = parlib::AtomicBitset::new(8);
+    /// assert!(bs.test_and_set(3));
+    /// assert!(!bs.test_and_set(3));
+    /// assert!(bs.get(3));
+    /// ```
+    #[inline]
+    pub fn test_and_set(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let mask = 1u64 << (i % 64);
+        let prev = self.words[i / 64].fetch_or(mask, Ordering::AcqRel);
+        prev & mask == 0
+    }
+
+    /// Clears bit `i`.
+    #[inline]
+    pub fn clear(&self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let mask = !(1u64 << (i % 64));
+        self.words[i / 64].fetch_and(mask, Ordering::AcqRel);
+    }
+
+    /// Clears every bit (not atomic with respect to concurrent setters).
+    pub fn clear_all(&self) {
+        for w in &self.words {
+            w.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+            .sum()
+    }
+
+    /// Indices of all set bits in increasing order.
+    pub fn to_indices(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.count_ones());
+        for (wi, w) in self.words.iter().enumerate() {
+            let mut bits = w.load(Ordering::Relaxed);
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                out.push((wi * 64 + b) as u32);
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn new_is_all_clear() {
+        let bs = AtomicBitset::new(130);
+        assert_eq!(bs.count_ones(), 0);
+        assert_eq!(bs.len(), 130);
+        assert!(!bs.is_empty());
+    }
+
+    #[test]
+    fn set_get_clear_roundtrip() {
+        let bs = AtomicBitset::new(70);
+        assert!(bs.test_and_set(69));
+        assert!(bs.get(69));
+        bs.clear(69);
+        assert!(!bs.get(69));
+    }
+
+    #[test]
+    fn exactly_one_winner_per_bit_under_contention() {
+        let bs = AtomicBitset::new(256);
+        let wins: usize = (0..10_000)
+            .into_par_iter()
+            .map(|i| usize::from(bs.test_and_set(i % 256)))
+            .sum();
+        assert_eq!(wins, 256);
+        assert_eq!(bs.count_ones(), 256);
+    }
+
+    #[test]
+    fn to_indices_sorted() {
+        let bs = AtomicBitset::new(200);
+        for i in [5usize, 64, 65, 199, 0] {
+            bs.test_and_set(i);
+        }
+        assert_eq!(bs.to_indices(), vec![0, 5, 64, 65, 199]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        AtomicBitset::new(10).get(10);
+    }
+
+    #[test]
+    fn clear_all_resets() {
+        let bs = AtomicBitset::new(64);
+        for i in 0..64 {
+            bs.test_and_set(i);
+        }
+        bs.clear_all();
+        assert_eq!(bs.count_ones(), 0);
+    }
+}

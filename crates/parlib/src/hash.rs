@@ -1,0 +1,83 @@
+//! Deterministic 64-bit hashing.
+//!
+//! The paper assumes access to a family of uniformly random hash
+//! functions evaluable in `O(1)` (§2). We use the `splitmix64` finalizer,
+//! whose avalanche behaviour is well studied, seeded per use-site so that
+//! independent samplings (treap priorities vs. C-tree head selection) are
+//! uncorrelated.
+
+/// The `splitmix64` finalizing mixer.
+///
+/// Bijective on `u64`, with full avalanche: every input bit affects every
+/// output bit with probability ~1/2.
+///
+/// ```
+/// assert_ne!(parlib::mix64(1), parlib::mix64(2));
+/// assert_eq!(parlib::mix64(7), parlib::mix64(7));
+/// ```
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Hashes `x` with the default seed.
+///
+/// ```
+/// let h = parlib::hash64(42);
+/// assert_eq!(h, parlib::hash64(42));
+/// ```
+#[inline]
+pub fn hash64(x: u64) -> u64 {
+    mix64(x)
+}
+
+/// Hashes `x` under an independent function selected by `seed`.
+///
+/// Different seeds behave like independent draws from the hash family,
+/// which the C-tree analysis (Lemma 3.1) requires.
+#[inline]
+pub fn hash64_with_seed(x: u64, seed: u64) -> u64 {
+    mix64(x ^ mix64(seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn mix64_is_injective_on_sample() {
+        let outs: HashSet<u64> = (0..10_000u64).map(mix64).collect();
+        assert_eq!(outs.len(), 10_000);
+    }
+
+    #[test]
+    fn seeds_give_distinct_functions() {
+        let same = (0..1000u64)
+            .filter(|&x| hash64_with_seed(x, 1) == hash64_with_seed(x, 2))
+            .count();
+        assert!(same < 3, "seeded hashes nearly identical: {same}");
+    }
+
+    #[test]
+    fn head_probability_is_roughly_uniform() {
+        // Selecting elements with h(e) % b == 0 should pick ~n/b heads.
+        let b = 128u64;
+        let n = 100_000u64;
+        let heads = (0..n).filter(|&x| hash64(x) % b == 0).count();
+        let expected = (n / b) as f64;
+        let got = heads as f64;
+        assert!(
+            (got - expected).abs() < expected * 0.25,
+            "heads {got} far from expected {expected}"
+        );
+    }
+
+    #[test]
+    fn mix64_zero_is_not_zero() {
+        assert_ne!(mix64(0), 0);
+    }
+}

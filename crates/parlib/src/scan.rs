@@ -1,0 +1,218 @@
+//! Prefix sums and parallel packing.
+//!
+//! These are the `Scan` and `Filter` primitives of Appendix 10.1:
+//! `scan` is an exclusive prefix sum under an associative operator with
+//! `O(n)` work and `O(log n)` depth; `pack`/`filter_indices` compact the
+//! elements (or indices) satisfying a predicate, preserving order.
+
+use rayon::prelude::*;
+
+/// Minimum block size before switching to sequential execution.
+const GRAIN: usize = 4096;
+
+/// Exclusive prefix sum ("scan") under the associative operator `op`.
+///
+/// Returns `(prefix, total)` where `prefix[i] = id ⊕ a[0] ⊕ … ⊕ a[i-1]`
+/// and `total` is the sum of all elements.
+///
+/// Runs in `O(n)` work and `O(log n)` depth using a block-based two-pass
+/// algorithm.
+///
+/// ```
+/// let (p, t) = parlib::scan(&[2u32, 3, 5], 0, |a, b| a + b);
+/// assert_eq!(p, vec![0, 2, 5]);
+/// assert_eq!(t, 10);
+/// ```
+pub fn scan<T>(items: &[T], id: T, op: impl Fn(&T, &T) -> T + Sync) -> (Vec<T>, T)
+where
+    T: Clone + Send + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return (Vec::new(), id);
+    }
+    if n <= GRAIN {
+        let mut out = Vec::with_capacity(n);
+        let mut acc = id;
+        for x in items {
+            out.push(acc.clone());
+            acc = op(&acc, x);
+        }
+        return (out, acc);
+    }
+    let nblocks = (n + GRAIN - 1) / GRAIN;
+    // Pass 1: per-block totals.
+    let block_sums: Vec<T> = (0..nblocks)
+        .into_par_iter()
+        .map(|b| {
+            let lo = b * GRAIN;
+            let hi = (lo + GRAIN).min(n);
+            let mut acc = id.clone();
+            for x in &items[lo..hi] {
+                acc = op(&acc, x);
+            }
+            acc
+        })
+        .collect();
+    // Sequential scan over the (few) block totals.
+    let mut offsets = Vec::with_capacity(nblocks);
+    let mut acc = id.clone();
+    for s in &block_sums {
+        offsets.push(acc.clone());
+        acc = op(&acc, s);
+    }
+    let total = acc;
+    // Pass 2: re-scan each block with its offset.
+    let mut out: Vec<T> = vec![id; n];
+    out.par_chunks_mut(GRAIN)
+        .zip(offsets.into_par_iter())
+        .enumerate()
+        .for_each(|(b, (chunk, off))| {
+            let lo = b * GRAIN;
+            let hi = lo + chunk.len();
+            let mut acc = off;
+            for (slot, x) in chunk.iter_mut().zip(&items[lo..hi]) {
+                *slot = acc.clone();
+                acc = op(&acc, x);
+            }
+        });
+    (out, total)
+}
+
+/// Exclusive prefix sum over `usize` performed in place.
+///
+/// Returns the total. Used for offset computation when bucketing updates
+/// by source vertex.
+///
+/// ```
+/// let mut xs = vec![1usize, 2, 3];
+/// let total = parlib::scan_inplace(&mut xs);
+/// assert_eq!(xs, vec![0, 1, 3]);
+/// assert_eq!(total, 6);
+/// ```
+pub fn scan_inplace(items: &mut [usize]) -> usize {
+    let mut acc = 0usize;
+    for x in items.iter_mut() {
+        let v = *x;
+        *x = acc;
+        acc += v;
+    }
+    acc
+}
+
+/// Stable parallel filter: returns the elements of `items` satisfying
+/// `pred`, in their original order. `O(n)` work, `O(log n)` depth.
+///
+/// ```
+/// let evens = parlib::pack(&[1, 2, 3, 4, 5, 6], |&x| x % 2 == 0);
+/// assert_eq!(evens, vec![2, 4, 6]);
+/// ```
+pub fn pack<T>(items: &[T], pred: impl Fn(&T) -> bool + Sync) -> Vec<T>
+where
+    T: Clone + Send + Sync,
+{
+    if items.len() <= GRAIN {
+        return items.iter().filter(|x| pred(x)).cloned().collect();
+    }
+    items
+        .par_chunks(GRAIN)
+        .map(|chunk| chunk.iter().filter(|x| pred(x)).cloned().collect::<Vec<_>>())
+        .reduce(Vec::new, |mut a, mut b| {
+            a.append(&mut b);
+            a
+        })
+}
+
+/// Returns the indices `i` where `pred(&items[i])` holds, in increasing
+/// order. The index-returning variant of [`pack`].
+///
+/// ```
+/// let idx = parlib::filter_indices(&[10, 0, 20, 0], |&x| x > 0);
+/// assert_eq!(idx, vec![0, 2]);
+/// ```
+pub fn filter_indices<T>(items: &[T], pred: impl Fn(&T) -> bool + Sync) -> Vec<usize>
+where
+    T: Sync,
+{
+    if items.len() <= GRAIN {
+        return items
+            .iter()
+            .enumerate()
+            .filter(|(_, x)| pred(x))
+            .map(|(i, _)| i)
+            .collect();
+    }
+    items
+        .par_chunks(GRAIN)
+        .enumerate()
+        .map(|(b, chunk)| {
+            let base = b * GRAIN;
+            chunk
+                .iter()
+                .enumerate()
+                .filter(|(_, x)| pred(x))
+                .map(|(i, _)| base + i)
+                .collect::<Vec<_>>()
+        })
+        .reduce(Vec::new, |mut a, mut b| {
+            a.append(&mut b);
+            a
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_empty() {
+        let (p, t) = scan(&[] as &[u64], 0, |a, b| a + b);
+        assert!(p.is_empty());
+        assert_eq!(t, 0);
+    }
+
+    #[test]
+    fn scan_matches_sequential_for_large_input() {
+        let xs: Vec<u64> = (0..50_000).map(|i| (i * 7 + 3) % 101).collect();
+        let (p, t) = scan(&xs, 0, |a, b| a + b);
+        let mut acc = 0u64;
+        for (i, x) in xs.iter().enumerate() {
+            assert_eq!(p[i], acc);
+            acc += x;
+        }
+        assert_eq!(t, acc);
+    }
+
+    #[test]
+    fn scan_with_max_operator() {
+        let xs = vec![3u32, 1, 4, 1, 5];
+        let (p, t) = scan(&xs, 0, |a, b| *a.max(b));
+        assert_eq!(p, vec![0, 3, 3, 4, 4]);
+        assert_eq!(t, 5);
+    }
+
+    #[test]
+    fn pack_preserves_order_large() {
+        let xs: Vec<u32> = (0..30_000).collect();
+        let out = pack(&xs, |&x| x % 3 == 0);
+        let expect: Vec<u32> = xs.iter().copied().filter(|x| x % 3 == 0).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn filter_indices_all_and_none() {
+        let xs = vec![1, 2, 3];
+        assert_eq!(filter_indices(&xs, |_| true), vec![0, 1, 2]);
+        assert!(filter_indices(&xs, |_| false).is_empty());
+    }
+
+    #[test]
+    fn scan_inplace_matches_scan() {
+        let xs = vec![5usize, 0, 2, 9];
+        let mut ys = xs.clone();
+        let total = scan_inplace(&mut ys);
+        let (p, t) = scan(&xs, 0usize, |a, b| a + b);
+        assert_eq!(ys, p);
+        assert_eq!(total, t);
+    }
+}

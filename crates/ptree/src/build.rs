@@ -1,0 +1,143 @@
+//! Construction from sequences.
+//!
+//! `Build(S, f_V)` in the paper (§4, Appendix 10.3): sort, combine
+//! duplicates with `f_V`, then construct the balanced tree. The
+//! divide-and-conquer over joins costs `O(n)` work and `O(log² n)` depth
+//! once the input is sorted, and produces the canonical treap shape.
+
+use crate::node::{Augment, Entry};
+use crate::tree::{join_link, Tree};
+use crate::node::Link;
+use rayon::prelude::*;
+
+/// Subtree size below which construction runs sequentially.
+const SEQ_BUILD: usize = 2048;
+
+impl<E: Entry, A: Augment<E>> Tree<E, A> {
+    /// Builds a tree from entries already sorted by key with no
+    /// duplicate keys.
+    ///
+    /// `O(n)` work, `O(log² n)` depth.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds assert sortedness and uniqueness.
+    ///
+    /// ```
+    /// let t: ptree::Tree<u32> = ptree::Tree::from_sorted(&[1, 2, 3]);
+    /// assert_eq!(t.len(), 3);
+    /// ```
+    pub fn from_sorted(entries: &[E]) -> Self {
+        debug_assert!(entries.windows(2).all(|w| w[0].key() < w[1].key()));
+        Tree::from_link(build_link(entries))
+    }
+
+    /// Builds a tree from an arbitrary sequence of entries, combining
+    /// entries with equal keys via `combine(old, new)` where `new` is the
+    /// later occurrence in `entries`.
+    ///
+    /// This is the paper's `Build(S, f_V)`: `O(n log n)` work dominated
+    /// by the sort.
+    ///
+    /// ```
+    /// let t: ptree::Tree<(u32, u32)> =
+    ///     ptree::Tree::build(vec![(1, 10), (2, 5), (1, 7)], |a, b| (a.0, a.1 + b.1));
+    /// assert_eq!(t.find(&1), Some(&(1, 17)));
+    /// ```
+    pub fn build(mut entries: Vec<E>, combine: impl Fn(&E, E) -> E + Sync) -> Self {
+        if entries.is_empty() {
+            return Tree::new();
+        }
+        //
+
+        // Stable sort keeps equal keys in input order so `combine` folds
+        // left-to-right over occurrences.
+        entries.par_sort_by(|a, b| a.key().cmp(b.key()));
+        let mut merged: Vec<E> = Vec::with_capacity(entries.len());
+        for e in entries {
+            match merged.last_mut() {
+                Some(last) if last.key() == e.key() => {
+                    *last = combine(last, e);
+                }
+                _ => merged.push(e),
+            }
+        }
+        Tree::from_sorted(&merged)
+    }
+}
+
+fn build_link<E: Entry, A: Augment<E>>(entries: &[E]) -> Link<E, A> {
+    if entries.is_empty() {
+        return None;
+    }
+    if entries.len() <= SEQ_BUILD {
+        return build_seq(entries);
+    }
+    let mid = entries.len() / 2;
+    let (left_part, rest) = entries.split_at(mid);
+    let (mid_entry, right_part) = rest.split_first().expect("rest nonempty");
+    let (l, r) = rayon::join(|| build_link(left_part), || build_link(right_part));
+    join_link(l, mid_entry.clone(), r)
+}
+
+fn build_seq<E: Entry, A: Augment<E>>(entries: &[E]) -> Link<E, A> {
+    if entries.is_empty() {
+        return None;
+    }
+    let mid = entries.len() / 2;
+    let l = build_seq(&entries[..mid]);
+    let r = build_seq(&entries[mid + 1..]);
+    join_link(l, entries[mid].clone(), r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_sorted_roundtrip() {
+        let xs: Vec<u32> = (0..1000).map(|i| i * 2).collect();
+        let t: Tree<u32> = Tree::from_sorted(&xs);
+        assert_eq!(t.to_vec(), xs);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn from_sorted_empty_and_single() {
+        assert!(Tree::<u32>::from_sorted(&[]).is_empty());
+        assert_eq!(Tree::<u32>::from_sorted(&[7]).to_vec(), vec![7]);
+    }
+
+    #[test]
+    fn build_sorts_and_dedups() {
+        let t: Tree<u32> = Tree::build(vec![5, 1, 5, 3, 1], |_, n| n);
+        assert_eq!(t.to_vec(), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn build_combine_is_left_fold_in_input_order() {
+        let t: Tree<(u32, Vec<u32>)> = Tree::build(
+            vec![(1, vec![10]), (1, vec![20]), (1, vec![30])],
+            |a, b| {
+                let mut v = a.1.clone();
+                v.extend(b.1);
+                (a.0, v)
+            },
+        );
+        assert_eq!(t.find(&1).unwrap().1, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential_shape() {
+        // Cross the SEQ_BUILD threshold; deterministic priorities mean
+        // the shape (and hence height) must be identical.
+        let xs: Vec<u32> = (0..10_000).collect();
+        let big: Tree<u32> = Tree::from_sorted(&xs);
+        let mut small: Tree<u32> = Tree::new();
+        for &x in xs.iter() {
+            small = small.insert(x, |_, n| n);
+        }
+        assert_eq!(big.height(), small.height());
+        big.check_invariants();
+    }
+}

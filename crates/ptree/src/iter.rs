@@ -1,0 +1,102 @@
+//! In-order iteration.
+
+use crate::node::{Augment, Entry, Link, Node};
+
+/// In-order (key order) iterator over tree entries.
+///
+/// Created by [`Tree::iter`](crate::Tree::iter). Uses an explicit stack
+/// of `O(log n)` height.
+pub struct Iter<'a, E: Entry, A: Augment<E>> {
+    stack: Vec<&'a Node<E, A>>,
+    remaining: usize,
+}
+
+impl<'a, E: Entry, A: Augment<E>> Iter<'a, E, A> {
+    pub(crate) fn new(root: &'a Link<E, A>) -> Self {
+        let remaining = root.as_ref().map_or(0, |n| n.size);
+        let mut it = Iter {
+            stack: Vec::new(),
+            remaining,
+        };
+        it.push_left(root);
+        it
+    }
+
+    fn push_left(&mut self, mut link: &'a Link<E, A>) {
+        while let Some(n) = link {
+            self.stack.push(n);
+            link = &n.left;
+        }
+    }
+}
+
+impl<'a, E: Entry, A: Augment<E>> Iterator for Iter<'a, E, A> {
+    type Item = &'a E;
+
+    fn next(&mut self) -> Option<&'a E> {
+        let node = self.stack.pop()?;
+        self.remaining -= 1;
+        self.push_left(&node.right);
+        Some(&node.entry)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl<E: Entry, A: Augment<E>> ExactSizeIterator for Iter<'_, E, A> {}
+
+impl<'a, E: Entry, A: Augment<E>> IntoIterator for &'a crate::Tree<E, A> {
+    type Item = &'a E;
+    type IntoIter = Iter<'a, E, A>;
+
+    fn into_iter(self) -> Iter<'a, E, A> {
+        self.iter()
+    }
+}
+
+impl<E: Entry, A: Augment<E>> FromIterator<E> for crate::Tree<E, A> {
+    /// Builds a tree from any iterator of entries; later duplicates
+    /// replace earlier ones.
+    fn from_iter<I: IntoIterator<Item = E>>(iter: I) -> Self {
+        crate::Tree::build(iter.into_iter().collect(), |_, new| new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Tree;
+
+    #[test]
+    fn iter_is_in_order_and_exact_size() {
+        let xs: Vec<u32> = (0..257).collect();
+        let t: Tree<u32> = Tree::from_sorted(&xs);
+        let it = t.iter();
+        assert_eq!(it.len(), 257);
+        let got: Vec<u32> = it.copied().collect();
+        assert_eq!(got, xs);
+    }
+
+    #[test]
+    fn iter_empty() {
+        let t: Tree<u32> = Tree::new();
+        assert_eq!(t.iter().next(), None);
+    }
+
+    #[test]
+    fn for_loop_over_reference() {
+        let t: Tree<u32> = Tree::from_sorted(&[1, 2, 3]);
+        let mut sum = 0;
+        for x in &t {
+            sum += *x;
+        }
+        assert_eq!(sum, 6);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let t: Tree<u32> = (0..10u32).rev().collect();
+        assert_eq!(t.to_vec(), (0..10u32).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,56 @@
+//! Purely-functional search trees with parallel bulk operations.
+//!
+//! This crate is the Rust equivalent of PAM [Sun et al., PPoPP'18] /
+//! the join-based trees of Blelloch et al. [SPAA'16], which the paper
+//! uses as the substrate below C-trees: a *persistent* balanced binary
+//! search tree where every update returns a new tree sharing structure
+//! with the old one. Snapshots are therefore a pointer copy, and any
+//! number of readers can proceed while a writer builds the next version.
+//!
+//! # Balancing scheme
+//!
+//! We use a **treap with deterministic priorities** (the hash of the
+//! key), giving `O(log n)` height w.h.p. — one of the schemes the paper
+//! explicitly sanctions (§5: "using any balanced tree implementation
+//! (w.h.p. using a treap)"). Deterministic priorities make the tree
+//! shape *canonical*: two trees over the same key set are structurally
+//! identical, which both simplifies testing and guarantees that `join`
+//! never needs rebalancing information beyond the priorities.
+//!
+//! All bulk operations (`union`, `intersection`, `difference`,
+//! `multi_insert`, `build`, `filter`, `map_reduce`) are implemented with
+//! the join-based divide-and-conquer of [Blelloch et al.] and
+//! parallelised with rayon, achieving the work/depth bounds cited in
+//! the paper (§4.2): e.g. `union` in `O(k·log(n/k + 1))` work.
+//!
+//! # Augmentation
+//!
+//! Trees can be augmented with an associative summary via [`Augment`]
+//! (e.g. the vertex-tree of a graph is augmented with the total number
+//! of edges below each node), maintained in `O(1)` per rebuilt node.
+//!
+//! # Example
+//!
+//! ```
+//! use ptree::Tree;
+//!
+//! let t: Tree<u32> = Tree::from_sorted(&[1, 5, 9]);
+//! let u: Tree<u32> = Tree::from_sorted(&[5, 7]);
+//! let both = t.union(&u, |a, _b| *a);
+//! assert_eq!(both.to_vec(), vec![1, 5, 7, 9]);
+//! // `t` is unchanged: purely functional.
+//! assert_eq!(t.len(), 3);
+//! ```
+
+mod build;
+mod bulk;
+mod iter;
+mod node;
+mod tree;
+
+pub use iter::Iter;
+pub use node::{Augment, CountAug, Entry, Measure, NoAug, TreapKey};
+pub use tree::Tree;
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,257 @@
+//! Tree nodes, entry/key traits and augmentation.
+
+use std::sync::Arc;
+
+/// Seed separating treap priorities from other hash uses (e.g. C-tree
+/// head selection, which must be independent).
+const TREAP_SEED: u64 = 0x5eed_0001_a5f3_c001;
+
+/// A key orderable and hashable to a deterministic treap priority.
+///
+/// Implemented for the unsigned integer types; implement it for your own
+/// key types by hashing a stable representation.
+pub trait TreapKey: Ord + Clone + Send + Sync {
+    /// Deterministic priority; behaves like a uniform random draw.
+    fn priority(&self) -> u64;
+}
+
+macro_rules! impl_treap_key_for_uint {
+    ($($t:ty),*) => {$(
+        impl TreapKey for $t {
+            #[inline]
+            fn priority(&self) -> u64 {
+                parlib::hash64_with_seed(*self as u64, TREAP_SEED)
+            }
+        }
+    )*};
+}
+impl_treap_key_for_uint!(u8, u16, u32, u64, usize);
+
+impl<A: TreapKey, B: Ord + Clone + Send + Sync> TreapKey for (A, B) {
+    #[inline]
+    fn priority(&self) -> u64 {
+        self.0.priority()
+    }
+}
+
+/// An element stored in a tree: a key plus optional associated data.
+///
+/// Plain keys are their own entries (`impl Entry for u32`); maps use
+/// key–value pairs.
+pub trait Entry: Clone + Send + Sync {
+    /// The search key type.
+    type Key: TreapKey;
+    /// Borrows the key of this entry.
+    fn key(&self) -> &Self::Key;
+}
+
+macro_rules! impl_entry_for_uint {
+    ($($t:ty),*) => {$(
+        impl Entry for $t {
+            type Key = $t;
+            #[inline]
+            fn key(&self) -> &$t {
+                self
+            }
+        }
+    )*};
+}
+impl_entry_for_uint!(u8, u16, u32, u64, usize);
+
+impl<K: TreapKey, V: Clone + Send + Sync> Entry for (K, V) {
+    type Key = K;
+    #[inline]
+    fn key(&self) -> &K {
+        &self.0
+    }
+}
+
+/// An associative summary maintained at every node.
+///
+/// `combine` must be associative with `identity` as its unit;
+/// `from_entry` lifts one entry into the monoid.
+pub trait Augment<E>: Clone + Send + Sync {
+    /// The unit of the monoid.
+    fn identity() -> Self;
+    /// Measure of a single entry.
+    fn from_entry(entry: &E) -> Self;
+    /// Associative combination.
+    fn combine(&self, other: &Self) -> Self;
+}
+
+/// The trivial augmentation carrying no information.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NoAug;
+
+impl<E> Augment<E> for NoAug {
+    #[inline]
+    fn identity() -> Self {
+        NoAug
+    }
+    #[inline]
+    fn from_entry(_: &E) -> Self {
+        NoAug
+    }
+    #[inline]
+    fn combine(&self, _: &Self) -> Self {
+        NoAug
+    }
+}
+
+/// Augments each entry with a caller-defined `u64` count, summed over
+/// subtrees. The graph layer uses this to keep the number of edges below
+/// every vertex-tree node, making `num_edges()` an `O(1)` query.
+///
+/// The common traits are implemented manually so they hold for every
+/// measure type `M`, not only those implementing the trait themselves
+/// (`M` is phantom).
+pub struct CountAug<M>(pub u64, std::marker::PhantomData<M>);
+
+impl<M> Clone for CountAug<M> {
+    #[inline]
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<M> Copy for CountAug<M> {}
+
+impl<M> Default for CountAug<M> {
+    fn default() -> Self {
+        CountAug(0, std::marker::PhantomData)
+    }
+}
+
+impl<M> std::fmt::Debug for CountAug<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("CountAug").field(&self.0).finish()
+    }
+}
+
+impl<M> PartialEq for CountAug<M> {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl<M> Eq for CountAug<M> {}
+
+/// How a [`CountAug`] measures one entry.
+pub trait Measure<E>: Clone + Send + Sync {
+    /// The non-negative weight of `entry`.
+    fn measure(entry: &E) -> u64;
+}
+
+impl<M> CountAug<M> {
+    /// The aggregated count.
+    #[inline]
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+}
+
+impl<E, M: Measure<E>> Augment<E> for CountAug<M> {
+    #[inline]
+    fn identity() -> Self {
+        CountAug(0, std::marker::PhantomData)
+    }
+    #[inline]
+    fn from_entry(entry: &E) -> Self {
+        CountAug(M::measure(entry), std::marker::PhantomData)
+    }
+    #[inline]
+    fn combine(&self, other: &Self) -> Self {
+        CountAug(self.0 + other.0, std::marker::PhantomData)
+    }
+}
+
+/// A shared, immutable tree node.
+#[derive(Debug)]
+pub(crate) struct Node<E: Entry, A: Augment<E>> {
+    pub(crate) entry: E,
+    pub(crate) left: Link<E, A>,
+    pub(crate) right: Link<E, A>,
+    pub(crate) size: usize,
+    pub(crate) aug: A,
+}
+
+pub(crate) type Link<E, A> = Option<Arc<Node<E, A>>>;
+
+/// Size of an optional subtree.
+#[inline]
+pub(crate) fn size<E: Entry, A: Augment<E>>(link: &Link<E, A>) -> usize {
+    link.as_ref().map_or(0, |n| n.size)
+}
+
+/// Augmented value of an optional subtree.
+#[inline]
+pub(crate) fn aug_of<E: Entry, A: Augment<E>>(link: &Link<E, A>) -> A {
+    link.as_ref().map_or_else(A::identity, |n| n.aug.clone())
+}
+
+/// Allocates a node over `left`, `entry`, `right`, computing size and
+/// augmentation. This is the only constructor, so the cached fields can
+/// never go stale.
+#[inline]
+pub(crate) fn mk_node<E: Entry, A: Augment<E>>(left: Link<E, A>, entry: E, right: Link<E, A>) -> Link<E, A> {
+    let size = size(&left) + size(&right) + 1;
+    let aug = aug_of(&left)
+        .combine(&A::from_entry(&entry))
+        .combine(&aug_of(&right));
+    Some(Arc::new(Node {
+        entry,
+        left,
+        right,
+        size,
+        aug,
+    }))
+}
+
+/// Treap ordering: compares `(priority, key)` lexicographically so that
+/// hash collisions between distinct keys still order deterministically.
+#[inline]
+pub(crate) fn pri_greater<E: Entry>(a: &E, b: &E) -> bool {
+    let (pa, pb) = (a.key().priority(), b.key().priority());
+    pa > pb || (pa == pb && a.key() > b.key())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uint_priority_is_deterministic() {
+        assert_eq!(5u32.priority(), 5u32.priority());
+        assert_ne!(5u32.priority(), 6u32.priority());
+    }
+
+    #[test]
+    fn pair_entry_key_is_first_component() {
+        let e = (3u32, "payload");
+        assert_eq!(*Entry::key(&e), 3);
+        assert_eq!(e.priority(), 3u32.priority());
+    }
+
+    #[test]
+    fn count_aug_sums() {
+        #[derive(Clone)]
+        struct Unit;
+        impl Measure<u32> for Unit {
+            fn measure(_: &u32) -> u64 {
+                2
+            }
+        }
+        let a = CountAug::<Unit>::from_entry(&1);
+        let b = CountAug::<Unit>::from_entry(&2);
+        assert_eq!(a.combine(&b).value(), 4);
+        assert_eq!(CountAug::<Unit>::identity().value(), 0);
+    }
+
+    #[test]
+    fn mk_node_computes_size() {
+        let leaf = mk_node::<u32, NoAug>(None, 5, None);
+        let root = mk_node(leaf.clone(), 8, None);
+        assert_eq!(root.as_ref().unwrap().size, 2);
+    }
+}

@@ -1,0 +1,162 @@
+//! Property tests: every tree operation is checked against a
+//! `BTreeSet`/`BTreeMap` oracle on random inputs, and the structural
+//! invariants (BST order, treap priorities, cached size/augmentation)
+//! are revalidated after each operation.
+
+use crate::{Augment, Tree};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+fn set_strategy() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(0u32..500, 0..200).prop_map(|mut v| {
+        v.sort_unstable();
+        v.dedup();
+        v
+    })
+}
+
+fn tree_of(xs: &[u32]) -> Tree<u32> {
+    Tree::from_sorted(xs)
+}
+
+/// Count-of-entries augmentation used to stress augmented maintenance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Sum(u64);
+
+impl Augment<u32> for Sum {
+    fn identity() -> Self {
+        Sum(0)
+    }
+    fn from_entry(e: &u32) -> Self {
+        Sum(u64::from(*e))
+    }
+    fn combine(&self, other: &Self) -> Self {
+        Sum(self.0 + other.0)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn build_matches_oracle(xs in set_strategy()) {
+        let t = tree_of(&xs);
+        prop_assert_eq!(t.to_vec(), xs.clone());
+        prop_assert_eq!(t.len(), xs.len());
+        t.check_invariants();
+    }
+
+    #[test]
+    fn union_matches_oracle(xs in set_strategy(), ys in set_strategy()) {
+        let (a, b) = (tree_of(&xs), tree_of(&ys));
+        let u = a.union(&b, |x, _| *x);
+        let oracle: BTreeSet<u32> = xs.iter().chain(ys.iter()).copied().collect();
+        prop_assert_eq!(u.to_vec(), oracle.into_iter().collect::<Vec<_>>());
+        u.check_invariants();
+    }
+
+    #[test]
+    fn intersection_matches_oracle(xs in set_strategy(), ys in set_strategy()) {
+        let (a, b) = (tree_of(&xs), tree_of(&ys));
+        let i = a.intersection(&b, |x, _| *x);
+        let sy: BTreeSet<u32> = ys.iter().copied().collect();
+        let oracle: Vec<u32> = xs.iter().copied().filter(|x| sy.contains(x)).collect();
+        prop_assert_eq!(i.to_vec(), oracle);
+        i.check_invariants();
+    }
+
+    #[test]
+    fn difference_matches_oracle(xs in set_strategy(), ys in set_strategy()) {
+        let (a, b) = (tree_of(&xs), tree_of(&ys));
+        let d = a.difference(&b);
+        let sy: BTreeSet<u32> = ys.iter().copied().collect();
+        let oracle: Vec<u32> = xs.iter().copied().filter(|x| !sy.contains(x)).collect();
+        prop_assert_eq!(d.to_vec(), oracle);
+        d.check_invariants();
+    }
+
+    #[test]
+    fn split_partitions(xs in set_strategy(), k in 0u32..500) {
+        let t = tree_of(&xs);
+        let (lo, found, hi) = t.split(&k);
+        prop_assert_eq!(lo.to_vec(), xs.iter().copied().filter(|&x| x < k).collect::<Vec<_>>());
+        prop_assert_eq!(hi.to_vec(), xs.iter().copied().filter(|&x| x > k).collect::<Vec<_>>());
+        prop_assert_eq!(found.is_some(), xs.binary_search(&k).is_ok());
+        lo.check_invariants();
+        hi.check_invariants();
+    }
+
+    #[test]
+    fn insert_delete_roundtrip(xs in set_strategy(), k in 0u32..500) {
+        let t = tree_of(&xs);
+        let with = t.insert(k, |_, n| n);
+        prop_assert!(with.contains(&k));
+        let without = with.delete(&k);
+        prop_assert!(!without.contains(&k));
+        let expect: Vec<u32> = xs.iter().copied().filter(|&x| x != k).collect();
+        prop_assert_eq!(without.to_vec(), expect);
+    }
+
+    #[test]
+    fn multi_insert_matches_map_oracle(
+        base in proptest::collection::vec((0u32..100, 0u64..100), 0..100),
+        batch in proptest::collection::vec((0u32..100, 0u64..100), 0..100),
+    ) {
+        let t: Tree<(u32, u64)> = Tree::build(base.clone(), |a, b| (a.0, a.1 + b.1));
+        let out = t.multi_insert(batch.clone(), |a, b| (a.0, a.1 + b.1));
+        let mut oracle: BTreeMap<u32, u64> = BTreeMap::new();
+        for (k, v) in base.iter().chain(batch.iter()) {
+            *oracle.entry(*k).or_insert(0) += v;
+        }
+        prop_assert_eq!(
+            out.to_vec(),
+            oracle.into_iter().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn multi_delete_matches_oracle(xs in set_strategy(), kill in proptest::collection::vec(0u32..500, 0..100)) {
+        let t = tree_of(&xs);
+        let out = t.multi_delete(kill.clone());
+        let dead: BTreeSet<u32> = kill.into_iter().collect();
+        let oracle: Vec<u32> = xs.iter().copied().filter(|x| !dead.contains(x)).collect();
+        prop_assert_eq!(out.to_vec(), oracle);
+    }
+
+    #[test]
+    fn augmentation_tracks_sum(xs in set_strategy(), ys in set_strategy()) {
+        let a: Tree<u32, Sum> = Tree::from_sorted(&xs);
+        let b: Tree<u32, Sum> = Tree::from_sorted(&ys);
+        let u = a.union(&b, |x, _| *x);
+        let expect: u64 = xs.iter().chain(ys.iter()).copied()
+            .collect::<BTreeSet<u32>>().iter().map(|&x| u64::from(x)).sum();
+        prop_assert_eq!(u.aug().0, expect);
+        u.check_invariants();
+    }
+
+    #[test]
+    fn rank_select_inverse(xs in set_strategy()) {
+        let t = tree_of(&xs);
+        for (i, x) in xs.iter().enumerate() {
+            prop_assert_eq!(t.select(i), Some(x));
+            prop_assert_eq!(t.rank(x), i);
+        }
+    }
+
+    #[test]
+    fn filter_matches_oracle(xs in set_strategy(), m in 1u32..7) {
+        let t = tree_of(&xs);
+        let f = t.filter(|x| x % m == 0);
+        prop_assert_eq!(f.to_vec(), xs.iter().copied().filter(|x| x % m == 0).collect::<Vec<_>>());
+        f.check_invariants();
+    }
+
+    #[test]
+    fn snapshot_isolation(xs in set_strategy(), batch in proptest::collection::vec(500u32..1000, 1..50)) {
+        // A clone taken before a bulk update must be bit-for-bit stable.
+        let t = tree_of(&xs);
+        let snapshot = t.clone();
+        let _updated = t.multi_insert(batch, |_, n| n);
+        prop_assert_eq!(snapshot.to_vec(), xs);
+    }
+}

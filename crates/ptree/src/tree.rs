@@ -1,0 +1,675 @@
+//! The public [`Tree`] handle and the core join-based primitives.
+//!
+//! Everything is expressed in terms of three structural primitives in
+//! the style of Blelloch et al. [SPAA'16]:
+//!
+//! * [`join`](Tree::join) — combine `left < entry < right` into one tree,
+//!   restoring the treap priority invariant,
+//! * [`split`](Tree::split) — partition a tree around a key,
+//! * [`expose`](Tree::expose) — destructure a tree at its root.
+//!
+//! All higher-level operations (`insert`, `delete`, `union`, …) reduce to
+//! these, which is what makes the persistent, parallel implementations
+//! short and auditable.
+
+use crate::iter::Iter;
+use crate::node::{aug_of, mk_node, pri_greater, size, Augment, Entry, Link, NoAug, Node};
+use std::sync::Arc;
+
+/// A purely-functional balanced search tree (treap with deterministic
+/// hash priorities).
+///
+/// Cloning a `Tree` is `O(1)` (an `Arc` bump) and yields an independent
+/// *snapshot*: subsequent updates to either handle never affect the
+/// other. This is the property the paper relies on for lightweight graph
+/// snapshots (§1, §6).
+///
+/// `E` is the entry type (a key, or a key–value pair); `A` is an optional
+/// augmentation maintained at every node.
+///
+/// # Example
+///
+/// ```
+/// use ptree::Tree;
+///
+/// let t: Tree<u32> = Tree::from_sorted(&[2, 4, 8]);
+/// let t2 = t.insert(6, |_old, new| new);
+/// assert_eq!(t.to_vec(), vec![2, 4, 8]);       // snapshot unchanged
+/// assert_eq!(t2.to_vec(), vec![2, 4, 6, 8]);
+/// ```
+pub struct Tree<E: Entry, A: Augment<E> = NoAug> {
+    pub(crate) root: Link<E, A>,
+}
+
+impl<E: Entry, A: Augment<E>> Clone for Tree<E, A> {
+    #[inline]
+    fn clone(&self) -> Self {
+        Tree {
+            root: self.root.clone(),
+        }
+    }
+}
+
+impl<E: Entry + std::fmt::Debug, A: Augment<E>> std::fmt::Debug for Tree<E, A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl<E: Entry, A: Augment<E>> Default for Tree<E, A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E: Entry + PartialEq, A: Augment<E>> PartialEq for Tree<E, A> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+impl<E: Entry + Eq, A: Augment<E>> Eq for Tree<E, A> {}
+
+impl<E: Entry, A: Augment<E>> Tree<E, A> {
+    /// Creates an empty tree.
+    ///
+    /// ```
+    /// let t: ptree::Tree<u32> = ptree::Tree::new();
+    /// assert!(t.is_empty());
+    /// ```
+    #[inline]
+    pub fn new() -> Self {
+        Tree { root: None }
+    }
+
+    pub(crate) fn from_link(root: Link<E, A>) -> Self {
+        Tree { root }
+    }
+
+    /// Number of entries, cached at the root (`O(1)`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        size(&self.root)
+    }
+
+    /// Whether the tree has no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.root.is_none()
+    }
+
+    /// The augmented value over all entries (`O(1)`).
+    ///
+    /// Returns `A::identity()` for an empty tree.
+    #[inline]
+    pub fn aug(&self) -> A {
+        aug_of(&self.root)
+    }
+
+    /// Height of the tree; `O(log n)` w.h.p. for the treap. Exposed for
+    /// diagnostics and the balance tests.
+    pub fn height(&self) -> usize {
+        fn go<E: Entry, A: Augment<E>>(l: &Link<E, A>) -> usize {
+            l.as_ref()
+                .map_or(0, |n| 1 + go(&n.left).max(go(&n.right)))
+        }
+        go(&self.root)
+    }
+
+    /// Looks up the entry with key exactly `k`.
+    ///
+    /// `O(log n)` work w.h.p.
+    ///
+    /// ```
+    /// let t: ptree::Tree<u32> = ptree::Tree::from_sorted(&[1, 3, 5]);
+    /// assert_eq!(t.find(&3), Some(&3));
+    /// assert_eq!(t.find(&4), None);
+    /// ```
+    pub fn find(&self, k: &E::Key) -> Option<&E> {
+        let mut cur = &self.root;
+        while let Some(node) = cur {
+            match k.cmp(node.entry.key()) {
+                std::cmp::Ordering::Less => cur = &node.left,
+                std::cmp::Ordering::Equal => return Some(&node.entry),
+                std::cmp::Ordering::Greater => cur = &node.right,
+            }
+        }
+        None
+    }
+
+    /// Whether an entry with key `k` is present.
+    #[inline]
+    pub fn contains(&self, k: &E::Key) -> bool {
+        self.find(k).is_some()
+    }
+
+    /// The entry with the largest key `<= k`, if any.
+    ///
+    /// This is the `Find` operation of the C-tree interface (§4): C-trees
+    /// locate the head responsible for an element with exactly this
+    /// predecessor search.
+    pub fn find_le(&self, k: &E::Key) -> Option<&E> {
+        let mut cur = &self.root;
+        let mut best: Option<&E> = None;
+        while let Some(node) = cur {
+            if *node.entry.key() <= *k {
+                best = Some(&node.entry);
+                cur = &node.right;
+            } else {
+                cur = &node.left;
+            }
+        }
+        best
+    }
+
+    /// The entry with the smallest key `>= k`, if any.
+    pub fn find_ge(&self, k: &E::Key) -> Option<&E> {
+        let mut cur = &self.root;
+        let mut best: Option<&E> = None;
+        while let Some(node) = cur {
+            if *node.entry.key() >= *k {
+                best = Some(&node.entry);
+                cur = &node.left;
+            } else {
+                cur = &node.right;
+            }
+        }
+        best
+    }
+
+    /// The entry with the smallest key.
+    pub fn first(&self) -> Option<&E> {
+        let mut cur = self.root.as_ref()?;
+        while let Some(left) = cur.left.as_ref() {
+            cur = left;
+        }
+        Some(&cur.entry)
+    }
+
+    /// The entry with the largest key.
+    pub fn last(&self) -> Option<&E> {
+        let mut cur = self.root.as_ref()?;
+        while let Some(right) = cur.right.as_ref() {
+            cur = right;
+        }
+        Some(&cur.entry)
+    }
+
+    /// Number of entries with key strictly less than `k` (`O(log n)`).
+    pub fn rank(&self, k: &E::Key) -> usize {
+        let mut cur = &self.root;
+        let mut acc = 0usize;
+        while let Some(node) = cur {
+            if *k <= *node.entry.key() {
+                cur = &node.left;
+            } else {
+                acc += size(&node.left) + 1;
+                cur = &node.right;
+            }
+        }
+        acc
+    }
+
+    /// The `i`-th smallest entry (0-based), or `None` if `i >= len`.
+    pub fn select(&self, mut i: usize) -> Option<&E> {
+        let mut cur = self.root.as_ref()?;
+        loop {
+            let ls = size(&cur.left);
+            match i.cmp(&ls) {
+                std::cmp::Ordering::Less => cur = cur.left.as_ref()?,
+                std::cmp::Ordering::Equal => return Some(&cur.entry),
+                std::cmp::Ordering::Greater => {
+                    i -= ls + 1;
+                    cur = cur.right.as_ref()?;
+                }
+            }
+        }
+    }
+
+    /// Destructures the tree at its root into `(left, entry, right)`.
+    ///
+    /// This is the `Expose` primitive used throughout the paper's
+    /// pseudocode (Algorithm 1). Returns `None` on an empty tree.
+    /// The subtrees share structure with `self` (no copying).
+    pub fn expose(&self) -> Option<(Tree<E, A>, &E, Tree<E, A>)> {
+        let node = self.root.as_ref()?;
+        Some((
+            Tree::from_link(node.left.clone()),
+            &node.entry,
+            Tree::from_link(node.right.clone()),
+        ))
+    }
+
+    /// Joins `left`, `entry`, `right` where every key in `left` is less
+    /// than `entry.key()` and every key in `right` is greater.
+    ///
+    /// `O(log n)` work w.h.p.; restores the treap priority invariant no
+    /// matter how unbalanced the inputs are relative to each other, which
+    /// is what makes all the bulk operations compositional.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds assert the ordering precondition.
+    pub fn join(left: Tree<E, A>, entry: E, right: Tree<E, A>) -> Tree<E, A> {
+        debug_assert!(left.last().is_none_or(|l| l.key() < entry.key()));
+        debug_assert!(right.first().is_none_or(|r| r.key() > entry.key()));
+        Tree::from_link(join_link(left.root, entry, right.root))
+    }
+
+    /// Joins two trees where every key in `left` is less than every key
+    /// in `right`, with no middle entry (the paper's `Join2`).
+    pub fn join2(left: Tree<E, A>, right: Tree<E, A>) -> Tree<E, A> {
+        match split_last_link(left.root) {
+            None => right,
+            Some((rest, mid)) => Tree::from_link(join_link(rest, mid, right.root)),
+        }
+    }
+
+    /// Splits the tree by key `k` into `(less, found, greater)` where
+    /// `found` is the entry with key `k` if present.
+    ///
+    /// `O(log n)` work w.h.p.; the returned trees share structure with
+    /// the original along all but one root-to-leaf path.
+    ///
+    /// ```
+    /// let t: ptree::Tree<u32> = ptree::Tree::from_sorted(&[1, 3, 5, 7]);
+    /// let (lo, found, hi) = t.split(&5);
+    /// assert_eq!(lo.to_vec(), vec![1, 3]);
+    /// assert_eq!(found, Some(5));
+    /// assert_eq!(hi.to_vec(), vec![7]);
+    /// ```
+    pub fn split(&self, k: &E::Key) -> (Tree<E, A>, Option<E>, Tree<E, A>) {
+        let (l, m, r) = split_link(&self.root, k);
+        (Tree::from_link(l), m, Tree::from_link(r))
+    }
+
+    /// Removes and returns the entry with the smallest key.
+    pub fn split_first(&self) -> Option<(E, Tree<E, A>)> {
+        split_first_link(self.root.clone()).map(|(e, rest)| (e, Tree::from_link(rest)))
+    }
+
+    /// Removes and returns the entry with the largest key.
+    pub fn split_last(&self) -> Option<(Tree<E, A>, E)> {
+        split_last_link(self.root.clone()).map(|(rest, e)| (Tree::from_link(rest), e))
+    }
+
+    /// Inserts `entry`, combining with any existing entry of equal key
+    /// via `combine(old, new)`.
+    ///
+    /// `O(log n)` work w.h.p. Returns the new tree; `self` is unchanged.
+    pub fn insert(&self, entry: E, combine: impl Fn(&E, E) -> E) -> Tree<E, A> {
+        let (l, old, r) = self.split(entry.key());
+        let merged = match old {
+            Some(o) => combine(&o, entry),
+            None => entry,
+        };
+        Tree::join(l, merged, r)
+    }
+
+    /// Deletes the entry with key `k` if present.
+    ///
+    /// `O(log n)` work w.h.p. Returns the new tree; `self` is unchanged.
+    pub fn delete(&self, k: &E::Key) -> Tree<E, A> {
+        let (l, _, r) = self.split(k);
+        Tree::join2(l, r)
+    }
+
+    /// All entries with keys in `[lo, hi]`, as a tree. `O(log n)` w.h.p.
+    pub fn range(&self, lo: &E::Key, hi: &E::Key) -> Tree<E, A> {
+        let (_, lmid, geq) = self.split_before(lo);
+        debug_assert!(lmid.is_none());
+        let (mid, hmid, _) = geq.split_after(hi);
+        debug_assert!(hmid.is_none());
+        mid
+    }
+
+    /// Splits into `(keys < lo, None, keys >= lo)`; a convenience wrapper
+    /// keeping an equal key on the right side.
+    fn split_before(&self, lo: &E::Key) -> (Tree<E, A>, Option<E>, Tree<E, A>) {
+        let (l, m, r) = self.split(lo);
+        match m {
+            Some(e) => {
+                let r2 = Tree::join(Tree::new(), e, r);
+                (l, None, r2)
+            }
+            None => (l, None, r),
+        }
+    }
+
+    /// Splits into `(keys <= hi, None, keys > hi)`.
+    fn split_after(&self, hi: &E::Key) -> (Tree<E, A>, Option<E>, Tree<E, A>) {
+        let (l, m, r) = self.split(hi);
+        match m {
+            Some(e) => (Tree::join(l, e, Tree::new()), None, r),
+            None => (l, None, r),
+        }
+    }
+
+    /// In-order iterator over the entries.
+    pub fn iter(&self) -> Iter<'_, E, A> {
+        Iter::new(&self.root)
+    }
+
+    /// Collects the entries in key order.
+    pub fn to_vec(&self) -> Vec<E> {
+        let mut out = Vec::with_capacity(self.len());
+        self.for_each_seq(&mut |e| out.push(e.clone()));
+        out
+    }
+
+    /// Sequential in-order traversal (no allocation, no parallelism).
+    pub fn for_each_seq(&self, f: &mut impl FnMut(&E)) {
+        fn go<E: Entry, A: Augment<E>>(l: &Link<E, A>, f: &mut impl FnMut(&E)) {
+            if let Some(n) = l {
+                go(&n.left, f);
+                f(&n.entry);
+                go(&n.right, f);
+            }
+        }
+        go(&self.root, f);
+    }
+
+    /// Validates the search-tree, treap-priority, size and augmentation
+    /// invariants. Used by tests; `O(n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the first violated invariant.
+    pub fn check_invariants(&self)
+    where
+        A: PartialEq + std::fmt::Debug,
+    {
+        fn go<E: Entry, A: Augment<E> + PartialEq + std::fmt::Debug>(
+            link: &Link<E, A>,
+            lo: Option<&E::Key>,
+            hi: Option<&E::Key>,
+        ) -> usize {
+            let Some(n) = link else { return 0 };
+            let k = n.entry.key();
+            assert!(lo.is_none_or(|lo| lo < k), "BST order violated (low)");
+            assert!(hi.is_none_or(|hi| k < hi), "BST order violated (high)");
+            for child in [&n.left, &n.right] {
+                if let Some(c) = child {
+                    assert!(
+                        pri_greater(&n.entry, &c.entry),
+                        "treap priority violated"
+                    );
+                }
+            }
+            let ls = go(&n.left, lo, Some(k));
+            let rs = go(&n.right, Some(k), hi);
+            assert_eq!(n.size, ls + rs + 1, "cached size stale");
+            let expect = aug_of(&n.left)
+                .combine(&A::from_entry(&n.entry))
+                .combine(&aug_of(&n.right));
+            assert_eq!(n.aug, expect, "cached augmentation stale");
+            n.size
+        }
+        go(&self.root, None, None);
+    }
+
+    /// Approximate heap footprint in bytes: one node allocation per
+    /// entry. Used for the paper's memory tables (Table 2, Table 9).
+    pub fn memory_bytes(&self) -> usize {
+        self.len() * (std::mem::size_of::<Node<E, A>>() + ARC_OVERHEAD)
+    }
+}
+
+/// Two `usize` reference counts per `Arc` allocation.
+pub(crate) const ARC_OVERHEAD: usize = 2 * std::mem::size_of::<usize>();
+
+/// Link-level join: the workhorse behind [`Tree::join`].
+pub(crate) fn join_link<E: Entry, A: Augment<E>>(
+    left: Link<E, A>,
+    entry: E,
+    right: Link<E, A>,
+) -> Link<E, A> {
+    let entry_wins_left = left.as_ref().is_none_or(|l| pri_greater(&entry, &l.entry));
+    let entry_wins_right = right.as_ref().is_none_or(|r| pri_greater(&entry, &r.entry));
+    if entry_wins_left && entry_wins_right {
+        return mk_node(left, entry, right);
+    }
+    let left_wins = match (&left, &right) {
+        (Some(l), Some(r)) => pri_greater(&l.entry, &r.entry),
+        (Some(_), None) => true,
+        _ => false,
+    };
+    if left_wins {
+        let l = left.expect("left_wins implies left nonempty");
+        let l = unwrap_or_clone(l);
+        mk_node(l.left, l.entry, join_link(l.right, entry, right))
+    } else {
+        let r = right.expect("!left_wins with a losing entry implies right nonempty");
+        let r = unwrap_or_clone(r);
+        mk_node(join_link(left, entry, r.left), r.entry, r.right)
+    }
+}
+
+/// Takes the node out of the `Arc` without copying when this is the only
+/// reference; clones the (cheap, `Arc`-holding) node otherwise.
+#[inline]
+fn unwrap_or_clone<E: Entry, A: Augment<E>>(arc: Arc<Node<E, A>>) -> Node<E, A> {
+    match Arc::try_unwrap(arc) {
+        Ok(n) => n,
+        Err(arc) => Node {
+            entry: arc.entry.clone(),
+            left: arc.left.clone(),
+            right: arc.right.clone(),
+            size: arc.size,
+            aug: arc.aug.clone(),
+        },
+    }
+}
+
+pub(crate) fn split_link<E: Entry, A: Augment<E>>(
+    link: &Link<E, A>,
+    k: &E::Key,
+) -> (Link<E, A>, Option<E>, Link<E, A>) {
+    let Some(n) = link else {
+        return (None, None, None);
+    };
+    match k.cmp(n.entry.key()) {
+        std::cmp::Ordering::Less => {
+            let (ll, m, lr) = split_link(&n.left, k);
+            (ll, m, join_link(lr, n.entry.clone(), n.right.clone()))
+        }
+        std::cmp::Ordering::Equal => (n.left.clone(), Some(n.entry.clone()), n.right.clone()),
+        std::cmp::Ordering::Greater => {
+            let (rl, m, rr) = split_link(&n.right, k);
+            (join_link(n.left.clone(), n.entry.clone(), rl), m, rr)
+        }
+    }
+}
+
+fn split_first_link<E: Entry, A: Augment<E>>(link: Link<E, A>) -> Option<(E, Link<E, A>)> {
+    let n = link?;
+    let n = unwrap_or_clone(n);
+    match split_first_link(n.left) {
+        None => Some((n.entry, n.right)),
+        Some((e, rest)) => Some((e, join_link(rest, n.entry, n.right))),
+    }
+}
+
+fn split_last_link<E: Entry, A: Augment<E>>(link: Link<E, A>) -> Option<(Link<E, A>, E)> {
+    let n = link?;
+    let n = unwrap_or_clone(n);
+    match split_last_link(n.right) {
+        None => Some((n.left, n.entry)),
+        Some((rest, e)) => Some((join_link(n.left, n.entry, rest), e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(xs: &[u32]) -> Tree<u32> {
+        let mut v = xs.to_vec();
+        v.sort_unstable();
+        v.dedup();
+        Tree::from_sorted(&v)
+    }
+
+    #[test]
+    fn empty_tree_basics() {
+        let e: Tree<u32> = Tree::new();
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        assert_eq!(e.first(), None);
+        assert_eq!(e.last(), None);
+        assert_eq!(e.find(&1), None);
+        assert!(e.expose().is_none());
+    }
+
+    #[test]
+    fn insert_is_persistent() {
+        let a = t(&[1, 2, 3]);
+        let b = a.insert(10, |_, new| new);
+        assert_eq!(a.len(), 3);
+        assert_eq!(b.len(), 4);
+        assert!(b.contains(&10));
+        assert!(!a.contains(&10));
+    }
+
+    #[test]
+    fn insert_combines_duplicates() {
+        let a: Tree<(u32, u32)> = Tree::new();
+        let a = a.insert((5, 1), |_, new| new);
+        let a = a.insert((5, 2), |old, new| (old.0, old.1 + new.1));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.find(&5), Some(&(5, 3)));
+    }
+
+    #[test]
+    fn delete_removes_and_preserves_rest() {
+        let a = t(&[1, 2, 3, 4, 5]);
+        let b = a.delete(&3);
+        assert_eq!(b.to_vec(), vec![1, 2, 4, 5]);
+        assert_eq!(a.len(), 5);
+        // deleting a missing key is a no-op
+        let c = b.delete(&42);
+        assert_eq!(c.to_vec(), vec![1, 2, 4, 5]);
+    }
+
+    #[test]
+    fn split_three_ways() {
+        let a = t(&[1, 3, 5, 7, 9]);
+        let (lo, m, hi) = a.split(&5);
+        assert_eq!(lo.to_vec(), vec![1, 3]);
+        assert_eq!(m, Some(5));
+        assert_eq!(hi.to_vec(), vec![7, 9]);
+        let (lo, m, hi) = a.split(&4);
+        assert_eq!(lo.to_vec(), vec![1, 3]);
+        assert_eq!(m, None);
+        assert_eq!(hi.to_vec(), vec![5, 7, 9]);
+    }
+
+    #[test]
+    fn split_at_extremes() {
+        let a = t(&[2, 4, 6]);
+        let (lo, m, hi) = a.split(&0);
+        assert!(lo.is_empty() && m.is_none());
+        assert_eq!(hi.len(), 3);
+        let (lo, m, hi) = a.split(&100);
+        assert_eq!(lo.len(), 3);
+        assert!(m.is_none() && hi.is_empty());
+    }
+
+    #[test]
+    fn join2_concatenates() {
+        let a = t(&[1, 2]);
+        let b = t(&[10, 20]);
+        let c = Tree::join2(a, b);
+        assert_eq!(c.to_vec(), vec![1, 2, 10, 20]);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn join_rebalances_lopsided_inputs() {
+        let left = t(&(0..100).collect::<Vec<_>>());
+        let right = t(&[1000]);
+        let joined = Tree::join(left, 500, right);
+        joined.check_invariants();
+        assert_eq!(joined.len(), 102);
+    }
+
+    #[test]
+    fn find_le_ge() {
+        let a = t(&[10, 20, 30]);
+        assert_eq!(a.find_le(&25), Some(&20));
+        assert_eq!(a.find_le(&10), Some(&10));
+        assert_eq!(a.find_le(&5), None);
+        assert_eq!(a.find_ge(&25), Some(&30));
+        assert_eq!(a.find_ge(&31), None);
+    }
+
+    #[test]
+    fn rank_and_select_agree() {
+        let xs: Vec<u32> = (0..50).map(|i| i * 3).collect();
+        let a = t(&xs);
+        for (i, &x) in xs.iter().enumerate() {
+            assert_eq!(a.rank(&x), i);
+            assert_eq!(a.select(i), Some(&x));
+        }
+        assert_eq!(a.select(xs.len()), None);
+        assert_eq!(a.rank(&1000), xs.len());
+    }
+
+    #[test]
+    fn range_query() {
+        let a = t(&[1, 3, 5, 7, 9]);
+        assert_eq!(a.range(&3, &7).to_vec(), vec![3, 5, 7]);
+        assert_eq!(a.range(&4, &6).to_vec(), vec![5]);
+        assert_eq!(a.range(&10, &20).to_vec(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn split_first_last() {
+        let a = t(&[4, 8, 15]);
+        let (first, rest) = a.split_first().unwrap();
+        assert_eq!(first, 4);
+        assert_eq!(rest.to_vec(), vec![8, 15]);
+        let (rest, last) = a.split_last().unwrap();
+        assert_eq!(last, 15);
+        assert_eq!(rest.to_vec(), vec![4, 8]);
+    }
+
+    #[test]
+    fn canonical_shape_for_same_key_set() {
+        // Deterministic priorities: same keys => same structure, no
+        // matter the construction order.
+        let mut a: Tree<u32> = Tree::new();
+        for k in [5u32, 1, 9, 3, 7] {
+            a = a.insert(k, |_, n| n);
+        }
+        let b = t(&[1, 3, 5, 7, 9]);
+        assert_eq!(a.height(), b.height());
+        assert_eq!(a.to_vec(), b.to_vec());
+        a.check_invariants();
+    }
+
+    #[test]
+    fn height_is_logarithmic() {
+        let n = 10_000u32;
+        let a = t(&(0..n).collect::<Vec<_>>());
+        // ~1.39 log2(n) expected for a random treap; allow generous slack.
+        assert!(
+            a.height() < 4 * 14,
+            "height {} too large for n={n}",
+            a.height()
+        );
+    }
+
+    #[test]
+    fn eq_compares_contents() {
+        assert_eq!(t(&[1, 2, 3]), t(&[3, 2, 1]));
+        assert_ne!(t(&[1, 2]), t(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn memory_bytes_scales_with_len() {
+        let a = t(&(0..100).collect::<Vec<_>>());
+        assert!(a.memory_bytes() >= 100 * std::mem::size_of::<u32>());
+        assert_eq!(Tree::<u32>::new().memory_bytes(), 0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Quickstart: build a streaming graph, take snapshots, run queries.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use algorithms::{bfs, connected_components, num_components};
+use aspen::{CompressedEdges, FlatSnapshot, Graph, VersionedGraph};
+
+fn main() {
+    // 1. Build an initial undirected graph: a small ring 0-1-2-3-4-0.
+    let ring: Vec<(u32, u32)> = (0..5u32)
+        .flat_map(|i| {
+            let j = (i + 1) % 5;
+            [(i, j), (j, i)]
+        })
+        .collect();
+    let vg: VersionedGraph<CompressedEdges> =
+        VersionedGraph::new(Graph::from_edges(&ring, Default::default()));
+    println!("initial graph: {:?}", vg.acquire());
+
+    // 2. Take a snapshot, then stream in more edges. Snapshots are
+    //    O(1) and immutable — the reader's view never changes.
+    let before = vg.acquire();
+    vg.insert_edges_undirected(&[(4, 5), (5, 6), (6, 7)]);
+    vg.delete_edges_undirected(&[(0, 1)]);
+    let after = vg.acquire();
+    println!(
+        "snapshot before: {} edges | after updates: {} edges",
+        before.num_edges(),
+        after.num_edges()
+    );
+    assert_eq!(before.num_edges(), 10);
+
+    // 3. Global query over a flat snapshot (the §5.1 optimization).
+    let flat = FlatSnapshot::new(&after);
+    let result = bfs(&flat, 0);
+    println!(
+        "BFS from 0 reaches {} vertices in {} rounds; dist(7) = {}",
+        result.num_reached(),
+        result.rounds,
+        result.dist[7]
+    );
+
+    // 4. Components before vs after: versions live side by side.
+    let flat_before = FlatSnapshot::new(&before);
+    println!(
+        "components: before = {}, after = {}",
+        num_components(&connected_components(&flat_before)),
+        num_components(&connected_components(&flat))
+    );
+}

@@ -1,0 +1,82 @@
+//! Social-network analytics: the workload class the paper's intro
+//! motivates — friend-of-friend recommendations (2-hop) and community
+//! detection (Local-Cluster) as *local* queries running against live
+//! snapshots, plus influencer scoring with betweenness centrality.
+//!
+//! ```sh
+//! cargo run --release --example social_network
+//! ```
+
+use algorithms::{bc, local_cluster, two_hop};
+use aspen::{CompressedEdges, FlatSnapshot, Graph, GraphView, VersionedGraph};
+use graphgen::Rmat;
+
+fn main() {
+    // A scale-free "friendship" network.
+    let gen = Rmat::new(12, 0xF00D);
+    let edges = gen.symmetric_graph_edges(80_000);
+    let vg: VersionedGraph<CompressedEdges> =
+        VersionedGraph::new(Graph::from_edges(&edges, Default::default()));
+    let snap = vg.acquire();
+    println!("network: {:?}", snap);
+
+    // Pick the biggest hub as our user of interest.
+    let flat = FlatSnapshot::new(&snap);
+    let user = (0..flat.len() as u32)
+        .max_by_key(|&v| flat.degree(v))
+        .expect("nonempty");
+    println!("user {user} has {} friends", snap.degree(user));
+
+    // Friend recommendations: 2-hop neighborhood minus direct friends,
+    // run directly against the tree snapshot (local query — no flat
+    // snapshot needed, §5.1).
+    let reach = two_hop(&*snap, user);
+    let friends: std::collections::HashSet<u32> =
+        GraphView::neighbors(&*snap, user).into_iter().collect();
+    let recommendations: Vec<u32> = reach
+        .iter()
+        .copied()
+        .filter(|v| !friends.contains(v))
+        .take(10)
+        .collect();
+    println!(
+        "2-hop reach: {} accounts; first recommendations: {recommendations:?}",
+        reach.len()
+    );
+
+    // Community detection around a mid-degree user via Nibble
+    // clustering (ε = 1e-6, T = 10 — the paper's parameters).
+    let someone = (0..flat.len() as u32)
+        .filter(|&v| snap.degree(v) >= 4)
+        .nth(100)
+        .unwrap_or(user);
+    let community = local_cluster(&*snap, someone);
+    println!(
+        "community around {someone}: {} members, conductance {:.4}",
+        community.cluster.len(),
+        community.conductance
+    );
+
+    // Influencer scoring: single-source BC from the hub.
+    let scores = bc(&flat, user);
+    let mut top: Vec<(u32, f64)> = scores
+        .scores
+        .iter()
+        .enumerate()
+        .map(|(v, &s)| (v as u32, s))
+        .collect();
+    top.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    println!("top-5 betweenness brokers from {user}'s view:");
+    for (v, s) in top.iter().take(5) {
+        println!("  account {v}: score {s:.1}");
+    }
+
+    // New friendships arrive; the analysis above stays valid on its
+    // snapshot while the next query sees the new edges.
+    vg.insert_edges_undirected(&[(user, someone)]);
+    println!(
+        "after update: user {user} has {} friends (snapshot still sees {})",
+        vg.acquire().degree(user),
+        snap.degree(user)
+    );
+}

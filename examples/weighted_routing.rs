@@ -1,0 +1,77 @@
+//! Weighted streaming: the paper's §6 future-work extension in action.
+//! A road-network-style graph with edge costs; costs are re-priced on
+//! the fly (weight updates are just insertions with a combiner) and
+//! shortest routes recomputed on consistent snapshots.
+//!
+//! ```sh
+//! cargo run --release --example weighted_routing
+//! ```
+
+use algorithms::{sssp, INF};
+use aspen::WeightedGraph;
+
+fn main() {
+    // A 16×16 grid "road network": neighbors cost 1..=9, deterministic.
+    let side = 16u32;
+    let id = |x: u32, y: u32| y * side + x;
+    let cost = |a: u32, b: u32| 1 + (a.wrapping_mul(31).wrapping_add(b) % 9);
+    let mut edges = Vec::new();
+    for y in 0..side {
+        for x in 0..side {
+            if x + 1 < side {
+                let (a, b) = (id(x, y), id(x + 1, y));
+                let w = cost(a, b);
+                edges.push((a, b, w));
+                edges.push((b, a, w));
+            }
+            if y + 1 < side {
+                let (a, b) = (id(x, y), id(x, y + 1));
+                let w = cost(a, b);
+                edges.push((a, b, w));
+                edges.push((b, a, w));
+            }
+        }
+    }
+    let g = WeightedGraph::from_edges(&edges, Default::default());
+    println!("road network: {g:?}");
+
+    let (start, goal) = (id(0, 0), id(side - 1, side - 1));
+    let before = sssp(&g, start);
+    println!("cheapest route {start}→{goal}: cost {}", before[goal as usize]);
+    assert_ne!(before[goal as usize], INF);
+
+    // Rush hour: every edge out of the center column triples in cost.
+    // Re-pricing = insert_edges with a combiner over the old weight.
+    let mid = side / 2;
+    let repriced: Vec<(u32, u32, u32)> = edges
+        .iter()
+        .filter(|&&(a, _, _)| a % side == mid)
+        .map(|&(a, b, w)| (a, b, w * 3))
+        .collect();
+    let congested = g.insert_edges(&repriced, |_old, new| new);
+    let during = sssp(&congested, start);
+    println!(
+        "after congestion re-pricing: cost {} (was {})",
+        during[goal as usize], before[goal as usize]
+    );
+    assert!(during[goal as usize] >= before[goal as usize]);
+
+    // The pre-congestion snapshot still answers with the old costs —
+    // both versions are live simultaneously.
+    let again = sssp(&g, start);
+    assert_eq!(again[goal as usize], before[goal as usize]);
+    println!("historical snapshot still quotes the old cost — versions coexist");
+
+    // A road closure: delete the edges, confirm routes re-route.
+    let closures: Vec<(u32, u32)> = (0..side - 1)
+        .map(|y| (id(mid, y), id(mid, y + 1)))
+        .flat_map(|(a, b)| [(a, b), (b, a)])
+        .collect();
+    let closed = congested.delete_edges(&closures);
+    let rerouted = sssp(&closed, start);
+    println!(
+        "after closing the center column's vertical segments: cost {}",
+        rerouted[goal as usize]
+    );
+    assert_ne!(rerouted[goal as usize], INF, "grid stays connected");
+}

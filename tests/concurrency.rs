@@ -1,0 +1,140 @@
+//! Concurrency and serializability stress tests for the versioned
+//! graph (§6): many readers and one writer, with invariants checked on
+//! every snapshot — the properties ("no reader or writer is ever
+//! blocked", strict serializability of batches) the paper claims.
+
+use aspen::{ChunkParams, CompressedEdges, FlatSnapshot, Graph, GraphView, VersionedGraph};
+use graphgen::Rmat;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn starting_graph() -> Graph<CompressedEdges> {
+    let edges = Rmat::new(9, 0xCC).symmetric_graph_edges(6_000);
+    Graph::from_edges(&edges, ChunkParams::with_b(32))
+}
+
+#[test]
+fn readers_never_observe_torn_batches() {
+    let vg = Arc::new(VersionedGraph::new(starting_graph()));
+    let stop = Arc::new(AtomicBool::new(false));
+    let batches_done = Arc::new(AtomicU64::new(0));
+
+    // Writer: each batch inserts a 10-edge star atomically, then
+    // deletes it atomically. Every consistent version therefore
+    // contains either all 20 directed edges of the star or none.
+    let writer = {
+        let (vg, stop, done) = (vg.clone(), stop.clone(), batches_done.clone());
+        std::thread::spawn(move || {
+            let mut round = 0u32;
+            while !stop.load(Ordering::Relaxed) {
+                let center = 600 + round % 64;
+                let star: Vec<(u32, u32)> =
+                    (0..10u32).map(|i| (center, 700 + i)).collect();
+                vg.insert_edges_undirected(&star);
+                vg.delete_edges_undirected(&star);
+                done.fetch_add(1, Ordering::Relaxed);
+                round += 1;
+            }
+        })
+    };
+
+    let readers: Vec<_> = (0..2)
+        .map(|_| {
+            let (vg, stop) = (vg.clone(), stop.clone());
+            std::thread::spawn(move || {
+                let mut checked = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let v = vg.acquire();
+                    // Star edges come and go as a unit: center degree
+                    // is 0 or 10 extra, never in between for *this*
+                    // version (the center ids rotate, so just check
+                    // symmetric consistency and counts).
+                    assert_eq!(v.num_edges() % 2, 0, "odd edge count: torn batch");
+                    for c in 600..664u32 {
+                        let d = v.degree(c);
+                        assert!(d == 0 || d == 10, "partial star visible: deg={d}");
+                    }
+                    checked += 1;
+                }
+                checked
+            })
+        })
+        .collect();
+
+    std::thread::sleep(Duration::from_millis(300));
+    stop.store(true, Ordering::Relaxed);
+    writer.join().expect("writer");
+    for r in readers {
+        assert!(r.join().expect("reader") > 0);
+    }
+    assert!(batches_done.load(Ordering::Relaxed) > 0);
+}
+
+#[test]
+fn snapshots_pin_their_version_forever() {
+    let vg = VersionedGraph::new(starting_graph());
+    let v0 = vg.acquire();
+    let (e0, n0) = (v0.num_edges(), v0.num_vertices());
+    let digest0: u64 = GraphView::neighbors(&*v0, 0).iter().map(|&x| u64::from(x)).sum();
+
+    for i in 0..50u32 {
+        vg.insert_edges_undirected(&[(i % 40, 1000 + i)]);
+    }
+    // old snapshot is bit-stable
+    assert_eq!(v0.num_edges(), e0);
+    assert_eq!(v0.num_vertices(), n0);
+    let digest_after: u64 = GraphView::neighbors(&*v0, 0).iter().map(|&x| u64::from(x)).sum();
+    assert_eq!(digest0, digest_after);
+    v0.check_invariants();
+}
+
+#[test]
+fn flat_snapshots_are_consistent_under_concurrent_updates() {
+    let vg = Arc::new(VersionedGraph::new(starting_graph()));
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let (vg, stop) = (vg.clone(), stop.clone());
+        std::thread::spawn(move || {
+            let mut i = 0u32;
+            while !stop.load(Ordering::Relaxed) {
+                vg.insert_edges_undirected(&[(i % 100, 200 + i % 100)]);
+                i += 1;
+            }
+        })
+    };
+    for _ in 0..20 {
+        let snap = vg.acquire();
+        let flat = FlatSnapshot::new(&snap);
+        // The flat snapshot must agree with the tree version it was
+        // built from, even while the writer races ahead.
+        let mut total = 0u64;
+        for v in 0..flat.len() as u32 {
+            total += flat.degree(v) as u64;
+        }
+        assert_eq!(total, snap.num_edges(), "flat snapshot torn");
+    }
+    stop.store(true, Ordering::Relaxed);
+    writer.join().expect("writer");
+}
+
+#[test]
+fn many_retained_versions_stay_independent() {
+    let vg = VersionedGraph::new(starting_graph());
+    let mut versions = vec![vg.acquire()];
+    let mut expected = vec![versions[0].num_edges()];
+    for i in 0..30u32 {
+        vg.insert_edges_undirected(&[(i, 3000 + i)]);
+        versions.push(vg.acquire());
+        expected.push(versions.last().expect("pushed").num_edges());
+    }
+    // All 31 versions remain queryable with their historical counts.
+    for (v, e) in versions.iter().zip(&expected) {
+        assert_eq!(v.num_edges(), *e);
+        v.check_invariants();
+    }
+    // Edge counts strictly increase (each batch adds a fresh edge).
+    for w in expected.windows(2) {
+        assert_eq!(w[1], w[0] + 2);
+    }
+}

@@ -1,0 +1,127 @@
+//! Cross-crate integration: replay a full §7.3-style update stream
+//! through the versioned graph and check every intermediate version
+//! against a plain adjacency-set oracle.
+
+use aspen::{CompressedEdges, EdgeSet, Graph, GraphView, VersionedGraph};
+use graphgen::{build_update_stream, Rmat, Update};
+use std::collections::{BTreeMap, BTreeSet};
+
+type Oracle = BTreeMap<u32, BTreeSet<u32>>;
+
+fn oracle_from(edges: &[(u32, u32)]) -> Oracle {
+    let mut o: Oracle = BTreeMap::new();
+    for &(u, v) in edges {
+        o.entry(u).or_default().insert(v);
+        o.entry(v).or_default();
+    }
+    o
+}
+
+fn assert_matches(g: &Graph<CompressedEdges>, o: &Oracle) {
+    let total: usize = o.values().map(BTreeSet::len).sum();
+    assert_eq!(g.num_edges() as usize, total, "edge count");
+    assert_eq!(g.num_vertices(), o.len(), "vertex count");
+    for (&v, neighbors) in o {
+        let got = g
+            .find_vertex(v)
+            .unwrap_or_else(|| panic!("vertex {v} missing"))
+            .edges
+            .to_vec();
+        let want: Vec<u32> = neighbors.iter().copied().collect();
+        assert_eq!(got, want, "adjacency of {v}");
+    }
+}
+
+#[test]
+fn stream_replay_matches_oracle() {
+    let edges = Rmat::new(10, 77).symmetric_graph_edges(30_000);
+    let setup = build_update_stream(&edges, 2_000, 9);
+    let vg: VersionedGraph<CompressedEdges> =
+        VersionedGraph::new(Graph::from_edges(&setup.initial_edges, Default::default()));
+    let mut oracle = oracle_from(&setup.initial_edges);
+
+    assert_matches(&vg.acquire(), &oracle);
+    for (i, u) in setup.updates.iter().enumerate() {
+        let (a, b) = u.endpoints();
+        match u {
+            Update::Insert(..) => {
+                vg.insert_edges_undirected(&[(a, b)]);
+                oracle.entry(a).or_default().insert(b);
+                oracle.entry(b).or_default().insert(a);
+            }
+            Update::Delete(..) => {
+                vg.delete_edges_undirected(&[(a, b)]);
+                oracle.get_mut(&a).expect("endpoint exists").remove(&b);
+                oracle.get_mut(&b).expect("endpoint exists").remove(&a);
+            }
+        }
+        // Full validation periodically, cheap checks every step.
+        let v = vg.acquire();
+        let total: usize = oracle.values().map(BTreeSet::len).sum();
+        assert_eq!(v.num_edges() as usize, total, "after update {i}");
+        if i % 500 == 0 {
+            assert_matches(&v, &oracle);
+            v.check_invariants();
+        }
+    }
+    assert_matches(&vg.acquire(), &oracle);
+}
+
+#[test]
+fn batch_replay_matches_single_edge_replay() {
+    let edges = Rmat::new(9, 5).symmetric_graph_edges(10_000);
+    let setup = build_update_stream(&edges, 500, 3);
+
+    // One at a time.
+    let single: VersionedGraph<CompressedEdges> =
+        VersionedGraph::new(Graph::from_edges(&setup.initial_edges, Default::default()));
+    // All inserts, then all deletes, as two batches.
+    let mut inserts = Vec::new();
+    let mut deletes = Vec::new();
+    for u in &setup.updates {
+        match *u {
+            Update::Insert(a, b) => inserts.push((a, b)),
+            Update::Delete(a, b) => deletes.push((a, b)),
+        }
+    }
+    for &(a, b) in &inserts {
+        single.insert_edges_undirected(&[(a, b)]);
+    }
+    for &(a, b) in &deletes {
+        single.delete_edges_undirected(&[(a, b)]);
+    }
+
+    let batched: VersionedGraph<CompressedEdges> =
+        VersionedGraph::new(Graph::from_edges(&setup.initial_edges, Default::default()));
+    batched.insert_edges_undirected(&inserts);
+    batched.delete_edges_undirected(&deletes);
+
+    let (a, b) = (single.acquire(), batched.acquire());
+    assert_eq!(a.num_edges(), b.num_edges());
+    assert_eq!(a.num_vertices(), b.num_vertices());
+    for v in a.vertex_ids() {
+        assert_eq!(
+            a.find_vertex(v).map(|e| e.edges.to_vec()),
+            b.find_vertex(v).map(|e| e.edges.to_vec()),
+            "vertex {v}"
+        );
+    }
+}
+
+#[test]
+fn flat_snapshot_agrees_with_tree_access_after_updates() {
+    let edges = Rmat::new(9, 12).symmetric_graph_edges(8_000);
+    let vg: VersionedGraph<CompressedEdges> =
+        VersionedGraph::new(Graph::from_edges(&edges, Default::default()));
+    vg.insert_edges_undirected(&[(0, 400), (1, 401), (2, 402)]);
+    vg.delete_edges_undirected(&[(0, 400)]);
+    let snap = vg.acquire();
+    let flat = aspen::FlatSnapshot::new(&snap);
+    for v in 0..flat.len() as u32 {
+        assert_eq!(
+            GraphView::neighbors(&*snap, v),
+            GraphView::neighbors(&flat, v),
+            "vertex {v}"
+        );
+    }
+}
