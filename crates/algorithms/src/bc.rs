@@ -140,8 +140,8 @@ mod tests {
         for &v in order.iter().rev() {
             for w in aspen::GraphView::neighbors(g, v) {
                 if dist[w as usize] == dist[v as usize] + 1 {
-                    delta[v as usize] += sigma[v as usize] / sigma[w as usize]
-                        * (1.0 + delta[w as usize]);
+                    delta[v as usize] +=
+                        sigma[v as usize] / sigma[w as usize] * (1.0 + delta[w as usize]);
                 }
             }
         }

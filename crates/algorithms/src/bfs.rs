@@ -85,9 +85,7 @@ mod tests {
     type G = Graph<CompressedEdges>;
 
     fn path(n: u32) -> G {
-        let edges: Vec<(u32, u32)> = (0..n - 1)
-            .flat_map(|i| [(i, i + 1), (i + 1, i)])
-            .collect();
+        let edges: Vec<(u32, u32)> = (0..n - 1).flat_map(|i| [(i, i + 1), (i + 1, i)]).collect();
         G::from_edges(&edges, Default::default())
     }
 

@@ -84,7 +84,10 @@ mod tests {
         }
         let g = G::from_edges(&sym(&edges), Default::default());
         let core = kcore(&g);
-        assert!(core.iter().all(|&c| c == 4), "5-clique is a 4-core: {core:?}");
+        assert!(
+            core.iter().all(|&c| c == 4),
+            "5-clique is a 4-core: {core:?}"
+        );
     }
 
     #[test]
@@ -107,8 +110,8 @@ mod tests {
         let g = G::from_edges(&sym(&edges), Default::default());
         let core = kcore(&g);
         assert_eq!(core[4], 1);
-        for v in 0..4 {
-            assert_eq!(core[v], 3, "core of clique member {v}");
+        for (v, &c) in core.iter().enumerate().take(4) {
+            assert_eq!(c, 3, "core of clique member {v}");
         }
         assert_eq!(degeneracy(&core), 3);
     }

@@ -131,8 +131,7 @@ mod tests {
 
     #[test]
     fn zero_weight_edges_are_free() {
-        let g =
-            WeightedGraph::from_edges(&wsym(&[(0, 1, 0), (1, 2, 0)]), Default::default());
+        let g = WeightedGraph::from_edges(&wsym(&[(0, 1, 0), (1, 2, 0)]), Default::default());
         let d = sssp(&g, 0);
         assert_eq!(d, vec![0, 0, 0]);
     }

@@ -8,7 +8,7 @@
 //! once at its lowest-id vertex. `O(Σ deg(u)·…)` merge work,
 //! parallelized over vertices.
 
-use aspen::{GraphView, VertexId};
+use aspen::GraphView;
 use rayon::prelude::*;
 
 /// Counts triangles in an undirected (symmetric) graph.
@@ -111,8 +111,8 @@ mod tests {
         let g = G::from_edges(&sym(&edges), Default::default());
         assert_eq!(triangle_count(&g), 35); // C(7,3)
         let cc = clustering_coefficients(&g);
-        for v in 0..k as usize {
-            assert!((cc[v] - 1.0).abs() < 1e-9, "clique cc[{v}] = {}", cc[v]);
+        for (v, &c) in cc.iter().enumerate().take(k as usize) {
+            assert!((c - 1.0).abs() < 1e-9, "clique cc[{v}] = {c}");
         }
     }
 

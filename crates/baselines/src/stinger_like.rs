@@ -87,7 +87,9 @@ impl StingerLike {
     /// Creates an empty graph over the id space `0..n`.
     pub fn new(n: usize) -> Self {
         StingerLike {
-            vertices: (0..n).map(|_| Mutex::new(VertexRecord::default())).collect(),
+            vertices: (0..n)
+                .map(|_| Mutex::new(VertexRecord::default()))
+                .collect(),
             num_edges: AtomicU64::new(0),
         }
     }
@@ -283,9 +285,7 @@ mod tests {
 
     #[test]
     fn parallel_batch_matches_sequential() {
-        let edges: Vec<(u32, u32)> = (0..2000u32)
-            .map(|i| (i % 50, 50 + (i * 7) % 500))
-            .collect();
+        let edges: Vec<(u32, u32)> = (0..2000u32).map(|i| (i % 50, 50 + (i * 7) % 500)).collect();
         let par = StingerLike::new(600);
         par.insert_batch(&edges);
         let seq = StingerLike::new(600);

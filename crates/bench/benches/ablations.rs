@@ -6,9 +6,7 @@
 //! * direction optimization on/off for BFS.
 
 use algorithms::{bfs, bfs_directed};
-use aspen::{
-    CompressedEdges, Direction, FlatSnapshot, Graph, PlainEdges, UncompressedEdges,
-};
+use aspen::{CompressedEdges, Direction, FlatSnapshot, Graph, PlainEdges, UncompressedEdges};
 use bench_support::datasets::{default_b, tiny};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;

@@ -19,12 +19,20 @@ fn bench_build(c: &mut Criterion) {
     for b in [8u32, 128, 1024] {
         g.bench_with_input(BenchmarkId::new("delta", b), &b, |bench, &b| {
             bench.iter(|| {
-                black_box(CTree::<DeltaCodec>::from_sorted(&xs, ChunkParams::with_b(b)))
+                black_box(CTree::<DeltaCodec>::from_sorted(
+                    &xs,
+                    ChunkParams::with_b(b),
+                ))
             });
         });
     }
     g.bench_function("plain_b128", |bench| {
-        bench.iter(|| black_box(CTree::<PlainCodec>::from_sorted(&xs, ChunkParams::with_b(128))));
+        bench.iter(|| {
+            black_box(CTree::<PlainCodec>::from_sorted(
+                &xs,
+                ChunkParams::with_b(128),
+            ))
+        });
     });
     g.finish();
 }

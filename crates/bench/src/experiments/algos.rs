@@ -110,7 +110,13 @@ pub fn run_table11(datasets: &[Dataset]) -> Table {
     let mut t = Table::new(
         "Table 11: vs streaming systems (no direction optimization)",
         &[
-            "graph", "algo", "Stinger-like", "LLAMA-like", "Aspen", "ST/A", "LL/A",
+            "graph",
+            "algo",
+            "Stinger-like",
+            "LLAMA-like",
+            "Aspen",
+            "ST/A",
+            "LL/A",
         ],
     );
     for d in datasets {
@@ -157,7 +163,12 @@ pub fn run_table12(datasets: &[Dataset]) -> Table {
     let mut t = Table::new(
         "Table 12: vs static frameworks",
         &[
-            "graph", "algo", "GAP (csr)", "Galois (worklist)", "Ligra+ (ccsr)", "Aspen",
+            "graph",
+            "algo",
+            "GAP (csr)",
+            "Galois (worklist)",
+            "Ligra+ (ccsr)",
+            "Aspen",
         ],
     );
     for d in datasets {

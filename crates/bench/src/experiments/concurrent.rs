@@ -1,0 +1,120 @@
+//! The simultaneous-updates-and-queries measurement (§7.4, Table 9's
+//! headline claim) reproduced through the `aspen-stream` engine rather
+//! than a synchronous replay loop: producer threads push the §7.3
+//! update stream through the bounded ingest channel while query
+//! threads run BFS + connected components on live snapshots, and the
+//! engine's histograms report batch-apply, end-to-end update and query
+//! latency side by side.
+
+use crate::datasets::{default_b, Dataset};
+use crate::tables::Table;
+use aspen::{CompressedEdges, Graph, VersionedGraph};
+use graphgen::build_update_stream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use stream::{analytics, BatchPolicy, StatsReport, StreamEngine};
+
+/// How one dataset behaved under concurrent ingestion + analytics.
+struct ConcurrentRun {
+    report: StatsReport,
+    wall: Duration,
+}
+
+fn run_one(d: &Dataset, producers: usize, query_threads: usize) -> ConcurrentRun {
+    let edges = d.edges();
+    // Sample 10% of the graph's undirected edges (capped) as updates,
+    // matching the §7.3 recipe's shape at bench-friendly scale.
+    let undirected = edges.len() / 2;
+    let sample = (undirected / 10).clamp(100, 200_000);
+    let setup = build_update_stream(&edges, sample, d.seed ^ 0xC0CC);
+
+    let vg: Arc<VersionedGraph<CompressedEdges>> = Arc::new(VersionedGraph::new(
+        Graph::from_edges(&setup.initial_edges, default_b()),
+    ));
+
+    let engine = StreamEngine::builder(vg)
+        .policy(BatchPolicy {
+            max_batch: 2048,
+            max_linger: Duration::from_millis(1),
+            channel_capacity: 16 * 1024,
+        })
+        .register_query(analytics::bfs_from_hub())
+        .register_query(analytics::connected_components())
+        .query_threads(query_threads)
+        .track_consistency(true)
+        .start();
+
+    let wall = Instant::now();
+    let per = setup.updates.len().div_ceil(producers).max(1);
+    let handles: Vec<_> = setup
+        .updates
+        .chunks(per)
+        .map(|chunk| {
+            let h = engine.handle();
+            let chunk = chunk.to_vec();
+            std::thread::spawn(move || h.push_all(&chunk).expect("engine closed early"))
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("producer panicked");
+    }
+    let report = engine.finish();
+    let wall = wall.elapsed();
+    assert_eq!(
+        report.consistency_violations, 0,
+        "snapshot isolation violated on {}",
+        d.name
+    );
+    ConcurrentRun { report, wall }
+}
+
+/// Renders the concurrent-ingestion experiment over `sets`.
+pub fn run_stream_engine(sets: &[Dataset]) -> Table {
+    let mut t = Table::new(
+        "stream: concurrent ingestion engine (2 producers + 2 query threads, adaptive batching)",
+        &[
+            "graph",
+            "updates",
+            "batches",
+            "mean batch",
+            "apply p50",
+            "apply p99",
+            "e2e p50",
+            "e2e p99",
+            "query p50",
+            "queries",
+            "updates/s",
+        ],
+    );
+    for d in sets {
+        let run = run_one(d, 2, 2);
+        let r = &run.report;
+        t.row(&[
+            d.name.to_owned(),
+            r.updates_applied.to_string(),
+            r.batches_applied.to_string(),
+            format!("{:.1}", r.mean_batch_size()),
+            crate::fmt_secs(r.batch_apply.p50.as_secs_f64()),
+            crate::fmt_secs(r.batch_apply.p99.as_secs_f64()),
+            crate::fmt_secs(r.update_e2e.p50.as_secs_f64()),
+            crate::fmt_secs(r.update_e2e.p99.as_secs_f64()),
+            crate::fmt_secs(r.query.p50.as_secs_f64()),
+            r.queries_run.to_string(),
+            crate::fmt_rate(r.updates_applied as f64 / run.wall.as_secs_f64()),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets;
+
+    #[test]
+    fn tiny_dataset_round_trips() {
+        let run = run_one(&datasets::tiny(), 2, 1);
+        assert!(run.report.updates_applied > 0);
+        assert_eq!(run.report.update_e2e.count, run.report.updates_applied);
+    }
+}

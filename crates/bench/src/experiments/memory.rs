@@ -4,9 +4,7 @@ use super::{build_aspen, hub};
 use crate::datasets::{default_b, Dataset};
 use crate::tables::Table;
 use crate::{fmt_bytes, fmt_secs, timed};
-use aspen::{
-    ChunkParams, CompressedEdges, FlatSnapshot, Graph, PlainEdges, UncompressedEdges,
-};
+use aspen::{ChunkParams, CompressedEdges, FlatSnapshot, Graph, PlainEdges, UncompressedEdges};
 use baselines::CompressedCsr;
 
 /// Table 1: statistics of the stand-in graphs.
@@ -75,8 +73,7 @@ pub fn run_table5(d: &Dataset) -> Table {
     );
     let edges = d.edges();
     for log_b in 1..=12u32 {
-        let g: Graph<CompressedEdges> =
-            Graph::from_edges(&edges, ChunkParams::with_b(1 << log_b));
+        let g: Graph<CompressedEdges> = Graph::from_edges(&edges, ChunkParams::with_b(1 << log_b));
         let f = FlatSnapshot::new(&g);
         let src = hub(&f);
         let (_, bfs_t) = timed(|| algorithms::bfs(&f, src));

@@ -19,6 +19,7 @@
 //!   table12   vs static frameworks
 //!   table13   uncompressed trees vs C-trees
 //!   table14   Ligra+ vs Aspen, all algorithms (covers tables 14 and 15)
+//!   stream    concurrent ingestion engine: updates + queries (aspen-stream)
 //!   all       everything above, in order
 //!
 //! flags:
@@ -103,5 +104,8 @@ fn main() {
     }
     if run("table14") || which == "table15" {
         exp::run_table14_15(&sets).print();
+    }
+    if run("stream") {
+        exp::run_stream_engine(&sets).print();
     }
 }

@@ -118,7 +118,9 @@ mod tests {
     #[test]
     fn detects_added_and_removed_edges() {
         let g = G::from_edges(&sym(&[(0, 1), (1, 2)]), Default::default());
-        let g2 = g.insert_edges(&sym(&[(0, 2)])).delete_edges(&sym(&[(1, 2)]));
+        let g2 = g
+            .insert_edges(&sym(&[(0, 2)]))
+            .delete_edges(&sym(&[(1, 2)]));
         let d = diff_graphs(&g, &g2);
         assert_eq!(d.added_edges, vec![(0, 2), (2, 0)]);
         assert_eq!(d.removed_edges, vec![(1, 2), (2, 1)]);

@@ -72,11 +72,8 @@ where
         Direction::ForceDense => true,
         Direction::Auto => {
             let ids = frontier.to_vec();
-            let out_degrees: u64 = ids
-                .par_iter()
-                .map(|&v| graph.degree(v) as u64)
-                .sum::<u64>()
-                + ids.len() as u64;
+            let out_degrees: u64 =
+                ids.par_iter().map(|&v| graph.degree(v) as u64).sum::<u64>() + ids.len() as u64;
             out_degrees > graph.num_edges() / DENSE_DIVISOR
         }
     };
@@ -149,15 +146,8 @@ where
 
 /// Applies `f` to every vertex in the subset in parallel, returning the
 /// subset of vertices for which `f` returned true (Ligra's vertexMap).
-pub fn vertex_map(
-    subset: &VertexSubset,
-    f: impl Fn(VertexId) -> bool + Sync,
-) -> VertexSubset {
-    let kept: Vec<VertexId> = subset
-        .to_vec()
-        .into_par_iter()
-        .filter(|&v| f(v))
-        .collect();
+pub fn vertex_map(subset: &VertexSubset, f: impl Fn(VertexId) -> bool + Sync) -> VertexSubset {
+    let kept: Vec<VertexId> = subset.to_vec().into_par_iter().filter(|&v| f(v)).collect();
     VertexSubset::sparse(subset.id_space(), kept)
 }
 
@@ -172,19 +162,20 @@ mod tests {
 
     /// Path graph 0-1-2-...-(n-1), symmetric edges.
     fn path(n: u32) -> G {
-        let edges: Vec<(u32, u32)> = (0..n - 1)
-            .flat_map(|i| [(i, i + 1), (i + 1, i)])
-            .collect();
+        let edges: Vec<(u32, u32)> = (0..n - 1).flat_map(|i| [(i, i + 1), (i + 1, i)]).collect();
         G::from_edges(&edges, Default::default())
     }
 
-    fn bfs_level(g: &G, frontier: &VertexSubset, visited: &[AtomicBool], dir: Direction) -> VertexSubset {
+    fn bfs_level(
+        g: &G,
+        frontier: &VertexSubset,
+        visited: &[AtomicBool],
+        dir: Direction,
+    ) -> VertexSubset {
         edge_map_directed(
             g,
             frontier,
-            |_, v| {
-                !visited[v as usize].swap(true, Ordering::SeqCst)
-            },
+            |_, v| !visited[v as usize].swap(true, Ordering::SeqCst),
             |v| !visited[v as usize].load(Ordering::SeqCst),
             dir,
         )
@@ -252,7 +243,11 @@ mod tests {
             Direction::ForceDense,
         );
         assert_eq!(out.len(), 1);
-        assert_eq!(count.load(Ordering::SeqCst), 1, "scan stops once cond flips");
+        assert_eq!(
+            count.load(Ordering::SeqCst),
+            1,
+            "scan stops once cond flips"
+        );
     }
 
     #[test]

@@ -117,8 +117,7 @@ impl<E: EdgeSet> Graph<E> {
         sorted.par_sort_unstable();
         sorted.dedup();
         // Collect every endpoint so isolated/sink vertices exist too.
-        let mut all_ids: Vec<VertexId> =
-            sorted.iter().flat_map(|&(u, v)| [u, v]).collect();
+        let mut all_ids: Vec<VertexId> = sorted.iter().flat_map(|&(u, v)| [u, v]).collect();
         all_ids.par_sort_unstable();
         all_ids.dedup();
 
@@ -249,8 +248,7 @@ impl<E: EdgeSet> Graph<E> {
         let dst_entries: Vec<VertexEntry<E>> = endpoints
             .into_iter()
             .filter(|&id| {
-                entries.binary_search_by_key(&id, |e| e.id).is_err()
-                    && !self.contains_vertex(id)
+                entries.binary_search_by_key(&id, |e| e.id).is_err() && !self.contains_vertex(id)
             })
             .map(|id| VertexEntry {
                 id,
@@ -318,9 +316,7 @@ impl<E: EdgeSet> Graph<E> {
                 edges: E::empty(cfg),
             })
             .collect();
-        let vertices = self
-            .vertices
-            .multi_insert(entries, |old, _new| old.clone());
+        let vertices = self.vertices.multi_insert(entries, |old, _new| old.clone());
         Graph { vertices, cfg }
     }
 
@@ -351,9 +347,9 @@ impl<E: EdgeSet> Graph<E> {
     /// Heap bytes: vertex-tree nodes plus all edge-set payloads.
     /// The counterpart of the paper's Table 2 accounting.
     pub fn memory_bytes(&self) -> usize {
-        let edges: u64 = self
-            .vertices
-            .map_reduce(|e| e.edges.memory_bytes() as u64, |a, b| a + b, || 0);
+        let edges: u64 =
+            self.vertices
+                .map_reduce(|e| e.edges.memory_bytes() as u64, |a, b| a + b, || 0);
         self.vertices.memory_bytes() + edges as usize
     }
 
@@ -412,10 +408,7 @@ mod tests {
     type G = Graph<CompressedEdges>;
 
     fn sym(edges: &[(u32, u32)]) -> Vec<(u32, u32)> {
-        edges
-            .iter()
-            .flat_map(|&(u, v)| [(u, v), (v, u)])
-            .collect()
+        edges.iter().flat_map(|&(u, v)| [(u, v), (v, u)]).collect()
     }
 
     #[test]

@@ -63,13 +63,11 @@ mod weighted;
 
 pub use diff::{diff_graphs, GraphDiff};
 pub use edgemap::{edge_map, edge_map_directed, vertex_map, Direction};
-pub use edges::{
-    CTreeEdges, CompressedEdges, EdgeSet, PlainEdges, UncompressedEdges, VertexId,
-};
+pub use edges::{CTreeEdges, CompressedEdges, EdgeSet, PlainEdges, UncompressedEdges, VertexId};
 pub use flat::FlatSnapshot;
 pub use graph::{EdgeMeasure, Graph, VertexEntry, VertexTree};
 pub use subset::VertexSubset;
-pub use versioned::{symmetrize, Version, VersionedGraph};
+pub use versioned::{symmetrize, ApplyTiming, Version, VersionedGraph};
 pub use view::GraphView;
 pub use weighted::{WVertexEntry, WeightedEdge, WeightedGraph};
 

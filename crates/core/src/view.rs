@@ -109,6 +109,6 @@ mod tests {
         let r = Ring { n: 4 };
         let by_ref: &dyn GraphView = &r;
         assert_eq!((&by_ref).id_bound(), 4);
-        assert_eq!((&r).neighbors(0), vec![1, 2]);
+        assert_eq!(r.neighbors(0), vec![1, 2]);
     }
 }

@@ -198,10 +198,12 @@ impl WeightedGraph {
                 edges: WCTree::new(cfg),
             })
             .collect();
-        let vertices = self.vertices.multi_insert(entries, |old, new| WVertexEntry {
-            id: old.id,
-            edges: old.edges.union(&new.edges, combine),
-        });
+        let vertices = self
+            .vertices
+            .multi_insert(entries, |old, new| WVertexEntry {
+                id: old.id,
+                edges: old.edges.union(&new.edges, combine),
+            });
         let vertices = if dst_entries.is_empty() {
             vertices
         } else {
@@ -240,11 +242,8 @@ impl WeightedGraph {
         }
         // Pair each batch entry with its kill set by position: encode
         // the index into the placeholder entry via a lookaside table.
-        let kill_by_src: std::collections::HashMap<VertexId, CTree<ctree::DeltaCodec>> = entries
-            .iter()
-            .map(|e| e.id)
-            .zip(kill_sets)
-            .collect();
+        let kill_by_src: std::collections::HashMap<VertexId, CTree<ctree::DeltaCodec>> =
+            entries.iter().map(|e| e.id).zip(kill_sets).collect();
         let vertices = self.vertices.multi_insert(entries, |old, _new| {
             let kill = kill_by_src
                 .get(&old.id)
@@ -259,9 +258,10 @@ impl WeightedGraph {
 
     /// Heap bytes of the structure.
     pub fn memory_bytes(&self) -> usize {
-        let edges =
-            self.vertices
-                .map_reduce(|e| e.edges.memory_bytes() as u64, |a, b| a + b, || 0) as usize;
+        let edges = self
+            .vertices
+            .map_reduce(|e| e.edges.memory_bytes() as u64, |a, b| a + b, || 0)
+            as usize;
         self.vertices.memory_bytes() + edges
     }
 

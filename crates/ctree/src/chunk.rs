@@ -433,9 +433,15 @@ mod tests {
     fn split3_cases() {
         let c = DChunk::from_sorted(&[10, 20, 30, 40]);
         let (lo, f, hi) = c.split3(20);
-        assert_eq!((lo.to_vec(), f, hi.to_vec()), (vec![10], true, vec![30, 40]));
+        assert_eq!(
+            (lo.to_vec(), f, hi.to_vec()),
+            (vec![10], true, vec![30, 40])
+        );
         let (lo, f, hi) = c.split3(25);
-        assert_eq!((lo.to_vec(), f, hi.to_vec()), (vec![10, 20], false, vec![30, 40]));
+        assert_eq!(
+            (lo.to_vec(), f, hi.to_vec()),
+            (vec![10, 20], false, vec![30, 40])
+        );
         let (lo, f, hi) = c.split3(5);
         assert_eq!((lo.len(), f, hi.len()), (0, false, 4));
         let (lo, f, hi) = c.split3(100);

@@ -55,11 +55,7 @@ impl<C: ChunkCodec> CTree<C> {
         // left result keeps our prefix; the recursion never produces a
         // left prefix of its own.
         let (lt, found, right) = split_tree(p, &self.tree, k);
-        (
-            CTree::assemble(p, lt, self.prefix.clone()),
-            found,
-            right,
-        )
+        (CTree::assemble(p, lt, self.prefix.clone()), found, right)
     }
 
     /// The union of two C-trees (Algorithm 1).
@@ -426,7 +422,12 @@ mod tests {
     }
 
     fn oracle_union(a: &[u32], b: &[u32]) -> Vec<u32> {
-        a.iter().chain(b).copied().collect::<BTreeSet<_>>().into_iter().collect()
+        a.iter()
+            .chain(b)
+            .copied()
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect()
     }
 
     #[test]
@@ -460,11 +461,7 @@ mod tests {
             let a = ct(&(0..500).step_by(2).collect::<Vec<_>>(), b);
             let c = ct(&(0..500).step_by(3).collect::<Vec<_>>(), b);
             let u = a.union(&c);
-            assert_eq!(
-                u.to_vec(),
-                oracle_union(&a.to_vec(), &c.to_vec()),
-                "b={b}"
-            );
+            assert_eq!(u.to_vec(), oracle_union(&a.to_vec(), &c.to_vec()), "b={b}");
             u.check_invariants();
             // persistence
             assert_eq!(a.len(), 250);
@@ -552,10 +549,7 @@ mod tests {
         inserted.check_invariants();
         let removed = inserted.multi_delete(batch.clone());
         let sb: BTreeSet<u32> = batch.into_iter().collect();
-        let expect: Vec<u32> = (0..1000)
-            .step_by(3)
-            .filter(|x| !sb.contains(x))
-            .collect();
+        let expect: Vec<u32> = (0..1000).step_by(3).filter(|x| !sb.contains(x)).collect();
         assert_eq!(removed.to_vec(), expect);
         removed.check_invariants();
     }

@@ -42,7 +42,7 @@ impl ChunkParams {
     /// recursive set operations line up (§3.1).
     #[inline]
     pub fn is_head(&self, x: u32) -> bool {
-        parlib::hash64_with_seed(u64::from(x), self.seed) % u64::from(self.b) == 0
+        parlib::hash64_with_seed(u64::from(x), self.seed).is_multiple_of(u64::from(self.b))
     }
 }
 
@@ -318,11 +318,10 @@ impl<C: ChunkCodec> CTree<C> {
     /// the tree as if it were the sole owner, matching how the paper
     /// accounts for a single version.
     pub fn memory_bytes(&self) -> usize {
-        let chunk_bytes = self.tree.map_reduce(
-            |ht| ht.tail.memory_bytes() as u64,
-            |a, b| a + b,
-            || 0,
-        ) as usize;
+        let chunk_bytes =
+            self.tree
+                .map_reduce(|ht| ht.tail.memory_bytes() as u64, |a, b| a + b, || 0)
+                as usize;
         self.prefix.memory_bytes() + chunk_bytes + self.tree.memory_bytes()
     }
 

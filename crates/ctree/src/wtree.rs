@@ -156,7 +156,11 @@ impl WChunk {
                 Some(xs[i]),
                 Self::from_sorted(&xs[i + 1..]),
             ),
-            Err(i) => (Self::from_sorted(&xs[..i]), None, Self::from_sorted(&xs[i..])),
+            Err(i) => (
+                Self::from_sorted(&xs[..i]),
+                None,
+                Self::from_sorted(&xs[i..]),
+            ),
         }
     }
 
@@ -454,11 +458,7 @@ impl WCTree {
             }
         }
         let (lt, found, right) = split_wtree(p, &self.tree, k);
-        (
-            WCTree::assemble(p, lt, self.prefix.clone()),
-            found,
-            right,
-        )
+        (WCTree::assemble(p, lt, self.prefix.clone()), found, right)
     }
 
     /// Union with `f` combining weights of shared ids
@@ -467,7 +467,11 @@ impl WCTree {
     /// # Panics
     ///
     /// Panics on mismatched [`ChunkParams`].
-    pub fn union(&self, other: &WCTree, f: impl Fn(Weight, Weight) -> Weight + Copy + Sync) -> WCTree {
+    pub fn union(
+        &self,
+        other: &WCTree,
+        f: impl Fn(Weight, Weight) -> Weight + Copy + Sync,
+    ) -> WCTree {
         assert_eq!(self.params, other.params, "weighted union params mismatch");
         wunion(self, other, f)
     }
@@ -566,7 +570,15 @@ fn split_wtree(p: ChunkParams, tree: &WHeadTree, k: u32) -> (WHeadTree, Option<W
         std::cmp::Ordering::Greater => {
             if tail.last_id().is_some_and(|last| k <= last) {
                 let (vl, found, vr) = tail.split3(k);
-                let left = Tree::join(l, WHeadTail { head, weight, tail: vl }, Tree::new());
+                let left = Tree::join(
+                    l,
+                    WHeadTail {
+                        head,
+                        weight,
+                        tail: vl,
+                    },
+                    Tree::new(),
+                );
                 (left, found, WCTree::assemble(p, r, vr))
             } else {
                 let (rl, found, right) = split_wtree(p, &r, k);
@@ -640,7 +652,11 @@ fn wunion(a: &WCTree, b: &WCTree, f: impl Fn(Weight, Weight) -> Weight + Copy + 
 
 /// Merges a prefix-only weighted C-tree into `c`; `f(c_weight,
 /// prefix_weight)` combines shared ids.
-fn wunion_bc(p1: &WChunk, c: &WCTree, f: impl Fn(Weight, Weight) -> Weight + Copy + Sync) -> WCTree {
+fn wunion_bc(
+    p1: &WChunk,
+    c: &WCTree,
+    f: impl Fn(Weight, Weight) -> Weight + Copy + Sync,
+) -> WCTree {
     let p = c.params;
     if p1.is_empty() {
         return c.clone();
@@ -711,11 +727,7 @@ fn wdifference(a: &WCTree, ids: &crate::CTree<crate::DeltaCodec>) -> WCTree {
 
     // 1. Remove non-head ids from prefix and tails.
     let remove_chunk = crate::Chunk::<crate::DeltaCodec>::from_sorted(&chunk_ids);
-    let mut out = WCTree::assemble(
-        p,
-        a.tree.clone(),
-        a.prefix.difference_ids(&remove_chunk),
-    );
+    let mut out = WCTree::assemble(p, a.tree.clone(), a.prefix.difference_ids(&remove_chunk));
     if !chunk_ids.is_empty() {
         if let Some(first_head) = out.first_head() {
             let (_, beyond) = remove_chunk.split_lt(Some(first_head));
@@ -823,16 +835,9 @@ mod tests {
             let u = wt(&xs, b).union(&wt(&ys, b), |a, c| a + c);
             let mut oracle: BTreeMap<u32, u32> = xs.iter().copied().collect();
             for &(id, w) in &ys {
-                oracle
-                    .entry(id)
-                    .and_modify(|cur| *cur += w)
-                    .or_insert(w);
+                oracle.entry(id).and_modify(|cur| *cur += w).or_insert(w);
             }
-            assert_eq!(
-                u.to_vec(),
-                oracle.into_iter().collect::<Vec<_>>(),
-                "b={b}"
-            );
+            assert_eq!(u.to_vec(), oracle.into_iter().collect::<Vec<_>>(), "b={b}");
             u.check_invariants();
         }
     }
@@ -846,8 +851,11 @@ mod tests {
             let kill: Vec<u32> = (0..600).step_by(5).collect();
             let d = t.difference(&crate::CTree::build(kill.clone(), p));
             let ks: std::collections::BTreeSet<u32> = kill.into_iter().collect();
-            let expect: Vec<WElem> =
-                pairs.iter().copied().filter(|(id, _)| !ks.contains(id)).collect();
+            let expect: Vec<WElem> = pairs
+                .iter()
+                .copied()
+                .filter(|(id, _)| !ks.contains(id))
+                .collect();
             assert_eq!(d.to_vec(), expect, "b={b}");
             d.check_invariants();
         }

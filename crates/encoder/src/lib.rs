@@ -57,8 +57,8 @@ pub fn encode_sorted_into(xs: &[u32], out: &mut Vec<u8>) {
 /// Panics if `bytes` is truncated.
 pub fn decode_sorted(bytes: &[u8], count: usize) -> Vec<u32> {
     let mut out = Vec::with_capacity(count);
-    let mut it = SortedDecoder::new(bytes, count);
-    while let Some(x) = it.next() {
+    let it = SortedDecoder::new(bytes, count);
+    for x in it {
         out.push(x);
     }
     out

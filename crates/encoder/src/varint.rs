@@ -96,7 +96,16 @@ mod tests {
 
     #[test]
     fn boundaries_u32() {
-        for v in [0u32, 0x7f, 0x80, 0x3fff, 0x4000, 0x1f_ffff, 0x20_0000, u32::MAX] {
+        for v in [
+            0u32,
+            0x7f,
+            0x80,
+            0x3fff,
+            0x4000,
+            0x1f_ffff,
+            0x20_0000,
+            u32::MAX,
+        ] {
             let mut buf = Vec::new();
             encode_u32(v, &mut buf);
             assert_eq!(buf.len(), encoded_len_u32(v), "len mismatch for {v}");

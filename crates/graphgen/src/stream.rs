@@ -31,6 +31,25 @@ impl Update {
             Update::Insert(u, v) | Update::Delete(u, v) => (u, v),
         }
     }
+
+    /// Whether this update is an insertion.
+    pub fn is_insert(&self) -> bool {
+        matches!(self, Update::Insert(..))
+    }
+
+    /// Whether this update is a deletion.
+    pub fn is_delete(&self) -> bool {
+        matches!(self, Update::Delete(..))
+    }
+}
+
+impl std::fmt::Display for Update {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Update::Insert(u, v) => write!(f, "+({u},{v})"),
+            Update::Delete(u, v) => write!(f, "-({u},{v})"),
+        }
+    }
 }
 
 /// The §7.3 experiment setup: a starting graph (with the insertion
@@ -166,5 +185,44 @@ mod tests {
     fn rejects_oversized_sample() {
         let edges = vec![(0u32, 1u32), (1, 0)];
         let _ = build_update_stream(&edges, 10, 1);
+    }
+
+    #[test]
+    fn ratio_holds_across_sample_sizes() {
+        let edges = Rmat::new(10, 11).symmetric_graph_edges(20_000);
+        for sample in [10, 100, 1500] {
+            let s = build_update_stream(&edges, sample, 9);
+            let inserts = s.updates.iter().filter(|u| u.is_insert()).count();
+            assert_eq!(inserts, sample * 9 / 10, "sample={sample}");
+            assert_eq!(s.updates.len(), sample, "sample={sample}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let edges = Rmat::new(10, 11).symmetric_graph_edges(20_000);
+        let a = build_update_stream(&edges, 500, 7);
+        let b = build_update_stream(&edges, 500, 8);
+        // Same recipe, different permutation and (almost surely)
+        // different sampled edges.
+        assert_ne!(a.updates, b.updates);
+    }
+
+    #[test]
+    fn determinism_covers_initial_graph_too() {
+        let edges = Rmat::new(10, 11).symmetric_graph_edges(20_000);
+        let a = build_update_stream(&edges, 500, 7);
+        let b = build_update_stream(&edges, 500, 7);
+        assert_eq!(a.initial_edges, b.initial_edges);
+    }
+
+    #[test]
+    fn update_helpers_and_display() {
+        let ins = Update::Insert(3, 4);
+        let del = Update::Delete(4, 3);
+        assert!(ins.is_insert() && !ins.is_delete());
+        assert!(del.is_delete() && !del.is_insert());
+        assert_eq!(ins.to_string(), "+(3,4)");
+        assert_eq!(del.to_string(), "-(4,3)");
     }
 }

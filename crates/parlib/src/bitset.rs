@@ -23,7 +23,7 @@ impl AtomicBitset {
     /// assert!(!bs.get(7));
     /// ```
     pub fn new(len: usize) -> Self {
-        let nwords = (len + 63) / 64;
+        let nwords = len.div_ceil(64);
         let mut words = Vec::with_capacity(nwords);
         words.resize_with(nwords, || AtomicU64::new(0));
         Self { words, len }

@@ -67,7 +67,7 @@ mod tests {
         // Selecting elements with h(e) % b == 0 should pick ~n/b heads.
         let b = 128u64;
         let n = 100_000u64;
-        let heads = (0..n).filter(|&x| hash64(x) % b == 0).count();
+        let heads = (0..n).filter(|&x| hash64(x).is_multiple_of(b)).count();
         let expected = (n / b) as f64;
         let got = heads as f64;
         assert!(

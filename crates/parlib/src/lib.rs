@@ -71,7 +71,7 @@ mod tests {
 
     #[test]
     fn with_threads_single() {
-        let r = with_threads(1, || rayon::current_num_threads());
+        let r = with_threads(1, rayon::current_num_threads);
         assert_eq!(r, 1);
     }
 

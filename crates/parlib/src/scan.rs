@@ -40,7 +40,7 @@ where
         }
         return (out, acc);
     }
-    let nblocks = (n + GRAIN - 1) / GRAIN;
+    let nblocks = n.div_ceil(GRAIN);
     // Pass 1: per-block totals.
     let block_sums: Vec<T> = (0..nblocks)
         .into_par_iter()
@@ -116,7 +116,13 @@ where
     }
     items
         .par_chunks(GRAIN)
-        .map(|chunk| chunk.iter().filter(|x| pred(x)).cloned().collect::<Vec<_>>())
+        .map(|chunk| {
+            chunk
+                .iter()
+                .filter(|x| pred(x))
+                .cloned()
+                .collect::<Vec<_>>()
+        })
         .reduce(Vec::new, |mut a, mut b| {
             a.append(&mut b);
             a

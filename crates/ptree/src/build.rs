@@ -5,9 +5,9 @@
 //! divide-and-conquer over joins costs `O(n)` work and `O(log² n)` depth
 //! once the input is sorted, and produces the canonical treap shape.
 
+use crate::node::Link;
 use crate::node::{Augment, Entry};
 use crate::tree::{join_link, Tree};
-use crate::node::Link;
 use rayon::prelude::*;
 
 /// Subtree size below which construction runs sequentially.
@@ -116,14 +116,12 @@ mod tests {
 
     #[test]
     fn build_combine_is_left_fold_in_input_order() {
-        let t: Tree<(u32, Vec<u32>)> = Tree::build(
-            vec![(1, vec![10]), (1, vec![20]), (1, vec![30])],
-            |a, b| {
+        let t: Tree<(u32, Vec<u32>)> =
+            Tree::build(vec![(1, vec![10]), (1, vec![20]), (1, vec![30])], |a, b| {
                 let mut v = a.1.clone();
                 v.extend(b.1);
                 (a.0, v)
-            },
-        );
+            });
         assert_eq!(t.find(&1).unwrap().1, vec![10, 20, 30]);
     }
 

@@ -27,11 +27,7 @@ impl<E: Entry, A: Augment<E>> Tree<E, A> {
     /// assert_eq!(a.union(&b, |x, _| *x).to_vec(), vec![1, 3, 4, 5]);
     /// ```
     pub fn union(&self, other: &Tree<E, A>, combine: impl Fn(&E, &E) -> E + Sync) -> Tree<E, A> {
-        Tree::from_link(union_link(
-            self.root.clone(),
-            other.root.clone(),
-            &combine,
-        ))
+        Tree::from_link(union_link(self.root.clone(), other.root.clone(), &combine))
     }
 
     /// Entries of `self` whose keys also appear in `other`, merged with
@@ -109,7 +105,10 @@ impl<E: Entry, A: Augment<E>> Tree<E, A> {
     ///
     /// Debug builds assert the key is unchanged.
     pub fn map_values(&self, f: impl Fn(&E) -> E + Sync) -> Tree<E, A> {
-        fn go<E: Entry, A: Augment<E>>(link: &Link<E, A>, f: &(impl Fn(&E) -> E + Sync)) -> Link<E, A> {
+        fn go<E: Entry, A: Augment<E>>(
+            link: &Link<E, A>,
+            f: &(impl Fn(&E) -> E + Sync),
+        ) -> Link<E, A> {
             let n = link.as_ref()?;
             let entry = f(&n.entry);
             debug_assert!(entry.key() == n.entry.key(), "map_values changed a key");
@@ -254,7 +253,11 @@ fn filter_link<E: Entry, A: Augment<E>>(
 ) -> Link<E, A> {
     let Some(n) = link else { return None };
     let par = n.size > SEQ_BULK;
-    let (l, r) = maybe_par(par, || filter_link(&n.left, pred), || filter_link(&n.right, pred));
+    let (l, r) = maybe_par(
+        par,
+        || filter_link(&n.left, pred),
+        || filter_link(&n.right, pred),
+    );
     if pred(&n.entry) {
         join_link(l, n.entry.clone(), r)
     } else {

@@ -50,7 +50,7 @@ mod tree;
 
 pub use iter::Iter;
 pub use node::{Augment, CountAug, Entry, Measure, NoAug, TreapKey};
-pub use tree::Tree;
+pub use tree::{Exposed, Tree};
 
 #[cfg(test)]
 mod proptests;

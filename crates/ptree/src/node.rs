@@ -194,7 +194,11 @@ pub(crate) fn aug_of<E: Entry, A: Augment<E>>(link: &Link<E, A>) -> A {
 /// augmentation. This is the only constructor, so the cached fields can
 /// never go stale.
 #[inline]
-pub(crate) fn mk_node<E: Entry, A: Augment<E>>(left: Link<E, A>, entry: E, right: Link<E, A>) -> Link<E, A> {
+pub(crate) fn mk_node<E: Entry, A: Augment<E>>(
+    left: Link<E, A>,
+    entry: E,
+    right: Link<E, A>,
+) -> Link<E, A> {
     let size = size(&left) + size(&right) + 1;
     let aug = aug_of(&left)
         .combine(&A::from_entry(&entry))

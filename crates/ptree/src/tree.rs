@@ -41,6 +41,10 @@ pub struct Tree<E: Entry, A: Augment<E> = NoAug> {
     pub(crate) root: Link<E, A>,
 }
 
+/// Result of [`Tree::expose`]: the left subtree, root entry, and right
+/// subtree, sharing structure with the exposed tree.
+pub type Exposed<'a, E, A> = (Tree<E, A>, &'a E, Tree<E, A>);
+
 impl<E: Entry, A: Augment<E>> Clone for Tree<E, A> {
     #[inline]
     fn clone(&self) -> Self {
@@ -110,8 +114,7 @@ impl<E: Entry, A: Augment<E>> Tree<E, A> {
     /// diagnostics and the balance tests.
     pub fn height(&self) -> usize {
         fn go<E: Entry, A: Augment<E>>(l: &Link<E, A>) -> usize {
-            l.as_ref()
-                .map_or(0, |n| 1 + go(&n.left).max(go(&n.right)))
+            l.as_ref().map_or(0, |n| 1 + go(&n.left).max(go(&n.right)))
         }
         go(&self.root)
     }
@@ -231,7 +234,7 @@ impl<E: Entry, A: Augment<E>> Tree<E, A> {
     /// This is the `Expose` primitive used throughout the paper's
     /// pseudocode (Algorithm 1). Returns `None` on an empty tree.
     /// The subtrees share structure with `self` (no copying).
-    pub fn expose(&self) -> Option<(Tree<E, A>, &E, Tree<E, A>)> {
+    pub fn expose(&self) -> Option<Exposed<'_, E, A>> {
         let node = self.root.as_ref()?;
         Some((
             Tree::from_link(node.left.clone()),
@@ -388,13 +391,8 @@ impl<E: Entry, A: Augment<E>> Tree<E, A> {
             let k = n.entry.key();
             assert!(lo.is_none_or(|lo| lo < k), "BST order violated (low)");
             assert!(hi.is_none_or(|hi| k < hi), "BST order violated (high)");
-            for child in [&n.left, &n.right] {
-                if let Some(c) = child {
-                    assert!(
-                        pri_greater(&n.entry, &c.entry),
-                        "treap priority violated"
-                    );
-                }
+            for c in [&n.left, &n.right].into_iter().flatten() {
+                assert!(pri_greater(&n.entry, &c.entry), "treap priority violated");
             }
             let ls = go(&n.left, lo, Some(k));
             let rs = go(&n.right, Some(k), hi);

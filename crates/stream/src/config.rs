@@ -1,0 +1,82 @@
+//! Ingestion tuning knobs.
+
+use std::time::Duration;
+
+/// The adaptive batching policy of the writer loop.
+///
+/// The writer flushes its buffered updates when **either** limit is
+/// hit, whichever comes first:
+///
+/// * [`max_batch`](Self::max_batch) updates are buffered — under a
+///   throughput spike the engine degrades gracefully into large batches
+///   and rides the paper's batch-update scalability (§7.4: throughput
+///   grows with batch size);
+/// * the oldest buffered update has lingered for
+///   [`max_linger`](Self::max_linger) — under a trickle of updates the
+///   engine bounds visibility latency instead of waiting for a full
+///   batch.
+///
+/// The effective batch size therefore *adapts to the arrival rate*
+/// between `1` and `max_batch` with no explicit rate measurement.
+///
+/// [`channel_capacity`](Self::channel_capacity) bounds the ingest
+/// channel; producers pushing into a full channel block until the
+/// writer drains it (backpressure), so engine memory stays bounded no
+/// matter how fast producers run.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchPolicy {
+    /// Flush as soon as this many updates are buffered.
+    pub max_batch: usize,
+    /// Flush when the oldest buffered update is this old.
+    pub max_linger: Duration,
+    /// Capacity of the bounded ingest channel.
+    pub channel_capacity: usize,
+}
+
+impl Default for BatchPolicy {
+    /// `max_batch` 4096, `max_linger` 2 ms, `channel_capacity` 65536 —
+    /// batch sizes in the range where Table 8 shows batching already
+    /// pays, with a visibility bound far below a human-perceptible lag.
+    fn default() -> Self {
+        BatchPolicy {
+            max_batch: 4096,
+            max_linger: Duration::from_millis(2),
+            channel_capacity: 64 * 1024,
+        }
+    }
+}
+
+impl BatchPolicy {
+    /// Validates the policy; called by the engine builder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` or `channel_capacity` is zero.
+    pub fn validate(&self) {
+        assert!(self.max_batch > 0, "max_batch must be positive");
+        assert!(
+            self.channel_capacity > 0,
+            "channel_capacity must be positive"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        BatchPolicy::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "max_batch")]
+    fn zero_batch_rejected() {
+        BatchPolicy {
+            max_batch: 0,
+            ..Default::default()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,136 @@
+//! Producer-side ingestion: a cloneable handle over a bounded MPSC
+//! channel with blocking backpressure.
+
+use graphgen::Update;
+use std::sync::mpsc::{SyncSender, TrySendError};
+use std::time::Instant;
+
+/// An update plus the instant a producer enqueued it; the writer loop
+/// uses the timestamp to attribute end-to-end (enqueue → visible)
+/// latency.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Envelope {
+    pub update: Update,
+    pub enqueued: Instant,
+}
+
+/// The ingestion channel is closed: the engine shut down before the
+/// push. The rejected update is returned to the caller.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IngestError(pub Update);
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ingest channel closed; rejected {}", self.0)
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// Outcome of a non-blocking [`IngestHandle::try_push`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TryIngestError {
+    /// The channel is at capacity; pushing would have blocked.
+    Full(Update),
+    /// The engine shut down.
+    Closed(Update),
+}
+
+impl std::fmt::Display for TryIngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TryIngestError::Full(u) => write!(f, "ingest channel full; rejected {u}"),
+            TryIngestError::Closed(u) => write!(f, "ingest channel closed; rejected {u}"),
+        }
+    }
+}
+
+impl std::error::Error for TryIngestError {}
+
+/// A producer's handle into the engine: push updates, clone freely
+/// across threads.
+///
+/// The underlying channel is bounded ([`crate::BatchPolicy::channel_capacity`]);
+/// [`push`](Self::push) on a full channel **blocks** until the writer
+/// loop drains space — that is the engine's backpressure, keeping
+/// memory bounded when producers outrun the writer.
+///
+/// The writer loop exits (after a final flush) once every handle has
+/// been dropped; hold a handle only as long as you intend to produce.
+#[derive(Clone)]
+pub struct IngestHandle {
+    pub(crate) tx: SyncSender<Envelope>,
+}
+
+impl IngestHandle {
+    /// Enqueues one update, blocking while the channel is full.
+    ///
+    /// The update's end-to-end latency clock starts now.
+    pub fn push(&self, update: Update) -> Result<(), IngestError> {
+        self.tx
+            .send(Envelope {
+                update,
+                enqueued: Instant::now(),
+            })
+            .map_err(|e| IngestError(e.0.update))
+    }
+
+    /// Non-blocking push: fails fast when the channel is full instead
+    /// of exerting backpressure on the caller.
+    pub fn try_push(&self, update: Update) -> Result<(), TryIngestError> {
+        self.tx
+            .try_send(Envelope {
+                update,
+                enqueued: Instant::now(),
+            })
+            .map_err(|e| match e {
+                TrySendError::Full(env) => TryIngestError::Full(env.update),
+                TrySendError::Disconnected(env) => TryIngestError::Closed(env.update),
+            })
+    }
+
+    /// Pushes a whole slice in order, blocking as needed.
+    pub fn push_all(&self, updates: &[Update]) -> Result<(), IngestError> {
+        for &u in updates {
+            self.push(u)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::sync_channel;
+
+    #[test]
+    fn push_then_receive() {
+        let (tx, rx) = sync_channel(4);
+        let h = IngestHandle { tx };
+        h.push(Update::Insert(1, 2)).unwrap();
+        let env = rx.recv().unwrap();
+        assert_eq!(env.update, Update::Insert(1, 2));
+    }
+
+    #[test]
+    fn try_push_full_reports_update() {
+        let (tx, _rx) = sync_channel(1);
+        let h = IngestHandle { tx };
+        h.try_push(Update::Insert(0, 1)).unwrap();
+        match h.try_push(Update::Delete(2, 3)) {
+            Err(TryIngestError::Full(u)) => assert_eq!(u, Update::Delete(2, 3)),
+            other => panic!("expected Full, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn push_after_close_errors() {
+        let (tx, rx) = sync_channel(1);
+        drop(rx);
+        let h = IngestHandle { tx };
+        assert_eq!(
+            h.push(Update::Insert(7, 8)),
+            Err(IngestError(Update::Insert(7, 8)))
+        );
+    }
+}

@@ -1,0 +1,310 @@
+//! Engine observability: lock-free latency histograms and the
+//! end-of-run report.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+const BUCKETS: usize = 64;
+
+/// A lock-free log₂-bucketed latency histogram.
+///
+/// Recording is a single atomic increment into the bucket
+/// `⌊log₂(nanos)⌋`, so writer- and query-thread instrumentation costs
+/// nanoseconds. Quantiles are read back at bucket resolution (within a
+/// factor of 2), which is what latency reporting needs — the paper
+/// reports latency distributions over orders of magnitude, not
+/// nanosecond-exact percentiles.
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+    max_nanos: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_nanos: AtomicU64::new(0),
+            max_nanos: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one measurement. Thread-safe, wait-free.
+    pub fn record(&self, d: Duration) {
+        let nanos = d.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let idx = (64 - nanos.leading_zeros()).saturating_sub(1) as usize;
+        self.buckets[idx.min(BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Number of recorded measurements.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean of all measurements, or zero when empty.
+    pub fn mean(&self) -> Duration {
+        let n = self.count();
+        if n == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(self.sum_nanos.load(Ordering::Relaxed) / n)
+    }
+
+    /// Largest recorded measurement.
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_nanos.load(Ordering::Relaxed))
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) at bucket resolution: the
+    /// geometric midpoint of the bucket holding the `⌈q·n⌉`-th
+    /// measurement. Zero when empty.
+    pub fn quantile(&self, q: f64) -> Duration {
+        let n = self.count();
+        if n == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                // Bucket i holds values in [2^i, 2^(i+1)); report the
+                // geometric midpoint, √2·2^i, capped at the observed
+                // maximum so no quantile ever exceeds `max()`.
+                let lo = 1u128 << i;
+                let mid = Duration::from_nanos((lo as f64 * std::f64::consts::SQRT_2) as u64);
+                return mid.min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Snapshot of count/mean/p50/p95/p99/max for reporting.
+    pub fn summarize(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count(),
+            mean: self.mean(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            max: self.max(),
+        }
+    }
+}
+
+/// Point-in-time percentile summary of a [`LatencyHistogram`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LatencySummary {
+    pub count: u64,
+    pub mean: Duration,
+    pub p50: Duration,
+    pub p95: Duration,
+    pub p99: Duration,
+    pub max: Duration,
+}
+
+impl std::fmt::Display for LatencySummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1?} p50={:.1?} p95={:.1?} p99={:.1?} max={:.1?}",
+            self.count, self.mean, self.p50, self.p95, self.p99, self.max
+        )
+    }
+}
+
+/// Shared counters and histograms recorded by the writer loop and the
+/// query executor while the engine runs.
+///
+/// All members are updated with relaxed atomics; read them at any time
+/// for a live view, or let [`StreamEngine::finish`] fold them into a
+/// [`StatsReport`].
+///
+/// [`StreamEngine::finish`]: crate::StreamEngine::finish
+#[derive(Default)]
+pub struct EngineStats {
+    /// Latency of applying one batch run (compute + install), per the
+    /// core's [`aspen::ApplyTiming`] hook.
+    pub batch_apply: LatencyHistogram,
+    /// End-to-end update latency: enqueue at the producer → visible in
+    /// an installed version.
+    pub update_e2e: LatencyHistogram,
+    /// Latency of one registered query execution (including flat
+    /// snapshot construction).
+    pub query: LatencyHistogram,
+    /// Batches applied by the writer loop.
+    pub batches_applied: AtomicU64,
+    /// Undirected updates consumed from the channel (raw envelope
+    /// count, before coalescing).
+    pub updates_applied: AtomicU64,
+    /// **Net** insert operations applied after per-batch coalescing
+    /// (last update per edge wins); can be less than the raw insert
+    /// envelope count when a batch touches an edge more than once.
+    pub inserts_applied: AtomicU64,
+    /// **Net** delete operations applied after per-batch coalescing.
+    pub deletes_applied: AtomicU64,
+    /// Query executions completed across all query threads.
+    pub queries_run: AtomicU64,
+    /// Snapshots a query thread observed whose edge count did not match
+    /// any installed version — **must stay zero**; a nonzero value
+    /// means snapshot isolation is broken.
+    pub consistency_violations: AtomicU64,
+}
+
+impl EngineStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds the live counters into an owned report.
+    pub fn report(&self) -> StatsReport {
+        StatsReport {
+            batches_applied: self.batches_applied.load(Ordering::Relaxed),
+            updates_applied: self.updates_applied.load(Ordering::Relaxed),
+            inserts_applied: self.inserts_applied.load(Ordering::Relaxed),
+            deletes_applied: self.deletes_applied.load(Ordering::Relaxed),
+            queries_run: self.queries_run.load(Ordering::Relaxed),
+            consistency_violations: self.consistency_violations.load(Ordering::Relaxed),
+            batch_apply: self.batch_apply.summarize(),
+            update_e2e: self.update_e2e.summarize(),
+            query: self.query.summarize(),
+        }
+    }
+}
+
+/// Owned end-of-run summary returned by [`StreamEngine::finish`].
+///
+/// [`StreamEngine::finish`]: crate::StreamEngine::finish
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StatsReport {
+    pub batches_applied: u64,
+    pub updates_applied: u64,
+    pub inserts_applied: u64,
+    pub deletes_applied: u64,
+    pub queries_run: u64,
+    pub consistency_violations: u64,
+    pub batch_apply: LatencySummary,
+    pub update_e2e: LatencySummary,
+    pub query: LatencySummary,
+}
+
+impl StatsReport {
+    /// Mean undirected updates per applied batch.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches_applied == 0 {
+            0.0
+        } else {
+            self.updates_applied as f64 / self.batches_applied as f64
+        }
+    }
+}
+
+impl std::fmt::Display for StatsReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "updates: {} (net {} ins, {} del) in {} batches (mean {:.1}/batch)",
+            self.updates_applied,
+            self.inserts_applied,
+            self.deletes_applied,
+            self.batches_applied,
+            self.mean_batch_size()
+        )?;
+        writeln!(f, "batch apply : {}", self.batch_apply)?;
+        writeln!(f, "update e2e  : {}", self.update_e2e)?;
+        writeln!(f, "query       : {}", self.query)?;
+        write!(f, "queries run : {}", self.queries_run)?;
+        if self.consistency_violations > 0 {
+            write!(
+                f,
+                "\nCONSISTENCY VIOLATIONS: {}",
+                self.consistency_violations
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.quantile(0.5), Duration::ZERO);
+    }
+
+    #[test]
+    fn quantiles_are_order_of_magnitude_accurate() {
+        let h = LatencyHistogram::new();
+        for _ in 0..90 {
+            h.record(Duration::from_micros(10));
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_millis(10));
+        }
+        let p50 = h.quantile(0.5);
+        assert!(
+            p50 >= Duration::from_micros(5) && p50 <= Duration::from_micros(20),
+            "p50 = {p50:?}"
+        );
+        let p99 = h.quantile(0.99);
+        assert!(p99 >= Duration::from_millis(5), "p99 = {p99:?}");
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.max(), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn mean_tracks_sum() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_micros(1));
+        h.record(Duration::from_micros(3));
+        assert_eq!(h.mean(), Duration::from_micros(2));
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        let h = std::sync::Arc::new(LatencyHistogram::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let h = h.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000 {
+                    h.record(Duration::from_nanos(i));
+                }
+            }));
+        }
+        for t in handles {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 4000);
+    }
+
+    #[test]
+    fn report_renders() {
+        let s = EngineStats::new();
+        s.batch_apply.record(Duration::from_micros(100));
+        s.batches_applied.fetch_add(1, Ordering::Relaxed);
+        s.updates_applied.fetch_add(8, Ordering::Relaxed);
+        let r = s.report();
+        assert_eq!(r.batches_applied, 1);
+        assert!((r.mean_batch_size() - 8.0).abs() < 1e-9);
+        let text = r.to_string();
+        assert!(text.contains("batch apply"), "{text}");
+        assert!(!text.contains("VIOLATIONS"), "{text}");
+    }
+}

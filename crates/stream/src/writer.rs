@@ -1,0 +1,265 @@
+//! The writer loop: drains the ingest channel into adaptive batches
+//! and applies them with the paper's functional batch updates.
+
+use crate::config::BatchPolicy;
+use crate::handle::Envelope;
+use crate::stats::EngineStats;
+use aspen::{EdgeSet, VersionedGraph};
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Edge counts of the versions the writer recently installed
+/// (including the initial one). A snapshot acquired at *any* instant
+/// must show one of these counts — a count outside the window means a
+/// reader observed a torn or phantom version.
+///
+/// Counts are registered **before** the version carrying them is
+/// installed, so there is no window where a reader can see a count
+/// that is not yet tracked. Retention is bounded to the most recent
+/// [`WINDOW`](Self::WINDOW) installs — memory stays constant on
+/// long-running engines, and stale counts age out instead of
+/// accumulating as false-negative mass. Query threads check a
+/// snapshot immediately after acquiring it, so the version they hold
+/// is always far younger than the window.
+pub(crate) struct ConsistencyTracker {
+    window: Mutex<TrackerWindow>,
+}
+
+struct TrackerWindow {
+    /// Registered counts in install order, oldest first.
+    order: VecDeque<u64>,
+    /// Multiset view of `order` for O(1) membership.
+    counts: HashMap<u64, u32>,
+}
+
+impl ConsistencyTracker {
+    /// Installs remembered before the oldest ages out. Far larger than
+    /// the handful of batches between a reader's `acquire` and its
+    /// consistency check.
+    const WINDOW: usize = 4096;
+
+    pub fn new(initial_edges: u64) -> Self {
+        let tracker = ConsistencyTracker {
+            window: Mutex::new(TrackerWindow {
+                order: VecDeque::new(),
+                counts: HashMap::new(),
+            }),
+        };
+        tracker.register(initial_edges);
+        tracker
+    }
+
+    fn register(&self, count: u64) {
+        let mut w = self.window.lock();
+        w.order.push_back(count);
+        *w.counts.entry(count).or_insert(0) += 1;
+        if w.order.len() > Self::WINDOW {
+            let old = w.order.pop_front().expect("window nonempty");
+            if let std::collections::hash_map::Entry::Occupied(mut e) = w.counts.entry(old) {
+                *e.get_mut() -= 1;
+                if *e.get() == 0 {
+                    e.remove();
+                }
+            }
+        }
+    }
+
+    pub fn is_valid(&self, count: u64) -> bool {
+        self.window.lock().counts.contains_key(&count)
+    }
+}
+
+/// A batch reduced to its net effect: for every undirected edge the
+/// *last* update in arrival order wins (insert/delete are set
+/// operations, so the final membership of an edge depends only on the
+/// last operation touching it). The result is a disjoint insert set and
+/// delete set that one atomic version install applies with the same
+/// outcome as replaying the batch sequentially.
+struct NetBatch {
+    inserts: Vec<(u32, u32)>,
+    deletes: Vec<(u32, u32)>,
+}
+
+fn coalesce(batch: &[Envelope]) -> NetBatch {
+    // Normalized key (min, max) so both orientations of an undirected
+    // edge coalesce; value is "last op was insert".
+    let mut last: HashMap<(u32, u32), bool> = HashMap::with_capacity(batch.len());
+    for env in batch {
+        let (u, v) = env.update.endpoints();
+        let key = if u <= v { (u, v) } else { (v, u) };
+        last.insert(key, env.update.is_insert());
+    }
+    let mut net = NetBatch {
+        inserts: Vec::new(),
+        deletes: Vec::new(),
+    };
+    for (edge, is_insert) in last {
+        if is_insert {
+            net.inserts.push(edge);
+        } else {
+            net.deletes.push(edge);
+        }
+    }
+    net
+}
+
+/// Drains `rx` until every sender is gone, flushing under `policy`.
+/// This is the body of the engine's dedicated writer thread.
+pub(crate) fn writer_loop<E: EdgeSet>(
+    vg: Arc<VersionedGraph<E>>,
+    rx: Receiver<Envelope>,
+    policy: BatchPolicy,
+    stats: Arc<EngineStats>,
+    tracker: Option<Arc<ConsistencyTracker>>,
+) {
+    let mut batch: Vec<Envelope> = Vec::with_capacity(policy.max_batch);
+    loop {
+        // Block for the first update of the next batch.
+        match rx.recv() {
+            Ok(env) => batch.push(env),
+            Err(_) => return, // all producers gone, nothing buffered
+        }
+        // Fill until max_batch or until the oldest buffered update has
+        // lingered max_linger, whichever comes first. The deadline is
+        // anchored at the oldest update's *enqueue* time (not at this
+        // recv), so the policy's visibility bound holds even when the
+        // update already aged in the channel while a previous batch
+        // was being applied.
+        let deadline = batch[0].enqueued + policy.max_linger;
+        let mut disconnected = false;
+        while batch.len() < policy.max_batch {
+            let left = deadline.saturating_duration_since(Instant::now());
+            match rx.recv_timeout(left) {
+                Ok(env) => batch.push(env),
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => {
+                    disconnected = true;
+                    break;
+                }
+            }
+        }
+        flush(&vg, &batch, &stats, tracker.as_deref());
+        batch.clear();
+        if disconnected {
+            return;
+        }
+    }
+}
+
+/// Applies one batch as a single atomic version install and settles
+/// its statistics.
+fn flush<E: EdgeSet>(
+    vg: &VersionedGraph<E>,
+    batch: &[Envelope],
+    stats: &EngineStats,
+    tracker: Option<&ConsistencyTracker>,
+) {
+    if batch.is_empty() {
+        return;
+    }
+    let net = coalesce(batch);
+    let timing = vg.update_with_timed(|g| {
+        let mut next = None;
+        if !net.inserts.is_empty() {
+            next = Some(g.insert_edges(&aspen::symmetrize(&net.inserts)));
+        }
+        if !net.deletes.is_empty() {
+            let base = next.as_ref().unwrap_or(g);
+            next = Some(base.delete_edges(&aspen::symmetrize(&net.deletes)));
+        }
+        let next = next.expect("nonempty batch nets to at least one op");
+        if let Some(t) = tracker {
+            // Register before install: a reader that acquires the new
+            // version immediately already finds its count valid.
+            t.register(next.num_edges());
+        }
+        next
+    });
+
+    // The whole batch became visible at the install; settle
+    // end-to-end latencies for every enqueued update it carried.
+    let visible = Instant::now();
+    for env in batch {
+        stats
+            .update_e2e
+            .record(visible.saturating_duration_since(env.enqueued));
+    }
+    stats.batch_apply.record(timing.total());
+    stats
+        .updates_applied
+        .fetch_add(batch.len() as u64, Ordering::Relaxed);
+    stats
+        .inserts_applied
+        .fetch_add(net.inserts.len() as u64, Ordering::Relaxed);
+    stats
+        .deletes_applied
+        .fetch_add(net.deletes.len() as u64, Ordering::Relaxed);
+    stats.batches_applied.fetch_add(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphgen::Update;
+
+    fn env(u: Update) -> Envelope {
+        Envelope {
+            update: u,
+            enqueued: Instant::now(),
+        }
+    }
+
+    #[test]
+    fn coalesce_last_op_wins() {
+        let batch = vec![
+            env(Update::Insert(0, 1)),
+            env(Update::Insert(1, 2)),
+            env(Update::Delete(1, 0)), // other orientation of (0, 1)
+            env(Update::Insert(3, 4)),
+        ];
+        let net = coalesce(&batch);
+        let mut ins = net.inserts.clone();
+        ins.sort_unstable();
+        assert_eq!(ins, vec![(1, 2), (3, 4)]);
+        assert_eq!(net.deletes, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn coalesce_dedupes_repeats() {
+        let batch = vec![
+            env(Update::Insert(5, 6)),
+            env(Update::Insert(5, 6)),
+            env(Update::Insert(6, 5)),
+        ];
+        let net = coalesce(&batch);
+        assert_eq!(net.inserts, vec![(5, 6)]);
+        assert!(net.deletes.is_empty());
+    }
+
+    #[test]
+    fn tracker_accepts_registered_counts_only() {
+        let t = ConsistencyTracker::new(10);
+        assert!(t.is_valid(10));
+        assert!(!t.is_valid(12));
+        t.register(12);
+        assert!(t.is_valid(12));
+    }
+
+    #[test]
+    fn tracker_window_evicts_old_counts() {
+        let t = ConsistencyTracker::new(0);
+        // Duplicates must survive until their last occurrence ages out.
+        t.register(7);
+        t.register(7);
+        for i in 0..ConsistencyTracker::WINDOW as u64 {
+            t.register(1_000_000 + i);
+        }
+        assert!(!t.is_valid(0), "initial count should have aged out");
+        assert!(!t.is_valid(7), "duplicate count should age out too");
+        assert!(t.is_valid(1_000_000 + ConsistencyTracker::WINDOW as u64 - 1));
+    }
+}

@@ -13,8 +13,7 @@ use aspen::{CompressedEdges, FlatSnapshot, Graph, Version, VersionedGraph};
 use graphgen::Rmat;
 
 fn main() {
-    let vg: VersionedGraph<CompressedEdges> =
-        VersionedGraph::new(Graph::new(Default::default()));
+    let vg: VersionedGraph<CompressedEdges> = VersionedGraph::new(Graph::new(Default::default()));
 
     // Ingest 8 batches; retain the version after each one.
     let gen = Rmat::new(11, 0xCAFE);

@@ -37,7 +37,10 @@ fn main() {
 
     let (start, goal) = (id(0, 0), id(side - 1, side - 1));
     let before = sssp(&g, start);
-    println!("cheapest route {start}→{goal}: cost {}", before[goal as usize]);
+    println!(
+        "cheapest route {start}→{goal}: cost {}",
+        before[goal as usize]
+    );
     assert_ne!(before[goal as usize], INF);
 
     // Rush hour: every edge out of the center column triples in cost.

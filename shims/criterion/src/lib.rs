@@ -1,0 +1,261 @@
+//! In-repo stand-in for [criterion](https://docs.rs/criterion) (no
+//! crates.io access in the build container — see `shims/README.md`).
+//!
+//! Supports the macro/builder surface the workspace's benches use:
+//! `criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! `benchmark_group` with `sample_size`/`throughput`/`bench_with_input`,
+//! `BenchmarkId`, `Throughput` and `Bencher::iter`. Measurement is a
+//! simple calibrated wall-clock loop printing mean time per iteration —
+//! no statistics, plots or regression detection.
+
+use std::fmt::Write as _;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported so benches can use
+/// `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Runs closures under a timing loop; handed to bench bodies.
+pub struct Bencher {
+    /// Mean seconds per iteration measured by the last [`iter`](Self::iter).
+    measured: Option<f64>,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times `f`: a calibration pass sizes the batch, then the batch is
+    /// timed and the mean per-iteration cost recorded.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Calibration: find an iteration count filling ~the budget.
+        let probe = Instant::now();
+        std_black_box(f());
+        let once = probe.elapsed().max(Duration::from_nanos(50));
+        let iters = (self.budget.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            std_black_box(f());
+        }
+        self.measured = Some(start.elapsed().as_secs_f64() / iters as f64);
+    }
+}
+
+fn fmt_time(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+fn run_one(
+    label: &str,
+    budget: Duration,
+    throughput: Option<&Throughput>,
+    f: impl FnOnce(&mut Bencher),
+) {
+    let mut b = Bencher {
+        measured: None,
+        budget,
+    };
+    f(&mut b);
+    let mut line = format!("bench: {label:<48}");
+    match b.measured {
+        Some(secs) => {
+            let _ = write!(line, " {:>12}/iter", fmt_time(secs));
+            if let Some(Throughput::Elements(n)) = throughput {
+                let _ = write!(line, "  ({:.2} Melem/s)", *n as f64 / secs / 1e6);
+            }
+        }
+        None => line.push_str(" (no measurement)"),
+    }
+    println!("{line}");
+}
+
+/// Identifies a parameterized benchmark, matching `criterion::BenchmarkId`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Work-per-iteration declaration, matching `criterion::Throughput`.
+#[derive(Clone, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Top-level bench context, matching `criterion::Criterion`.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            budget: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        run_one(name, self.budget, None, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            budget: self.budget,
+            throughput: None,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    budget: Duration,
+    throughput: Option<Throughput>,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.budget = t;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoLabel,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_label());
+        run_one(&label, self.budget, self.throughput.as_ref(), f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl IntoLabel,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_label());
+        run_one(&label, self.budget, self.throughput.as_ref(), |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Accepts both `&str` names and [`BenchmarkId`]s as bench labels.
+pub trait IntoLabel {
+    fn into_label(self) -> String;
+}
+
+impl IntoLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoLabel for &str {
+    fn into_label(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// Declares a bench group: `criterion_group!(benches, f1, f2, …)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $cfg;
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench entry point: `criterion_main!(group1, group2)`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(5),
+        };
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_with_input() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(5),
+        };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10)
+            .throughput(Throughput::Elements(100))
+            .bench_with_input(BenchmarkId::from_parameter(42), &42u32, |b, &x| {
+                b.iter(|| x * 2)
+            });
+        g.finish();
+    }
+}

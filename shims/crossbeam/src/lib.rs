@@ -1,0 +1,84 @@
+//! In-repo stand-in for [crossbeam](https://docs.rs/crossbeam) (no
+//! crates.io access in the build container — see `shims/README.md`).
+//!
+//! Only `queue::SegQueue` is provided (the worklist engine's MPMC
+//! queue). It is a mutex-guarded `VecDeque` rather than a lock-free
+//! segmented queue: same semantics, coarser contention behavior.
+
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// Unbounded MPMC FIFO, matching `crossbeam::queue::SegQueue`.
+    #[derive(Default, Debug)]
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        pub fn new() -> Self {
+            SegQueue {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        pub fn push(&self, value: T) {
+            self.inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push_back(value);
+        }
+
+        pub fn pop(&self) -> Option<T> {
+            self.inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_front()
+        }
+
+        pub fn len(&self) -> usize {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_order() {
+            let q = SegQueue::new();
+            q.push(1);
+            q.push(2);
+            assert_eq!(q.pop(), Some(1));
+            assert_eq!(q.pop(), Some(2));
+            assert_eq!(q.pop(), None);
+        }
+
+        #[test]
+        fn concurrent_producers_consumers() {
+            let q = std::sync::Arc::new(SegQueue::new());
+            let mut handles = Vec::new();
+            for t in 0..4 {
+                let q = q.clone();
+                handles.push(std::thread::spawn(move || {
+                    for i in 0..100 {
+                        q.push(t * 100 + i);
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            let mut seen = 0;
+            while q.pop().is_some() {
+                seen += 1;
+            }
+            assert_eq!(seen, 400);
+        }
+    }
+}

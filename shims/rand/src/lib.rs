@@ -1,0 +1,302 @@
+//! In-repo stand-in for [rand 0.8](https://docs.rs/rand/0.8) (no
+//! crates.io access in the build container — see `shims/README.md`).
+//!
+//! Implements the slice of the API this workspace uses: [`SeedableRng`]
+//! `::seed_from_u64`, [`Rng`] `::gen` / `::gen_range`, and
+//! [`seq::SliceRandom`] `::shuffle`. [`rngs::StdRng`] is xoshiro256++
+//! seeded through splitmix64 — high-quality and deterministic per seed,
+//! though its exact output stream differs from the real crate's
+//! ChaCha12-based `StdRng` (nothing in the workspace depends on the
+//! specific stream, only on per-seed determinism).
+
+/// Core RNG interface: raw random words.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction, matching `rand::SeedableRng::seed_from_u64`.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from an RNG via [`Rng::gen`].
+pub trait Standard: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u8 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Standard for u16 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 48) as u16
+    }
+}
+
+impl Standard for usize {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end - self.start) as u64;
+                // Lemire-style unbiased bounded sampling (rejection on
+                // the low word product).
+                let mut m = (rng.next_u64() as u128) * (span as u128);
+                let mut lo = m as u64;
+                if lo < span {
+                    let t = span.wrapping_neg() % span;
+                    while lo < t {
+                        m = (rng.next_u64() as u128) * (span as u128);
+                        lo = m as u64;
+                    }
+                }
+                self.start + ((m >> 64) as u64) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (s, e) = (*self.start(), *self.end());
+                if s == <$t>::MIN && e == <$t>::MAX {
+                    return Standard::sample(rng);
+                }
+                (s..e + 1).sample_from(rng)
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, usize);
+
+impl SampleRange<u64> for std::ops::Range<u64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> u64 {
+        assert!(self.start < self.end, "empty range in gen_range");
+        let span = self.end - self.start;
+        let mut m = (rng.next_u64() as u128) * (span as u128);
+        let mut lo = m as u64;
+        if lo < span {
+            let t = span.wrapping_neg() % span;
+            while lo < t {
+                m = (rng.next_u64() as u128) * (span as u128);
+                lo = m as u64;
+            }
+        }
+        self.start + (m >> 64) as u64
+    }
+}
+
+impl SampleRange<u64> for std::ops::RangeInclusive<u64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> u64 {
+        let (s, e) = (*self.start(), *self.end());
+        if s == u64::MIN && e == u64::MAX {
+            return Standard::sample(rng);
+        }
+        (s..e + 1).sample_from(rng)
+    }
+}
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let unit: f64 = Standard::sample(rng);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// Convenience sampling methods, matching `rand::Rng`.
+pub trait Rng: RngCore {
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} not a probability");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generators, matching `rand::rngs`.
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — the workspace's deterministic standard RNG.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence helpers, matching `rand::seq`.
+    use super::{Rng, RngCore};
+
+    /// Slice shuffling and sampling, matching `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        type Item;
+
+        /// Fisher–Yates shuffle, uniform over permutations.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// A uniformly random element, `None` on an empty slice.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: u32 = rng.gen_range(10..20);
+            assert!((10..20).contains(&x));
+        }
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut xs: Vec<u32> = (0..100).collect();
+        xs.shuffle(&mut rng);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(
+            xs, sorted,
+            "shuffle left slice in order (astronomically unlikely)"
+        );
+    }
+}

@@ -1,0 +1,401 @@
+//! In-repo stand-in for [rayon](https://docs.rs/rayon) (the container
+//! this reproduction builds in has no crates.io access, so external
+//! dependencies are shimmed — see `shims/README.md`).
+//!
+//! The API surface matches what the workspace uses so that swapping the
+//! real crate back in is a one-line `Cargo.toml` change:
+//!
+//! * data-parallel iterators ([`Par`], `par_iter`, `into_par_iter`,
+//!   `par_chunks`, `par_sort_*`) run **sequentially** — identical
+//!   results, no parallel speedup;
+//! * [`scope`] spawns **real OS threads** (via [`std::thread::scope`]),
+//!   so worklist engines and the streaming engine's concurrency tests
+//!   exercise genuine parallelism;
+//! * [`join`] runs its closures sequentially (it sits on hot recursive
+//!   paths where per-call thread spawning would be pathological).
+
+use std::cell::Cell;
+
+pub mod prelude {
+    //! Glob-import target mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+/// A "parallel" iterator: a newtype over a sequential [`Iterator`] that
+/// also exposes the rayon-specific combinators (`reduce` with identity,
+/// `flat_map_iter`, …) as inherent methods.
+pub struct Par<I>(pub I);
+
+impl<I: Iterator> Iterator for Par<I> {
+    type Item = I::Item;
+    #[inline]
+    fn next(&mut self) -> Option<I::Item> {
+        self.0.next()
+    }
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.0.size_hint()
+    }
+}
+
+impl<I: Iterator> Par<I> {
+    #[inline]
+    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> Par<std::iter::Map<I, F>> {
+        Par(self.0.map(f))
+    }
+
+    #[inline]
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> Par<std::iter::Filter<I, F>> {
+        Par(self.0.filter(f))
+    }
+
+    #[inline]
+    pub fn filter_map<B, F: FnMut(I::Item) -> Option<B>>(
+        self,
+        f: F,
+    ) -> Par<std::iter::FilterMap<I, F>> {
+        Par(self.0.filter_map(f))
+    }
+
+    #[inline]
+    pub fn flat_map<U: IntoIterator, F: FnMut(I::Item) -> U>(
+        self,
+        f: F,
+    ) -> Par<std::iter::FlatMap<I, U, F>> {
+        Par(self.0.flat_map(f))
+    }
+
+    /// rayon's cheaper `flat_map` over serial inner iterators.
+    #[inline]
+    pub fn flat_map_iter<U: IntoIterator, F: FnMut(I::Item) -> U>(
+        self,
+        f: F,
+    ) -> Par<std::iter::FlatMap<I, U, F>> {
+        Par(self.0.flat_map(f))
+    }
+
+    #[inline]
+    pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
+        Par(self.0.enumerate())
+    }
+
+    #[inline]
+    pub fn zip<Z: IntoParallelIterator>(self, other: Z) -> Par<std::iter::Zip<I, Z::Iter>> {
+        Par(self.0.zip(other.into_par_iter().0))
+    }
+
+    #[inline]
+    pub fn copied<'a, T>(self) -> Par<std::iter::Copied<I>>
+    where
+        T: 'a + Copy,
+        I: Iterator<Item = &'a T>,
+    {
+        Par(self.0.copied())
+    }
+
+    #[inline]
+    pub fn cloned<'a, T>(self) -> Par<std::iter::Cloned<I>>
+    where
+        T: 'a + Clone,
+        I: Iterator<Item = &'a T>,
+    {
+        Par(self.0.cloned())
+    }
+
+    #[inline]
+    pub fn chain<Z: IntoParallelIterator<Item = I::Item>>(
+        self,
+        other: Z,
+    ) -> Par<std::iter::Chain<I, Z::Iter>> {
+        Par(self.0.chain(other.into_par_iter().0))
+    }
+
+    /// rayon's `reduce(identity, op)` — folds sequentially.
+    #[inline]
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    /// Grain-size hint; a no-op here.
+    #[inline]
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// Grain-size hint; a no-op here.
+    #[inline]
+    pub fn with_max_len(self, _max: usize) -> Self {
+        self
+    }
+}
+
+/// Conversion into a [`Par`] iterator; blanket-implemented for every
+/// [`IntoIterator`] so ranges, `Vec`s and references all work.
+pub trait IntoParallelIterator {
+    type Iter: Iterator<Item = Self::Item>;
+    type Item;
+    fn into_par_iter(self) -> Par<Self::Iter>;
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {
+    type Iter = T::IntoIter;
+    type Item = T::Item;
+    #[inline]
+    fn into_par_iter(self) -> Par<T::IntoIter> {
+        Par(self.into_iter())
+    }
+}
+
+/// `par_iter` / `par_chunks` on shared slices.
+pub trait ParallelSlice<T> {
+    fn par_iter(&self) -> Par<std::slice::Iter<'_, T>>;
+    fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>>;
+    fn par_windows(&self, window_size: usize) -> Par<std::slice::Windows<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    #[inline]
+    fn par_iter(&self) -> Par<std::slice::Iter<'_, T>> {
+        Par(self.iter())
+    }
+    #[inline]
+    fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>> {
+        Par(self.chunks(chunk_size))
+    }
+    #[inline]
+    fn par_windows(&self, window_size: usize) -> Par<std::slice::Windows<'_, T>> {
+        Par(self.windows(window_size))
+    }
+}
+
+/// `par_iter_mut` / `par_chunks_mut` / `par_sort_*` on mutable slices.
+pub trait ParallelSliceMut<T> {
+    fn par_iter_mut(&mut self) -> Par<std::slice::IterMut<'_, T>>;
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>>;
+    fn par_sort(&mut self)
+    where
+        T: Ord;
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+    fn par_sort_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F);
+    fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F);
+    fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F);
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F);
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    #[inline]
+    fn par_iter_mut(&mut self) -> Par<std::slice::IterMut<'_, T>> {
+        Par(self.iter_mut())
+    }
+    #[inline]
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
+        Par(self.chunks_mut(chunk_size))
+    }
+    #[inline]
+    fn par_sort(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort();
+    }
+    #[inline]
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable();
+    }
+    #[inline]
+    fn par_sort_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F) {
+        self.sort_by(compare);
+    }
+    #[inline]
+    fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F) {
+        self.sort_unstable_by(compare);
+    }
+    #[inline]
+    fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
+        self.sort_by_key(key);
+    }
+    #[inline]
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
+        self.sort_unstable_by_key(key);
+    }
+}
+
+/// Runs both closures and returns their results. Sequential: `join`
+/// sits on fine-grained recursive paths (tree builds) where spawning a
+/// thread per call would swamp the work.
+#[inline]
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// A fork-join scope backed by [`std::thread::scope`]: every
+/// [`Scope::spawn`] runs on a real OS thread, joined before [`scope`]
+/// returns.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns `f` on a new scoped thread.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }));
+    }
+}
+
+/// Creates a scope in which closures can be spawned onto real threads;
+/// blocks until all spawned work completes.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
+}
+
+thread_local! {
+    static POOL_SIZE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The number of threads the "pool" reports: the `install`ed pool size
+/// if inside [`ThreadPool::install`], otherwise the machine parallelism.
+pub fn current_num_threads() -> usize {
+    POOL_SIZE.with(|p| {
+        p.get().unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+    })
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`; the built pool only
+/// carries a thread-count used to scope [`current_num_threads`].
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        if self.num_threads == 0 {
+            // Real rayon treats 0 as "default"; the workspace never
+            // relies on that, so accept it as such too.
+            return Ok(ThreadPool { num_threads: None });
+        }
+        Ok(ThreadPool {
+            num_threads: Some(self.num_threads),
+        })
+    }
+}
+
+/// Error type for [`ThreadPoolBuilder::build`] (never produced here).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A scoped thread-count override; work `install`ed on it runs on the
+/// calling thread but observes the pool's `current_num_threads`.
+pub struct ThreadPool {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPool {
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        POOL_SIZE.with(|p| {
+            let prev = p.get();
+            p.set(self.num_threads.or(prev));
+            let r = f();
+            p.set(prev);
+            r
+        })
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads.unwrap_or_else(current_num_threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn par_iter_chains() {
+        let xs = [1u64, 2, 3, 4, 5];
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8, 10]);
+        let s: u64 = xs.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 15);
+    }
+
+    #[test]
+    fn rayon_style_reduce() {
+        let xs = [vec![1], vec![2, 3]];
+        let flat = xs
+            .par_iter()
+            .map(|v| v.clone())
+            .reduce(Vec::new, |mut a, mut b| {
+                a.append(&mut b);
+                a
+            });
+        assert_eq!(flat, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn scope_runs_real_threads() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn pool_install_scopes_thread_count() {
+        let inside = ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap()
+            .install(current_num_threads);
+        assert_eq!(inside, 3);
+        assert!(current_num_threads() >= 1);
+    }
+}

@@ -29,8 +29,7 @@ fn readers_never_observe_torn_batches() {
             let mut round = 0u32;
             while !stop.load(Ordering::Relaxed) {
                 let center = 600 + round % 64;
-                let star: Vec<(u32, u32)> =
-                    (0..10u32).map(|i| (center, 700 + i)).collect();
+                let star: Vec<(u32, u32)> = (0..10u32).map(|i| (center, 700 + i)).collect();
                 vg.insert_edges_undirected(&star);
                 vg.delete_edges_undirected(&star);
                 done.fetch_add(1, Ordering::Relaxed);
@@ -76,7 +75,10 @@ fn snapshots_pin_their_version_forever() {
     let vg = VersionedGraph::new(starting_graph());
     let v0 = vg.acquire();
     let (e0, n0) = (v0.num_edges(), v0.num_vertices());
-    let digest0: u64 = GraphView::neighbors(&*v0, 0).iter().map(|&x| u64::from(x)).sum();
+    let digest0: u64 = GraphView::neighbors(&*v0, 0)
+        .iter()
+        .map(|&x| u64::from(x))
+        .sum();
 
     for i in 0..50u32 {
         vg.insert_edges_undirected(&[(i % 40, 1000 + i)]);
@@ -84,7 +86,10 @@ fn snapshots_pin_their_version_forever() {
     // old snapshot is bit-stable
     assert_eq!(v0.num_edges(), e0);
     assert_eq!(v0.num_vertices(), n0);
-    let digest_after: u64 = GraphView::neighbors(&*v0, 0).iter().map(|&x| u64::from(x)).sum();
+    let digest_after: u64 = GraphView::neighbors(&*v0, 0)
+        .iter()
+        .map(|&x| u64::from(x))
+        .sum();
     assert_eq!(digest0, digest_after);
     v0.check_invariants();
 }

@@ -39,7 +39,11 @@ fn neighbors_agree_across_all_engines() {
     for v in (0..n as u32).step_by(7) {
         let want = GraphView::neighbors(&csr, v);
         assert_eq!(GraphView::neighbors(&aspen_de, v), want, "aspen-de {v}");
-        assert_eq!(GraphView::neighbors(&aspen_plain, v), want, "aspen-plain {v}");
+        assert_eq!(
+            GraphView::neighbors(&aspen_plain, v),
+            want,
+            "aspen-plain {v}"
+        );
         assert_eq!(GraphView::neighbors(&aspen_unc, v), want, "aspen-unc {v}");
         assert_eq!(GraphView::neighbors(&flat, v), want, "flat {v}");
         assert_eq!(GraphView::neighbors(&ccsr, v), want, "ccsr {v}");
@@ -57,7 +61,9 @@ fn bfs_distances_agree_across_engines() {
     let edges = test_edges();
     let n = id_space(&edges);
     let csr = Csr::from_edges(&edges);
-    let src = (0..n as u32).max_by_key(|&v| csr.degree(v)).expect("nonempty");
+    let src = (0..n as u32)
+        .max_by_key(|&v| csr.degree(v))
+        .expect("nonempty");
 
     let want = bfs(&csr, src).dist;
 
