@@ -1,0 +1,119 @@
+//! Thread-scaling experiment: batch inserts and graph kernels at
+//! 1/2/4/8 workers.
+//!
+//! The paper's self-relative speedups (Tables 3, 4 and 8 report 1
+//! thread vs 72 cores) are the evidence that its tree operations run
+//! with the claimed parallel depth. This experiment is the reduced
+//! version: one rMAT stand-in, pools of 1/2/4/8 work-stealing workers
+//! (via [`parlib::with_threads`]), and the two op families whose
+//! scalability the system lives on —
+//!
+//! * **`insert_edges`** with a large batch: the functional
+//!   `MultiInsert` path (`Build` + `Union`), the writer's hot loop;
+//! * **BFS and connected components** on a snapshot: the
+//!   frontier-parallel kernels queries run concurrently.
+//!
+//! Speedups are reported relative to the 1-thread pool. On a machine
+//! with fewer physical cores than a pool has workers the extra
+//! workers timeshare and the speedup column flattens accordingly —
+//! the experiment prints the machine parallelism so reports stay
+//! interpretable.
+
+use crate::datasets::{default_b, Dataset};
+use crate::tables::Table;
+use aspen::{symmetrize, CompressedEdges, Graph};
+use graphgen::Rmat;
+
+/// Pool widths the experiment sweeps.
+const THREADS: &[usize] = &[1, 2, 4, 8];
+
+struct OpTimes {
+    insert: f64,
+    bfs: f64,
+    cc: f64,
+}
+
+fn measure(g: &Graph<CompressedEdges>, batch: &[(u32, u32)], hub: u32, reps: usize) -> OpTimes {
+    let insert = crate::median_time(reps, || {
+        std::hint::black_box(g.insert_edges(batch));
+    });
+    let bfs = crate::median_time(reps, || {
+        std::hint::black_box(algorithms::bfs(g, hub));
+    });
+    let cc = crate::median_time(reps, || {
+        std::hint::black_box(algorithms::connected_components(g));
+    });
+    OpTimes { insert, bfs, cc }
+}
+
+/// Renders the thread-scaling experiment on `d`.
+pub fn run_scaling(d: &Dataset, quick: bool) -> Table {
+    let edges = d.edges();
+    let g = Graph::from_edges(&edges, default_b());
+    let hub = super::hub(&g);
+
+    // A fresh batch of rMAT edges drawn past the base graph's stream
+    // position, symmetrized like every update path in the workspace.
+    // Large enough that `MultiInsert` dominates fork overhead (the
+    // regime where Table 8 shows batching pays).
+    let batch_target = if quick { 10_000 } else { 100_000 };
+    let raw = Rmat::new(d.scale, d.seed ^ 0x5CA1E).edges(edges.len() as u64, batch_target / 2);
+    let batch = symmetrize(&raw);
+
+    let reps = if quick { 2 } else { 3 };
+    let machine = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut t = Table::new(
+        &format!(
+            "scaling: {} (|batch| = {}, machine parallelism = {machine})",
+            d.name,
+            batch.len()
+        ),
+        &[
+            "threads",
+            "insert",
+            "ins x",
+            "ins edges/s",
+            "bfs",
+            "bfs x",
+            "cc",
+            "cc x",
+        ],
+    );
+
+    let mut base: Option<OpTimes> = None;
+    for &threads in THREADS {
+        let times = parlib::with_threads(threads, || measure(&g, &batch, hub, reps));
+        let b = base.get_or_insert(OpTimes {
+            insert: times.insert,
+            bfs: times.bfs,
+            cc: times.cc,
+        });
+        t.row(&[
+            threads.to_string(),
+            crate::fmt_secs(times.insert),
+            format!("{:.2}x", b.insert / times.insert),
+            crate::fmt_rate(batch.len() as f64 / times.insert),
+            crate::fmt_secs(times.bfs),
+            format!("{:.2}x", b.bfs / times.bfs),
+            crate::fmt_secs(times.cc),
+            format!("{:.2}x", b.cc / times.cc),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets;
+
+    #[test]
+    fn scaling_runs_on_tiny_dataset() {
+        // Smoke: all four pool widths complete and produce rows.
+        let t = run_scaling(&datasets::tiny(), true);
+        assert_eq!(t.num_rows(), THREADS.len());
+    }
+}

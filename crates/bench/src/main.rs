@@ -20,6 +20,7 @@
 //!   table13   uncompressed trees vs C-trees
 //!   table14   Ligra+ vs Aspen, all algorithms (covers tables 14 and 15)
 //!   stream    concurrent ingestion engine: updates + queries (aspen-stream)
+//!   scaling   batch inserts + BFS/CC at 1/2/4/8 pool workers
 //!   all       everything above, in order
 //!
 //! flags:
@@ -107,5 +108,8 @@ fn main() {
     }
     if run("stream") {
         exp::run_stream_engine(&sets).print();
+    }
+    if run("scaling") {
+        exp::run_scaling(&sweep_target, quick).print();
     }
 }

@@ -28,6 +28,11 @@ impl Table {
         self.rows.push(cells.to_vec());
     }
 
+    /// Number of data rows appended so far.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
     /// Renders with per-column alignment.
     pub fn render(&self) -> String {
         let ncols = self.header.len();

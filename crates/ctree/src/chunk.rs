@@ -32,6 +32,17 @@ pub trait ChunkCodec: Clone + Send + Sync + 'static {
     /// Decodes `len` elements, appending to `out`.
     fn decode(storage: &Self::Storage, len: usize, out: &mut Vec<u32>);
 
+    /// Locates `x` among the `len` encoded elements **without
+    /// materializing the chunk**: `Ok(i)` if `x` is the `i`-th element,
+    /// `Err(i)` with its insertion index otherwise.
+    ///
+    /// This is the membership hot path (`contains` runs once per tree
+    /// level on every `Split`): plain storage binary-searches the
+    /// shared array in place, delta storage walks the byte codes and
+    /// stops at the first decoded value `≥ x` — no allocation either
+    /// way.
+    fn search(storage: &Self::Storage, len: usize, x: u32) -> Result<usize, usize>;
+
     /// Heap bytes used by the payload.
     fn storage_bytes(storage: &Self::Storage) -> usize;
 
@@ -55,6 +66,12 @@ impl ChunkCodec for PlainCodec {
     fn decode(storage: &Arc<[u32]>, len: usize, out: &mut Vec<u32>) {
         debug_assert_eq!(storage.len(), len);
         out.extend_from_slice(storage);
+    }
+
+    #[inline]
+    fn search(storage: &Arc<[u32]>, len: usize, x: u32) -> Result<usize, usize> {
+        debug_assert_eq!(storage.len(), len);
+        storage.binary_search(&x)
     }
 
     #[inline]
@@ -82,6 +99,19 @@ impl ChunkCodec for DeltaCodec {
     #[inline]
     fn decode(storage: &Arc<[u8]>, len: usize, out: &mut Vec<u32>) {
         out.extend(encoder::SortedDecoder::new(storage, len));
+    }
+
+    /// Early-exit decode walk: difference codes only decode forward,
+    /// but they decode *fast*, and the walk stops at the first value
+    /// `≥ x` instead of materializing the whole chunk the way the old
+    /// `to_vec` + `binary_search` implementation did.
+    fn search(storage: &Arc<[u8]>, len: usize, x: u32) -> Result<usize, usize> {
+        for (i, v) in encoder::SortedDecoder::new(storage, len).enumerate() {
+            if v >= x {
+                return if v == x { Ok(i) } else { Err(i) };
+            }
+        }
+        Err(len)
     }
 
     #[inline]
@@ -203,11 +233,21 @@ impl<C: ChunkCodec> Chunk<C> {
     }
 
     /// Membership test; `O(chunk size)` — chunks are `O(b log n)` w.h.p.
+    ///
+    /// Allocation-free: after the `O(1)` header checks it delegates to
+    /// [`ChunkCodec::search`], which binary-searches plain storage in
+    /// place and early-exits a delta decode walk at the first element
+    /// `≥ x`.
     pub fn contains(&self, x: u32) -> bool {
         if self.len == 0 || x < self.first || x > self.last {
             return false;
         }
-        self.to_vec().binary_search(&x).is_ok()
+        // Header boundaries are exact matches half the time in the
+        // treap-descent use: settle them without touching the payload.
+        if x == self.first || x == self.last {
+            return true;
+        }
+        C::search(&self.data, self.len(), x).is_ok()
     }
 
     /// Heap bytes used (payload only; the header lives inline in the
@@ -427,6 +467,20 @@ mod tests {
         assert!(!c.contains(11));
         assert!(!c.contains(4));
         assert!(!c.contains(16));
+    }
+
+    #[test]
+    fn codec_search_agrees_with_binary_search() {
+        let xs: Vec<u32> = (0..300).map(|i| i * 3 + 7).collect();
+        let p = PChunk::from_sorted(&xs);
+        let d = DChunk::from_sorted(&xs);
+        for probe in 0..1000u32 {
+            let expect = xs.binary_search(&probe);
+            assert_eq!(PlainCodec::search(&p.data, xs.len(), probe), expect);
+            assert_eq!(DeltaCodec::search(&d.data, xs.len(), probe), expect);
+            assert_eq!(p.contains(probe), expect.is_ok());
+            assert_eq!(d.contains(probe), expect.is_ok());
+        }
     }
 
     #[test]

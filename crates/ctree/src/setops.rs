@@ -22,7 +22,17 @@ use crate::chunk::{Chunk, ChunkCodec};
 use crate::tree::{CTree, ChunkParams, HeadTail, HeadTree};
 use ptree::Tree;
 
-/// Combined size below which recursions stop spawning rayon tasks.
+/// Combined **element** count (not head count) below which recursions
+/// stop forking and run sequentially.
+///
+/// Grain rationale: with the paper's default `b = 2⁸`, 4096 elements
+/// are only ~16 heads, but one recursion level moves whole chunks —
+/// `split`/`split_lt`/chunk-`union` are `O(b)` decodes, several µs
+/// each — so a leaf still carries tens of µs of work against the
+/// ~1 µs work-stealing fork. Counting elements rather than heads
+/// keeps the threshold meaningful across the `b` sweep of Table 5:
+/// small-`b` trees (many cheap heads) and large-`b` trees (few
+/// expensive chunks) both bottom out near the same leaf cost.
 const SEQ_SETOP: usize = 1 << 12;
 
 impl<C: ChunkCodec> CTree<C> {

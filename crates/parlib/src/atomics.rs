@@ -132,7 +132,7 @@ mod tests {
     #[test]
     fn atomic_f64_parallel_sum() {
         let a = AtomicF64::new(0.0);
-        (0..10_000).into_par_iter().for_each(|_| {
+        (0..10_000u32).into_par_iter().for_each(|_| {
             a.fetch_add(0.5);
         });
         assert!((a.load() - 5000.0).abs() < 1e-9);

@@ -129,7 +129,7 @@ mod tests {
     #[test]
     fn exactly_one_winner_per_bit_under_contention() {
         let bs = AtomicBitset::new(256);
-        let wins: usize = (0..10_000)
+        let wins: usize = (0..10_000usize)
             .into_par_iter()
             .map(|i| usize::from(bs.test_and_set(i % 256)))
             .sum();

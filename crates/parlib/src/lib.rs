@@ -5,7 +5,12 @@
 //! work–depth model and implements them on a Cilk-like work-stealing
 //! scheduler with a small set of sequence primitives (`Scan`, `Filter`,
 //! parallel sort; Appendix 10.1). This crate provides the Rust
-//! equivalents on top of [`rayon`]:
+//! equivalents on top of [`rayon`] — backed by the workspace's
+//! work-stealing fork-join pool, so the primitives genuinely run with
+//! the `O(log n)` depths quoted below. Block sizes adapt to the pool
+//! width (`~8` blocks per worker, see `scan::block_size`), and the
+//! default pool width honours the `ASPEN_THREADS` environment
+//! variable:
 //!
 //! * [`scan`] — exclusive prefix sums with an associative operator,
 //!   `O(n)` work and `O(log n)` depth.
@@ -46,8 +51,11 @@ pub fn num_threads() -> usize {
 
 /// Runs `f` on a dedicated rayon pool with `n` threads.
 ///
-/// Used by the benchmark harness for the single-thread vs all-threads
-/// comparisons in Tables 3 and 4 of the paper.
+/// This genuinely constrains (or widens) the parallelism of every
+/// `join`/`scope`/parallel-iterator call inside `f`, including nested
+/// spawns executing on the pool's workers — the thread-scaling
+/// experiment (`repro scaling`) and the single-thread vs all-threads
+/// comparisons in Tables 3 and 4 run through it.
 ///
 /// # Panics
 ///

@@ -7,8 +7,18 @@
 
 use rayon::prelude::*;
 
-/// Minimum block size before switching to sequential execution.
-const GRAIN: usize = 4096;
+/// Below this input length the primitives run sequentially outright:
+/// a fork-join round trip costs ~1 µs on the work-stealing pool, so
+/// inputs this small never win from splitting.
+const SEQ: usize = 4096;
+
+/// Block size for the two-pass algorithms, adapted to the pool width:
+/// ~8 blocks per worker gives the stealing scheduler slack to
+/// rebalance, floored at 1024 elements so a block amortizes its fork
+/// and capped so the per-block scratch stays cache-friendly.
+fn block_size(n: usize) -> usize {
+    (n / (rayon::current_num_threads() * 8)).clamp(1024, 1 << 16)
+}
 
 /// Exclusive prefix sum ("scan") under the associative operator `op`.
 ///
@@ -31,7 +41,7 @@ where
     if n == 0 {
         return (Vec::new(), id);
     }
-    if n <= GRAIN {
+    if n <= SEQ {
         let mut out = Vec::with_capacity(n);
         let mut acc = id;
         for x in items {
@@ -40,20 +50,23 @@ where
         }
         return (out, acc);
     }
-    let nblocks = n.div_ceil(GRAIN);
-    // Pass 1: per-block totals.
-    let block_sums: Vec<T> = (0..nblocks)
-        .into_par_iter()
-        .map(|b| {
-            let lo = b * GRAIN;
-            let hi = (lo + GRAIN).min(n);
+    let grain = block_size(n);
+    let nblocks = n.div_ceil(grain);
+    // Pass 1: per-block totals. Iterate blocks as `par_chunks` (whose
+    // weight is the element count) rather than a block-index range: a
+    // range of ~8·threads indices weighs less than the splitting floor
+    // and would run entirely sequentially.
+    let block_sums: Vec<T> = items
+        .par_chunks(grain)
+        .map(|chunk| {
             let mut acc = id.clone();
-            for x in &items[lo..hi] {
+            for x in chunk {
                 acc = op(&acc, x);
             }
             acc
         })
         .collect();
+    debug_assert_eq!(block_sums.len(), nblocks);
     // Sequential scan over the (few) block totals.
     let mut offsets = Vec::with_capacity(nblocks);
     let mut acc = id.clone();
@@ -64,11 +77,11 @@ where
     let total = acc;
     // Pass 2: re-scan each block with its offset.
     let mut out: Vec<T> = vec![id; n];
-    out.par_chunks_mut(GRAIN)
+    out.par_chunks_mut(grain)
         .zip(offsets.into_par_iter())
         .enumerate()
         .for_each(|(b, (chunk, off))| {
-            let lo = b * GRAIN;
+            let lo = b * grain;
             let hi = lo + chunk.len();
             let mut acc = off;
             for (slot, x) in chunk.iter_mut().zip(&items[lo..hi]) {
@@ -111,11 +124,11 @@ pub fn pack<T>(items: &[T], pred: impl Fn(&T) -> bool + Sync) -> Vec<T>
 where
     T: Clone + Send + Sync,
 {
-    if items.len() <= GRAIN {
+    if items.len() <= SEQ {
         return items.iter().filter(|x| pred(x)).cloned().collect();
     }
     items
-        .par_chunks(GRAIN)
+        .par_chunks(block_size(items.len()))
         .map(|chunk| {
             chunk
                 .iter()
@@ -140,7 +153,7 @@ pub fn filter_indices<T>(items: &[T], pred: impl Fn(&T) -> bool + Sync) -> Vec<u
 where
     T: Sync,
 {
-    if items.len() <= GRAIN {
+    if items.len() <= SEQ {
         return items
             .iter()
             .enumerate()
@@ -148,11 +161,12 @@ where
             .map(|(i, _)| i)
             .collect();
     }
+    let grain = block_size(items.len());
     items
-        .par_chunks(GRAIN)
+        .par_chunks(grain)
         .enumerate()
         .map(|(b, chunk)| {
-            let base = b * GRAIN;
+            let base = b * grain;
             chunk
                 .iter()
                 .enumerate()

@@ -2,6 +2,39 @@
 
 use std::time::Duration;
 
+/// Compute-resource configuration for one engine: how many
+/// work-stealing pool workers the writer's batch applies and the
+/// query executor's analytics share.
+///
+/// Both sides of the engine run parallel tree operations — the writer
+/// through `insert_edges`/`delete_edges` (parallel `MultiInsert`), the
+/// query threads through the parallel graph kernels — so on a shared
+/// machine an engine should own an explicitly sized pool rather than
+/// letting every thread fan out to the full machine width. With
+/// [`num_threads`](Self::num_threads) `None` (the default) the engine
+/// uses the process-global pool (sized by `ASPEN_THREADS` or the
+/// machine parallelism).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineConfig {
+    /// Workers in the engine's dedicated compute pool; `None` shares
+    /// the global pool.
+    pub num_threads: Option<usize>,
+}
+
+impl EngineConfig {
+    /// Validates the configuration; called by the engine builder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_threads` is `Some(0)`.
+    pub fn validate(&self) {
+        assert!(
+            self.num_threads != Some(0),
+            "num_threads must be positive (use None for the global pool)"
+        );
+    }
+}
+
 /// The adaptive batching policy of the writer loop.
 ///
 /// The writer flushes its buffered updates when **either** limit is

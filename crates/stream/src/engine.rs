@@ -1,6 +1,6 @@
 //! Engine assembly: builder, thread lifecycle, shutdown.
 
-use crate::config::BatchPolicy;
+use crate::config::{BatchPolicy, EngineConfig};
 use crate::handle::{Envelope, IngestHandle};
 use crate::query::{QueryExecutor, QuerySpec};
 use crate::stats::{EngineStats, StatsReport};
@@ -15,6 +15,7 @@ use std::thread::JoinHandle;
 pub struct StreamEngineBuilder<E: EdgeSet> {
     vg: Arc<VersionedGraph<E>>,
     policy: BatchPolicy,
+    config: EngineConfig,
     queries: Vec<QuerySpec<E>>,
     query_threads: usize,
     track_consistency: bool,
@@ -25,6 +26,20 @@ impl<E: EdgeSet> StreamEngineBuilder<E> {
     /// [`BatchPolicy::default`]).
     pub fn policy(mut self, policy: BatchPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Sets the compute configuration (default:
+    /// [`EngineConfig::default`], sharing the global pool).
+    pub fn config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Shorthand for a dedicated compute pool of `n` workers, shared
+    /// by the writer's batch applies and the query executor.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.config.num_threads = Some(n);
         self
     }
 
@@ -56,20 +71,34 @@ impl<E: EdgeSet> StreamEngineBuilder<E> {
     /// threads, and returns the running engine.
     pub fn start(self) -> StreamEngine<E> {
         self.policy.validate();
+        self.config.validate();
         let (tx, rx) = sync_channel::<Envelope>(self.policy.channel_capacity);
         let stats = Arc::new(EngineStats::new());
         let tracker = self
             .track_consistency
             .then(|| Arc::new(ConsistencyTracker::new(self.vg.acquire().num_edges())));
+        // One pool for the whole engine: the writer's parallel batch
+        // applies and the analytics share it, so an engine sized with
+        // `num_threads(n)` never fans out past `n` workers no matter
+        // how many query threads race rounds.
+        let pool = self.config.num_threads.map(|n| {
+            Arc::new(
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(n)
+                    .build()
+                    .expect("build engine compute pool"),
+            )
+        });
 
         let writer = {
             let vg = self.vg.clone();
             let stats = stats.clone();
             let tracker = tracker.clone();
             let policy = self.policy;
+            let pool = pool.clone();
             std::thread::Builder::new()
                 .name("aspen-stream-writer".into())
-                .spawn(move || writer_loop(vg, rx, policy, stats, tracker))
+                .spawn(move || writer_loop(vg, rx, policy, stats, tracker, pool))
                 .expect("spawn writer thread")
         };
 
@@ -79,6 +108,7 @@ impl<E: EdgeSet> StreamEngineBuilder<E> {
             self.queries,
             stats.clone(),
             tracker,
+            pool,
         ));
         let query_threads = if executor.has_queries() {
             (0..self.query_threads.max(1))
@@ -128,6 +158,7 @@ impl<E: EdgeSet> StreamEngine<E> {
         StreamEngineBuilder {
             vg,
             policy: BatchPolicy::default(),
+            config: EngineConfig::default(),
             queries: Vec::new(),
             query_threads: 1,
             track_consistency: false,
@@ -201,6 +232,30 @@ mod tests {
         let g = vg.acquire();
         assert!(g.contains_edge(100, 0) && g.contains_edge(200, 100));
         assert!(!g.contains_edge(0, 1));
+    }
+
+    #[test]
+    fn dedicated_compute_pool_applies_batches_and_queries() {
+        let edges: Vec<(u32, u32)> = (0..32u32)
+            .flat_map(|i| [(i, (i + 1) % 32), ((i + 1) % 32, i)])
+            .collect();
+        let vg: Arc<VersionedGraph<CompressedEdges>> = Arc::new(VersionedGraph::new(
+            Graph::from_edges(&edges, Default::default()),
+        ));
+        let engine = StreamEngine::builder(vg.clone())
+            .num_threads(2)
+            .register_query(analytics::connected_components())
+            .track_consistency(true)
+            .start();
+        let h = engine.handle();
+        for i in 0..300 {
+            h.push(Update::Insert(i % 32, 32 + i)).unwrap();
+        }
+        drop(h);
+        let report = engine.finish();
+        assert_eq!(report.updates_applied, 300);
+        assert_eq!(report.consistency_violations, 0);
+        assert!(vg.acquire().contains_edge(32, 0));
     }
 
     #[test]

@@ -60,7 +60,7 @@ mod query;
 mod stats;
 mod writer;
 
-pub use config::BatchPolicy;
+pub use config::{BatchPolicy, EngineConfig};
 pub use engine::{StreamEngine, StreamEngineBuilder};
 pub use handle::{IngestError, IngestHandle, TryIngestError};
 pub use query::{analytics, QueryExecutor, QueryFn, QuerySpec};

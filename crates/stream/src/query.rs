@@ -83,6 +83,10 @@ pub struct QueryExecutor<E: EdgeSet> {
     queries: Vec<QuerySpec<E>>,
     stats: Arc<EngineStats>,
     tracker: Option<Arc<ConsistencyTracker>>,
+    /// The engine's compute pool; analytics `install` onto it so
+    /// their parallel kernels share the writer's workers instead of
+    /// fanning out to the machine width.
+    pool: Option<Arc<rayon::ThreadPool>>,
 }
 
 impl<E: EdgeSet> QueryExecutor<E> {
@@ -91,12 +95,21 @@ impl<E: EdgeSet> QueryExecutor<E> {
         queries: Vec<QuerySpec<E>>,
         stats: Arc<EngineStats>,
         tracker: Option<Arc<ConsistencyTracker>>,
+        pool: Option<Arc<rayon::ThreadPool>>,
     ) -> Self {
         QueryExecutor {
             vg,
             queries,
             stats,
             tracker,
+            pool,
+        }
+    }
+
+    fn with_pool<R>(&self, f: impl FnOnce() -> R) -> R {
+        match &self.pool {
+            Some(p) => p.install(f),
+            None => f(),
         }
     }
 
@@ -114,23 +127,25 @@ impl<E: EdgeSet> QueryExecutor<E> {
     /// round's setup cost; the [`query`](EngineStats::query) histogram
     /// records each analytic's pure run time on top of it.
     pub fn run_once(&self) -> Vec<u64> {
-        let snapshot = self.vg.acquire();
-        if let Some(t) = &self.tracker {
-            if !t.is_valid(snapshot.num_edges()) {
-                self.stats
-                    .consistency_violations
-                    .fetch_add(1, Ordering::Relaxed);
+        self.with_pool(|| {
+            let snapshot = self.vg.acquire();
+            if let Some(t) = &self.tracker {
+                if !t.is_valid(snapshot.num_edges()) {
+                    self.stats
+                        .consistency_violations
+                        .fetch_add(1, Ordering::Relaxed);
+                }
             }
-        }
-        let flat = FlatSnapshot::new(&snapshot);
-        let mut digests = Vec::with_capacity(self.queries.len());
-        for q in &self.queries {
-            let t0 = Instant::now();
-            digests.push((q.run)(&flat));
-            self.stats.query.record(t0.elapsed());
-            self.stats.queries_run.fetch_add(1, Ordering::Relaxed);
-        }
-        digests
+            let flat = FlatSnapshot::new(&snapshot);
+            let mut digests = Vec::with_capacity(self.queries.len());
+            for q in &self.queries {
+                let t0 = Instant::now();
+                digests.push((q.run)(&flat));
+                self.stats.query.record(t0.elapsed());
+                self.stats.queries_run.fetch_add(1, Ordering::Relaxed);
+            }
+            digests
+        })
     }
 
     /// The body of one query thread: run rounds until `stop` is set.
@@ -168,6 +183,7 @@ mod tests {
             ],
             Arc::new(EngineStats::new()),
             None,
+            None,
         );
         let digests = ex.run_once();
         assert_eq!(digests[0], 16, "BFS reaches the whole ring");
@@ -188,6 +204,7 @@ mod tests {
             ],
             Arc::new(EngineStats::new()),
             None,
+            None,
         );
         let digests = ex.run_once();
         assert_eq!(digests[0], 0, "BFS over nothing reaches nothing");
@@ -203,6 +220,7 @@ mod tests {
             vec![analytics::connected_components()],
             stats.clone(),
             Some(tracker),
+            None,
         );
         ex.run_once();
         assert_eq!(stats.queries_run.load(Ordering::Relaxed), 1);
@@ -221,6 +239,7 @@ mod tests {
             vec![analytics::connected_components()],
             stats.clone(),
             Some(tracker),
+            None,
         );
         ex.run_once();
         assert_eq!(stats.consistency_violations.load(Ordering::Relaxed), 1);

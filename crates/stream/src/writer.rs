@@ -109,12 +109,21 @@ fn coalesce(batch: &[Envelope]) -> NetBatch {
 
 /// Drains `rx` until every sender is gone, flushing under `policy`.
 /// This is the body of the engine's dedicated writer thread.
+///
+/// When the engine owns a compute pool, every batch apply runs
+/// `install`ed on it: the parallel `MultiInsert`/`MultiDelete` inside
+/// `insert_edges`/`delete_edges` then forks onto the engine's workers
+/// instead of the global pool — pool context would otherwise be lost
+/// here, because this writer thread is spawned fresh and a
+/// thread-local override from the builder's caller would not reach
+/// it.
 pub(crate) fn writer_loop<E: EdgeSet>(
     vg: Arc<VersionedGraph<E>>,
     rx: Receiver<Envelope>,
     policy: BatchPolicy,
     stats: Arc<EngineStats>,
     tracker: Option<Arc<ConsistencyTracker>>,
+    pool: Option<Arc<rayon::ThreadPool>>,
 ) {
     let mut batch: Vec<Envelope> = Vec::with_capacity(policy.max_batch);
     loop {
@@ -142,7 +151,10 @@ pub(crate) fn writer_loop<E: EdgeSet>(
                 }
             }
         }
-        flush(&vg, &batch, &stats, tracker.as_deref());
+        match &pool {
+            Some(p) => p.install(|| flush(&vg, &batch, &stats, tracker.as_deref())),
+            None => flush(&vg, &batch, &stats, tracker.as_deref()),
+        }
         batch.clear();
         if disconnected {
             return;

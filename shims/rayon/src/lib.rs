@@ -2,355 +2,60 @@
 //! this reproduction builds in has no crates.io access, so external
 //! dependencies are shimmed — see `shims/README.md`).
 //!
-//! The API surface matches what the workspace uses so that swapping the
-//! real crate back in is a one-line `Cargo.toml` change:
+//! Unlike the earlier sequential stand-in, this shim is a **real
+//! work-stealing fork-join runtime**:
 //!
-//! * data-parallel iterators ([`Par`], `par_iter`, `into_par_iter`,
-//!   `par_chunks`, `par_sort_*`) run **sequentially** — identical
-//!   results, no parallel speedup;
-//! * [`scope`] spawns **real OS threads** (via [`std::thread::scope`]),
-//!   so worklist engines and the streaming engine's concurrency tests
-//!   exercise genuine parallelism;
-//! * [`join`] runs its closures sequentially (it sits on hot recursive
-//!   paths where per-call thread spawning would be pathological).
+//! * [`join`] executes both closures on pool workers — the second
+//!   closure is exposed for stealing while the first runs, with an
+//!   inline fallback when the pool is single-threaded or the local
+//!   deque is already saturated ([`pool`] module);
+//! * [`scope`]/[`Scope::spawn`] route through the same pool's deques;
+//! * the data-parallel iterators (`par_iter`, `into_par_iter`,
+//!   `par_chunks*`, `par_sort*`, `zip`, `enumerate`, …) genuinely
+//!   split work across the pool and merge ordered results ([`iter`]
+//!   module);
+//! * [`ThreadPool::install`] re-routes all of the above to a dedicated
+//!   pool, and the context propagates into nested spawns because
+//!   stolen jobs run *on that pool's workers* (each worker resolves
+//!   its own registry);
+//! * the default pool width honours the `ASPEN_THREADS` environment
+//!   variable, falling back to the machine parallelism.
+//!
+//! The API surface matches what the workspace uses so that swapping
+//! the real crate back in is a one-line `Cargo.toml` change.
 
-use std::cell::Cell;
+mod iter;
+mod pool;
+
+pub use iter::{
+    FromParallelIterator, IndexedParallelIterator, IntoParallelIterator, ParallelIterator,
+    ParallelSlice, ParallelSliceMut,
+};
+pub use pool::{
+    current_num_threads, join, scope, Scope, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder,
+};
 
 pub mod prelude {
     //! Glob-import target mirroring `rayon::prelude`.
-    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
-}
-
-/// A "parallel" iterator: a newtype over a sequential [`Iterator`] that
-/// also exposes the rayon-specific combinators (`reduce` with identity,
-/// `flat_map_iter`, …) as inherent methods.
-pub struct Par<I>(pub I);
-
-impl<I: Iterator> Iterator for Par<I> {
-    type Item = I::Item;
-    #[inline]
-    fn next(&mut self) -> Option<I::Item> {
-        self.0.next()
-    }
-    #[inline]
-    fn size_hint(&self) -> (usize, Option<usize>) {
-        self.0.size_hint()
-    }
-}
-
-impl<I: Iterator> Par<I> {
-    #[inline]
-    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> Par<std::iter::Map<I, F>> {
-        Par(self.0.map(f))
-    }
-
-    #[inline]
-    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> Par<std::iter::Filter<I, F>> {
-        Par(self.0.filter(f))
-    }
-
-    #[inline]
-    pub fn filter_map<B, F: FnMut(I::Item) -> Option<B>>(
-        self,
-        f: F,
-    ) -> Par<std::iter::FilterMap<I, F>> {
-        Par(self.0.filter_map(f))
-    }
-
-    #[inline]
-    pub fn flat_map<U: IntoIterator, F: FnMut(I::Item) -> U>(
-        self,
-        f: F,
-    ) -> Par<std::iter::FlatMap<I, U, F>> {
-        Par(self.0.flat_map(f))
-    }
-
-    /// rayon's cheaper `flat_map` over serial inner iterators.
-    #[inline]
-    pub fn flat_map_iter<U: IntoIterator, F: FnMut(I::Item) -> U>(
-        self,
-        f: F,
-    ) -> Par<std::iter::FlatMap<I, U, F>> {
-        Par(self.0.flat_map(f))
-    }
-
-    #[inline]
-    pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
-        Par(self.0.enumerate())
-    }
-
-    #[inline]
-    pub fn zip<Z: IntoParallelIterator>(self, other: Z) -> Par<std::iter::Zip<I, Z::Iter>> {
-        Par(self.0.zip(other.into_par_iter().0))
-    }
-
-    #[inline]
-    pub fn copied<'a, T>(self) -> Par<std::iter::Copied<I>>
-    where
-        T: 'a + Copy,
-        I: Iterator<Item = &'a T>,
-    {
-        Par(self.0.copied())
-    }
-
-    #[inline]
-    pub fn cloned<'a, T>(self) -> Par<std::iter::Cloned<I>>
-    where
-        T: 'a + Clone,
-        I: Iterator<Item = &'a T>,
-    {
-        Par(self.0.cloned())
-    }
-
-    #[inline]
-    pub fn chain<Z: IntoParallelIterator<Item = I::Item>>(
-        self,
-        other: Z,
-    ) -> Par<std::iter::Chain<I, Z::Iter>> {
-        Par(self.0.chain(other.into_par_iter().0))
-    }
-
-    /// rayon's `reduce(identity, op)` — folds sequentially.
-    #[inline]
-    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
-    where
-        ID: Fn() -> I::Item,
-        OP: Fn(I::Item, I::Item) -> I::Item,
-    {
-        self.0.fold(identity(), op)
-    }
-
-    /// Grain-size hint; a no-op here.
-    #[inline]
-    pub fn with_min_len(self, _min: usize) -> Self {
-        self
-    }
-
-    /// Grain-size hint; a no-op here.
-    #[inline]
-    pub fn with_max_len(self, _max: usize) -> Self {
-        self
-    }
-}
-
-/// Conversion into a [`Par`] iterator; blanket-implemented for every
-/// [`IntoIterator`] so ranges, `Vec`s and references all work.
-pub trait IntoParallelIterator {
-    type Iter: Iterator<Item = Self::Item>;
-    type Item;
-    fn into_par_iter(self) -> Par<Self::Iter>;
-}
-
-impl<T: IntoIterator> IntoParallelIterator for T {
-    type Iter = T::IntoIter;
-    type Item = T::Item;
-    #[inline]
-    fn into_par_iter(self) -> Par<T::IntoIter> {
-        Par(self.into_iter())
-    }
-}
-
-/// `par_iter` / `par_chunks` on shared slices.
-pub trait ParallelSlice<T> {
-    fn par_iter(&self) -> Par<std::slice::Iter<'_, T>>;
-    fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>>;
-    fn par_windows(&self, window_size: usize) -> Par<std::slice::Windows<'_, T>>;
-}
-
-impl<T> ParallelSlice<T> for [T] {
-    #[inline]
-    fn par_iter(&self) -> Par<std::slice::Iter<'_, T>> {
-        Par(self.iter())
-    }
-    #[inline]
-    fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>> {
-        Par(self.chunks(chunk_size))
-    }
-    #[inline]
-    fn par_windows(&self, window_size: usize) -> Par<std::slice::Windows<'_, T>> {
-        Par(self.windows(window_size))
-    }
-}
-
-/// `par_iter_mut` / `par_chunks_mut` / `par_sort_*` on mutable slices.
-pub trait ParallelSliceMut<T> {
-    fn par_iter_mut(&mut self) -> Par<std::slice::IterMut<'_, T>>;
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>>;
-    fn par_sort(&mut self)
-    where
-        T: Ord;
-    fn par_sort_unstable(&mut self)
-    where
-        T: Ord;
-    fn par_sort_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F);
-    fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F);
-    fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F);
-    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F);
-}
-
-impl<T> ParallelSliceMut<T> for [T] {
-    #[inline]
-    fn par_iter_mut(&mut self) -> Par<std::slice::IterMut<'_, T>> {
-        Par(self.iter_mut())
-    }
-    #[inline]
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
-        Par(self.chunks_mut(chunk_size))
-    }
-    #[inline]
-    fn par_sort(&mut self)
-    where
-        T: Ord,
-    {
-        self.sort();
-    }
-    #[inline]
-    fn par_sort_unstable(&mut self)
-    where
-        T: Ord,
-    {
-        self.sort_unstable();
-    }
-    #[inline]
-    fn par_sort_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F) {
-        self.sort_by(compare);
-    }
-    #[inline]
-    fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F) {
-        self.sort_unstable_by(compare);
-    }
-    #[inline]
-    fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
-        self.sort_by_key(key);
-    }
-    #[inline]
-    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
-        self.sort_unstable_by_key(key);
-    }
-}
-
-/// Runs both closures and returns their results. Sequential: `join`
-/// sits on fine-grained recursive paths (tree builds) where spawning a
-/// thread per call would swamp the work.
-#[inline]
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
-where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
-{
-    (a(), b())
-}
-
-/// A fork-join scope backed by [`std::thread::scope`]: every
-/// [`Scope::spawn`] runs on a real OS thread, joined before [`scope`]
-/// returns.
-pub struct Scope<'scope, 'env: 'scope> {
-    inner: &'scope std::thread::Scope<'scope, 'env>,
-}
-
-impl<'scope, 'env> Scope<'scope, 'env> {
-    /// Spawns `f` on a new scoped thread.
-    pub fn spawn<F>(&self, f: F)
-    where
-        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
-    {
-        let inner = self.inner;
-        inner.spawn(move || f(&Scope { inner }));
-    }
-}
-
-/// Creates a scope in which closures can be spawned onto real threads;
-/// blocks until all spawned work completes.
-pub fn scope<'env, F, R>(f: F) -> R
-where
-    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
-{
-    std::thread::scope(|s| f(&Scope { inner: s }))
-}
-
-thread_local! {
-    static POOL_SIZE: Cell<Option<usize>> = const { Cell::new(None) };
-}
-
-/// The number of threads the "pool" reports: the `install`ed pool size
-/// if inside [`ThreadPool::install`], otherwise the machine parallelism.
-pub fn current_num_threads() -> usize {
-    POOL_SIZE.with(|p| {
-        p.get().unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
-    })
-}
-
-/// Builder mirroring `rayon::ThreadPoolBuilder`; the built pool only
-/// carries a thread-count used to scope [`current_num_threads`].
-#[derive(Default)]
-pub struct ThreadPoolBuilder {
-    num_threads: usize,
-}
-
-impl ThreadPoolBuilder {
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    pub fn num_threads(mut self, n: usize) -> Self {
-        self.num_threads = n;
-        self
-    }
-
-    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        if self.num_threads == 0 {
-            // Real rayon treats 0 as "default"; the workspace never
-            // relies on that, so accept it as such too.
-            return Ok(ThreadPool { num_threads: None });
-        }
-        Ok(ThreadPool {
-            num_threads: Some(self.num_threads),
-        })
-    }
-}
-
-/// Error type for [`ThreadPoolBuilder::build`] (never produced here).
-#[derive(Debug)]
-pub struct ThreadPoolBuildError;
-
-impl std::fmt::Display for ThreadPoolBuildError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("thread pool build error")
-    }
-}
-
-impl std::error::Error for ThreadPoolBuildError {}
-
-/// A scoped thread-count override; work `install`ed on it runs on the
-/// calling thread but observes the pool's `current_num_threads`.
-pub struct ThreadPool {
-    num_threads: Option<usize>,
-}
-
-impl ThreadPool {
-    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
-        POOL_SIZE.with(|p| {
-            let prev = p.get();
-            p.set(self.num_threads.or(prev));
-            let r = f();
-            p.set(prev);
-            r
-        })
-    }
-
-    pub fn current_num_threads(&self) -> usize {
-        self.num_threads.unwrap_or_else(current_num_threads)
-    }
+    pub use crate::iter::{
+        FromParallelIterator, IndexedParallelIterator, IntoParallelIterator, ParallelIterator,
+        ParallelSlice, ParallelSliceMut,
+    };
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
     use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    use std::thread::ThreadId;
+    use std::time::Duration;
+
+    fn pool(n: usize) -> ThreadPool {
+        ThreadPoolBuilder::new().num_threads(n).build().unwrap()
+    }
 
     #[test]
     fn par_iter_chains() {
@@ -375,8 +80,137 @@ mod tests {
     }
 
     #[test]
-    fn scope_runs_real_threads() {
-        use std::sync::atomic::{AtomicUsize, Ordering};
+    fn collect_preserves_order_on_pool() {
+        pool(4).install(|| {
+            let out: Vec<u64> = (0u64..100_000).into_par_iter().map(|x| x * 3).collect();
+            assert_eq!(out.len(), 100_000);
+            assert!(out.iter().enumerate().all(|(i, &x)| x == i as u64 * 3));
+        });
+    }
+
+    #[test]
+    fn filter_zip_enumerate_on_pool() {
+        pool(3).install(|| {
+            let a: Vec<u32> = (0..50_000).collect();
+            let b: Vec<u32> = (0..50_000).map(|x| x * 2).collect();
+            let picked: Vec<(usize, u32)> = a
+                .par_iter()
+                .zip(&b)
+                .enumerate()
+                .filter(|(_, (&x, _))| x % 1000 == 0)
+                .map(|(i, (&x, &y))| (i, x + y))
+                .collect();
+            assert_eq!(picked.len(), 50);
+            assert_eq!(picked[1], (1000, 3000));
+        });
+    }
+
+    #[test]
+    fn sum_and_count_match_sequential() {
+        pool(4).install(|| {
+            let n = 200_000u64;
+            let s: u64 = (0..n).into_par_iter().sum();
+            assert_eq!(s, n * (n - 1) / 2);
+            let c = (0..n).into_par_iter().filter(|x| x % 3 == 0).count();
+            assert_eq!(c, (0..n).filter(|x| x % 3 == 0).count());
+        });
+    }
+
+    #[test]
+    fn par_sort_matches_std_sort() {
+        let mut xs: Vec<u64> = (0..100_000u64)
+            .map(|i| i.wrapping_mul(0x9E37) % 7919)
+            .collect();
+        let mut expect = xs.clone();
+        expect.sort();
+        pool(4).install(|| xs.par_sort_unstable());
+        assert_eq!(xs, expect);
+    }
+
+    #[test]
+    fn par_sort_by_key_is_stable() {
+        let mut xs: Vec<(u32, u32)> = (0..50_000).map(|i| (i % 97, i)).collect();
+        pool(4).install(|| xs.par_sort_by_key(|&(k, _)| k));
+        // Stable: within equal keys the original (ascending) payload
+        // order must survive.
+        assert!(xs
+            .windows(2)
+            .all(|w| w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1)));
+    }
+
+    #[test]
+    fn join_runs_on_two_os_threads() {
+        // Called from a non-pool thread: `a` runs here while `b` is
+        // injected into the pool. `a` spins until `b` has recorded its
+        // thread id, so the two sides provably overlap in time and
+        // must be on distinct OS threads.
+        use std::sync::atomic::AtomicBool;
+        let p = pool(2);
+        let b_thread = Mutex::new(None);
+        let b_done = AtomicBool::new(false);
+        let a_thread = p
+            .install(|| {
+                join(
+                    || {
+                        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+                        while !b_done.load(Ordering::Acquire)
+                            && std::time::Instant::now() < deadline
+                        {
+                            std::thread::yield_now();
+                        }
+                        std::thread::current().id()
+                    },
+                    || {
+                        *b_thread.lock().unwrap() = Some(std::thread::current().id());
+                        b_done.store(true, Ordering::Release);
+                    },
+                )
+            })
+            .0;
+        let b_thread = b_thread.lock().unwrap().expect("b never ran");
+        assert_ne!(
+            a_thread, b_thread,
+            "join closures ran on a single OS thread"
+        );
+    }
+
+    #[test]
+    fn nested_joins_spread_across_pool() {
+        // A fork tree above the inline threshold must touch >1 worker.
+        let p = pool(4);
+        let ids: Mutex<HashSet<ThreadId>> = Mutex::new(HashSet::new());
+        fn go(depth: usize, ids: &Mutex<HashSet<ThreadId>>) {
+            if depth == 0 {
+                std::thread::sleep(Duration::from_millis(2));
+                ids.lock().unwrap().insert(std::thread::current().id());
+                return;
+            }
+            join(|| go(depth - 1, ids), || go(depth - 1, ids));
+        }
+        p.install(|| go(6, &ids));
+        assert!(
+            ids.lock().unwrap().len() >= 2,
+            "64-leaf join tree never left one thread"
+        );
+    }
+
+    #[test]
+    fn join_propagates_panics() {
+        let p = pool(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.install(|| {
+                join(
+                    || std::thread::sleep(Duration::from_millis(20)),
+                    || panic!("boom-b"),
+                )
+            })
+        }));
+        assert!(result.is_err(), "panic in b was swallowed");
+    }
+
+    #[test]
+    fn scope_runs_spawned_tasks() {
+        use std::sync::atomic::AtomicUsize;
         let hits = AtomicUsize::new(0);
         scope(|s| {
             for _ in 0..4 {
@@ -389,6 +223,46 @@ mod tests {
     }
 
     #[test]
+    fn scope_on_pool_uses_pool_workers() {
+        let p = pool(2);
+        let outside = std::thread::current().id();
+        let ids: Mutex<Vec<ThreadId>> = Mutex::new(Vec::new());
+        p.install(|| {
+            scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|_| {
+                        ids.lock().unwrap().push(std::thread::current().id());
+                    });
+                }
+            });
+        });
+        let ids = ids.lock().unwrap();
+        assert_eq!(ids.len(), 4);
+        assert!(
+            ids.iter().all(|&id| id != outside),
+            "scope task ran on the calling thread instead of the pool"
+        );
+    }
+
+    #[test]
+    fn nested_spawns_and_recursive_scope_use() {
+        let count = AtomicUsize::new(0);
+        pool(3).install(|| {
+            scope(|s| {
+                for _ in 0..3 {
+                    s.spawn(|s| {
+                        count.fetch_add(1, Ordering::Relaxed);
+                        s.spawn(|_| {
+                            count.fetch_add(1, Ordering::Relaxed);
+                        });
+                    });
+                }
+            });
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
     fn pool_install_scopes_thread_count() {
         let inside = ThreadPoolBuilder::new()
             .num_threads(3)
@@ -397,5 +271,89 @@ mod tests {
             .install(current_num_threads);
         assert_eq!(inside, 3);
         assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn num_threads_propagates_into_pool_jobs() {
+        // The old thread-local-only scheme reported the machine width
+        // inside spawned jobs; the pool's workers must see the pool
+        // width instead.
+        let p = pool(3);
+        let seen = Mutex::new(Vec::new());
+        p.install(|| {
+            scope(|s| {
+                for _ in 0..3 {
+                    s.spawn(|_| {
+                        seen.lock().unwrap().push(current_num_threads());
+                    });
+                }
+            });
+        });
+        assert_eq!(*seen.lock().unwrap(), vec![3, 3, 3]);
+    }
+
+    #[test]
+    fn par_chunks_splits_across_threads() {
+        // Regression: chunk iterators must weigh their *elements* — a
+        // chunk-count weight sits below the splitting floor and ran
+        // the whole thing on one thread.
+        let data = vec![0u8; 1 << 20];
+        let ids: Mutex<HashSet<ThreadId>> = Mutex::new(HashSet::new());
+        pool(4).install(|| {
+            data.par_chunks(32 << 10).for_each(|chunk| {
+                std::thread::sleep(Duration::from_millis(1));
+                ids.lock().unwrap().insert(std::thread::current().id());
+                std::hint::black_box(chunk.len());
+            });
+        });
+        assert!(
+            ids.lock().unwrap().len() >= 2,
+            "par_chunks never left one thread"
+        );
+    }
+
+    #[test]
+    fn vec_par_iter_drops_every_element_exactly_once() {
+        use std::sync::Arc;
+        let sentinel = Arc::new(());
+        let items: Vec<Arc<()>> = (0..10_000).map(|_| sentinel.clone()).collect();
+        pool(4).install(|| {
+            let n = items.into_par_iter().filter(|_| false).count();
+            assert_eq!(n, 0);
+        });
+        assert_eq!(Arc::strong_count(&sentinel), 1, "leak or double drop");
+    }
+
+    #[test]
+    fn zip_truncation_drops_unused_tail() {
+        use std::sync::Arc;
+        let sentinel = Arc::new(());
+        let long: Vec<Arc<()>> = (0..5_000).map(|_| sentinel.clone()).collect();
+        let short: Vec<u32> = (0..100).collect();
+        pool(2).install(|| {
+            let n = long.into_par_iter().zip(short).count();
+            assert_eq!(n, 100);
+        });
+        assert_eq!(
+            Arc::strong_count(&sentinel),
+            1,
+            "zip-discarded tail leaked or double-dropped"
+        );
+    }
+
+    #[test]
+    fn results_identical_across_pool_sizes() {
+        let run = |threads: usize| -> (Vec<u64>, u64, Vec<u32>) {
+            pool(threads).install(|| {
+                let mapped: Vec<u64> = (0u64..30_000).into_par_iter().map(|x| x ^ 0xF0F0).collect();
+                let total: u64 = mapped.par_iter().copied().sum();
+                let mut sorted: Vec<u32> = (0..30_000u32)
+                    .map(|i| i.wrapping_mul(2654435761) >> 8)
+                    .collect();
+                sorted.par_sort_unstable();
+                (mapped, total, sorted)
+            })
+        };
+        assert_eq!(run(1), run(4));
     }
 }

@@ -1,0 +1,754 @@
+//! The work-stealing fork-join runtime behind [`join`], [`scope`] and
+//! the parallel iterators.
+//!
+//! Structure (a deliberately small rayon-core):
+//!
+//! * a [`Registry`] owns one mutex-guarded deque per worker plus a
+//!   global injector queue for jobs arriving from non-pool threads;
+//! * workers pop their own deque LIFO (cache-hot, depth-first) and
+//!   steal FIFO from victims (breadth-first, big pieces first) — the
+//!   classic work-stealing discipline;
+//! * [`join`] pushes the second closure as a [`StackJob`] on the local
+//!   deque, runs the first inline, then either pops the job back
+//!   (nobody stole it → run inline, zero synchronization beyond the
+//!   deque lock) or helps execute other jobs until the thief finishes;
+//! * blocked non-pool threads wait on a latch (condvar), blocked
+//!   workers *help* (keep executing stolen jobs) so the pool can never
+//!   deadlock on nested parallelism;
+//! * panics inside jobs are captured and re-thrown at the join point,
+//!   matching rayon's semantics.
+//!
+//! The deques are `Mutex<VecDeque>` rather than lock-free Chase–Lev
+//! deques: pushes/pops are a few tens of nanoseconds uncontended,
+//! which the `SEQ_*` grain thresholds in `ptree`/`ctree` amortize to
+//! noise. Swapping in the real rayon restores the lock-free fast path
+//! with zero API change.
+
+use std::any::Any;
+use std::cell::{Cell, RefCell, UnsafeCell};
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Jobs
+// ---------------------------------------------------------------------------
+
+/// A type-erased pointer to a job awaiting execution. The pointee is
+/// either a [`StackJob`] on some joiner's stack (kept alive until its
+/// latch is set) or a leaked [`HeapJob`] (freed by `execute`).
+#[derive(Clone, Copy)]
+pub(crate) struct JobRef {
+    data: *const (),
+    exec: unsafe fn(*const ()),
+}
+
+// Safety: a JobRef only crosses threads under the queue protocol — the
+// pointee outlives execution (stack jobs by latch discipline, heap jobs
+// by ownership transfer) and the closures inside are `Send`.
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// # Safety
+    ///
+    /// The pointee must still be alive and not yet executed.
+    pub(crate) unsafe fn execute(self) {
+        (self.exec)(self.data)
+    }
+}
+
+/// A completion flag with both a cheap probe (for helping workers) and
+/// a blocking wait (for non-pool threads).
+///
+/// Always handled through an [`Arc`]: the job's final `set()` operates
+/// on a clone taken *before* touching the flag, so the joiner may free
+/// the job (and its embedded latch handle) the instant `probe()`
+/// succeeds without racing the setter's condvar notification.
+pub(crate) struct LatchInner {
+    done: AtomicBool,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+pub(crate) type Latch = Arc<LatchInner>;
+
+pub(crate) fn new_latch() -> Latch {
+    Arc::new(LatchInner {
+        done: AtomicBool::new(false),
+        lock: Mutex::new(()),
+        cv: Condvar::new(),
+    })
+}
+
+impl LatchInner {
+    fn set(&self) {
+        let _g = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+        self.done.store(true, Ordering::Release);
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn probe(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    fn wait(&self) {
+        let mut g = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+        while !self.done.load(Ordering::Acquire) {
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// A job living on the joiner's stack frame: the closure, a slot for
+/// its result (or captured panic), and the completion latch.
+pub(crate) struct StackJob<F, R> {
+    f: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<std::thread::Result<R>>>,
+    latch: Latch,
+}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    fn new(f: F) -> Self {
+        StackJob {
+            f: UnsafeCell::new(Some(f)),
+            result: UnsafeCell::new(None),
+            latch: new_latch(),
+        }
+    }
+
+    /// # Safety
+    ///
+    /// The returned ref must not outlive `self`, and `self` must stay
+    /// alive until the latch is set (the join protocol guarantees it).
+    unsafe fn as_job_ref(&self) -> JobRef {
+        JobRef {
+            data: self as *const Self as *const (),
+            exec: Self::execute_erased,
+        }
+    }
+
+    unsafe fn execute_erased(ptr: *const ()) {
+        let this = &*(ptr as *const Self);
+        let f = (*this.f.get()).take().expect("stack job executed twice");
+        let result = panic::catch_unwind(AssertUnwindSafe(f));
+        *this.result.get() = Some(result);
+        // Clone the latch out of the job first: after `set`, the joiner
+        // may pop its stack frame (freeing the job) at any moment.
+        let latch = this.latch.clone();
+        latch.set();
+    }
+
+    /// Runs the closure on the current thread after the job was popped
+    /// back un-stolen.
+    fn run_popped(self) -> R {
+        let f = self.f.into_inner().expect("popped job already executed");
+        f()
+    }
+
+    /// Retrieves the result once the latch has been observed set.
+    fn into_result(self) -> R {
+        match self.result.into_inner().expect("latch set without result") {
+            Ok(r) => r,
+            Err(payload) => panic::resume_unwind(payload),
+        }
+    }
+}
+
+/// A heap-allocated fire-and-forget job (used by [`Scope::spawn`]);
+/// freed by its own execution.
+struct HeapJob {
+    f: Box<dyn FnOnce() + Send>,
+}
+
+impl HeapJob {
+    fn job_ref(f: Box<dyn FnOnce() + Send>) -> JobRef {
+        JobRef {
+            data: Box::into_raw(Box::new(HeapJob { f })) as *const (),
+            exec: Self::execute_erased,
+        }
+    }
+
+    unsafe fn execute_erased(ptr: *const ()) {
+        let job = Box::from_raw(ptr as *mut HeapJob);
+        // The boxed closure does its own panic capture (scope protocol).
+        (job.f)();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry (one per pool)
+// ---------------------------------------------------------------------------
+
+/// Shared state of one thread pool: worker deques, the injector queue
+/// for external submissions, and the sleep machinery.
+pub(crate) struct Registry {
+    deques: Vec<Mutex<VecDeque<JobRef>>>,
+    injector: Mutex<VecDeque<JobRef>>,
+    sleepers: AtomicUsize,
+    sleep_lock: Mutex<()>,
+    sleep_cv: Condvar,
+    terminate: AtomicBool,
+    next_victim: AtomicUsize,
+}
+
+/// Above this many pending jobs in a worker's local deque, `join` runs
+/// both closures inline: enough parallelism is already exposed, and
+/// queuing more fine-grained tasks would only pay deque traffic.
+const LOCAL_PENDING_LIMIT: usize = 32;
+
+impl Registry {
+    /// Builds a registry and spawns its `n` worker threads.
+    fn spawn(n: usize) -> (Arc<Registry>, Vec<std::thread::JoinHandle<()>>) {
+        let registry = Arc::new(Registry {
+            deques: (0..n).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            sleepers: AtomicUsize::new(0),
+            sleep_lock: Mutex::new(()),
+            sleep_cv: Condvar::new(),
+            terminate: AtomicBool::new(false),
+            next_victim: AtomicUsize::new(0),
+        });
+        let handles = (0..n)
+            .map(|index| {
+                let registry = registry.clone();
+                std::thread::Builder::new()
+                    .name(format!("aspen-worker-{index}"))
+                    .stack_size(8 << 20) // recursive tree ops fork deep
+                    .spawn(move || worker_main(registry, index))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        (registry, handles)
+    }
+
+    pub(crate) fn num_threads(&self) -> usize {
+        self.deques.len()
+    }
+
+    fn push_local(&self, index: usize, job: JobRef) {
+        self.deques[index]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back(job);
+        self.notify();
+    }
+
+    fn inject(&self, job: JobRef) {
+        self.injector
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back(job);
+        self.notify();
+    }
+
+    fn notify(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _g = self.sleep_lock.lock().unwrap_or_else(|e| e.into_inner());
+            self.sleep_cv.notify_all();
+        }
+    }
+
+    fn local_pending(&self, index: usize) -> usize {
+        self.deques[index]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
+    }
+
+    /// Pops the back of `index`'s deque if it is exactly `job` (the
+    /// un-stolen fast path of `join`). Nested joins fully unwind their
+    /// own pushes and thieves take from the front, so if the job is
+    /// still present it can only be at the back.
+    fn pop_local_if(&self, index: usize, job: JobRef) -> bool {
+        let mut dq = self.deques[index].lock().unwrap_or_else(|e| e.into_inner());
+        if dq.back().is_some_and(|j| std::ptr::eq(j.data, job.data)) {
+            dq.pop_back();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes `job` from the injector if no worker claimed it yet.
+    fn pop_injected_if(&self, job: JobRef) -> bool {
+        let mut q = self.injector.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(pos) = q.iter().position(|j| std::ptr::eq(j.data, job.data)) {
+            q.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// One round of the work-finding protocol: own deque (LIFO), then
+    /// the injector, then steal from victims round-robin (FIFO).
+    fn find_work(&self, index: Option<usize>) -> Option<JobRef> {
+        if let Some(i) = index {
+            if let Some(job) = self.deques[i]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_back()
+            {
+                return Some(job);
+            }
+        }
+        if let Some(job) = self
+            .injector
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_front()
+        {
+            return Some(job);
+        }
+        let n = self.deques.len();
+        let start = self.next_victim.fetch_add(1, Ordering::Relaxed);
+        for k in 0..n {
+            let v = (start + k) % n;
+            if Some(v) == index {
+                continue;
+            }
+            if let Some(job) = self.deques[v]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_front()
+            {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    fn has_pending(&self) -> bool {
+        if !self
+            .injector
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_empty()
+        {
+            return true;
+        }
+        self.deques
+            .iter()
+            .any(|d| !d.lock().unwrap_or_else(|e| e.into_inner()).is_empty())
+    }
+
+    /// Parks an idle worker without missed wakeups: the worker
+    /// registers in `sleepers` *before* its final queue re-check, so a
+    /// concurrent pusher either reads `sleepers > 0` (and must take
+    /// `sleep_lock` to notify — which it cannot hold until the worker
+    /// has reached `wait_timeout` and released it), or its push is
+    /// already SeqCst-ordered before the re-check and gets seen there.
+    fn sleep(&self) {
+        let g = self.sleep_lock.lock().unwrap_or_else(|e| e.into_inner());
+        if self.terminate.load(Ordering::Acquire) {
+            return;
+        }
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        if self.has_pending() {
+            self.sleepers.fetch_sub(1, Ordering::SeqCst);
+            return;
+        }
+        let _woken = match self.sleep_cv.wait_timeout(g, Duration::from_millis(100)) {
+            Ok((g, _)) => g,
+            Err(e) => e.into_inner().0,
+        };
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Cooperative wait for worker threads: keep executing other jobs
+    /// until `latch` is set. This is what makes nested fork-join
+    /// deadlock-free — a blocked worker is never idle while work
+    /// exists.
+    fn wait_until(&self, index: usize, latch: &LatchInner) {
+        let mut idle_spins = 0u32;
+        while !latch.probe() {
+            if let Some(job) = self.find_work(Some(index)) {
+                unsafe { job.execute() };
+                idle_spins = 0;
+            } else if idle_spins < 64 {
+                std::hint::spin_loop();
+                idle_spins += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+fn worker_main(registry: Arc<Registry>, index: usize) {
+    WORKER.set(Some(WorkerHandle {
+        registry: Arc::as_ptr(&registry),
+        index,
+    }));
+    WORKER_REGISTRY.with(|r| *r.borrow_mut() = Some(registry.clone()));
+    while !registry.terminate.load(Ordering::Acquire) {
+        match registry.find_work(Some(index)) {
+            // Job execution never unwinds: panics are captured inside.
+            Some(job) => unsafe { job.execute() },
+            None => registry.sleep(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local pool context
+// ---------------------------------------------------------------------------
+
+/// Hot-path identity of a pool worker (raw pointer: the worker's own
+/// `Arc` in `worker_main` keeps the registry alive for its lifetime).
+#[derive(Clone, Copy)]
+struct WorkerHandle {
+    registry: *const Registry,
+    index: usize,
+}
+
+thread_local! {
+    static WORKER: Cell<Option<WorkerHandle>> = const { Cell::new(None) };
+    static WORKER_REGISTRY: RefCell<Option<Arc<Registry>>> = const { RefCell::new(None) };
+    /// Stack of [`ThreadPool::install`] scopes on non-worker threads.
+    static INSTALLED: RefCell<Vec<Arc<Registry>>> = const { RefCell::new(Vec::new()) };
+}
+
+static GLOBAL: OnceLock<(Arc<Registry>, Vec<std::thread::JoinHandle<()>>)> = OnceLock::new();
+
+/// The process-wide default registry, sized by the `ASPEN_THREADS`
+/// environment variable when set (and positive), otherwise by
+/// [`std::thread::available_parallelism`].
+fn global_registry() -> &'static Arc<Registry> {
+    let (registry, _handles) = GLOBAL.get_or_init(|| {
+        let n = std::env::var("ASPEN_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        Registry::spawn(n)
+    });
+    registry
+}
+
+/// The registry the current thread's parallel work routes to: the
+/// worker's own pool when on a pool thread, else the innermost
+/// [`ThreadPool::install`], else the global pool.
+///
+/// Because spawned/stolen jobs execute *on pool worker threads*, code
+/// inside them always resolves to the pool that runs it — this is how
+/// pool context propagates into nested parallel work (the former
+/// thread-local-only scheme lost it across thread boundaries).
+fn current_registry() -> Arc<Registry> {
+    if let Some(reg) = WORKER_REGISTRY.with(|r| r.borrow().clone()) {
+        return reg;
+    }
+    if let Some(reg) = INSTALLED.with(|s| s.borrow().last().cloned()) {
+        return reg;
+    }
+    global_registry().clone()
+}
+
+/// The number of worker threads parallel work on this thread will use.
+pub fn current_num_threads() -> usize {
+    current_registry().num_threads()
+}
+
+// ---------------------------------------------------------------------------
+// join
+// ---------------------------------------------------------------------------
+
+/// Runs both closures, potentially in parallel on the current pool,
+/// and returns both results.
+///
+/// On a pool worker, `b` is exposed on the worker's deque for stealing
+/// while `a` runs inline; if nobody steals it, it is popped back and
+/// run inline with no cross-thread traffic. On a non-pool thread, `b`
+/// is injected into the pool. With a single-threaded pool — or when
+/// the local deque already holds [`LOCAL_PENDING_LIMIT`] pending jobs
+/// — both closures simply run inline.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if let Some(w) = WORKER.get() {
+        let registry = unsafe { &*w.registry };
+        if registry.num_threads() <= 1 || registry.local_pending(w.index) >= LOCAL_PENDING_LIMIT {
+            return (a(), b());
+        }
+        return join_on_worker(registry, w.index, a, b);
+    }
+    let registry = current_registry();
+    if registry.num_threads() <= 1 {
+        return (a(), b());
+    }
+    join_external(&registry, a, b)
+}
+
+fn join_on_worker<A, B, RA, RB>(registry: &Registry, index: usize, a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let job_b = StackJob::new(b);
+    let job_ref = unsafe { job_b.as_job_ref() };
+    registry.push_local(index, job_ref);
+    let ra = match panic::catch_unwind(AssertUnwindSafe(a)) {
+        Ok(v) => v,
+        Err(payload) => {
+            // Reclaim `b` before unwinding: a thief may hold a pointer
+            // into this stack frame.
+            if !registry.pop_local_if(index, job_ref) {
+                registry.wait_until(index, &job_b.latch);
+            }
+            panic::resume_unwind(payload);
+        }
+    };
+    if registry.pop_local_if(index, job_ref) {
+        let rb = job_b.run_popped();
+        (ra, rb)
+    } else {
+        registry.wait_until(index, &job_b.latch);
+        (ra, job_b.into_result())
+    }
+}
+
+fn join_external<A, B, RA, RB>(registry: &Registry, a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let job_b = StackJob::new(b);
+    let job_ref = unsafe { job_b.as_job_ref() };
+    registry.inject(job_ref);
+    let ra = match panic::catch_unwind(AssertUnwindSafe(a)) {
+        Ok(v) => v,
+        Err(payload) => {
+            if !registry.pop_injected_if(job_ref) {
+                job_b.latch.wait();
+            }
+            panic::resume_unwind(payload);
+        }
+    };
+    if registry.pop_injected_if(job_ref) {
+        // The pool was saturated; run `b` here rather than queue-wait.
+        let rb = job_b.run_popped();
+        (ra, rb)
+    } else {
+        job_b.latch.wait();
+        (ra, job_b.into_result())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// scope
+// ---------------------------------------------------------------------------
+
+/// A fork-join scope whose spawned closures run on the current pool's
+/// workers; [`scope`] blocks until all of them complete.
+pub struct Scope<'scope, 'env: 'scope> {
+    registry: Arc<Registry>,
+    /// Outstanding completions: the scope body plus every spawn.
+    pending: AtomicUsize,
+    latch: Latch,
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+    _marker: PhantomData<&'scope mut &'env ()>,
+}
+
+/// Pointer wrapper so a spawned closure can carry its scope across
+/// threads; valid because `scope` outlives every spawned job.
+struct ScopePtr<'scope, 'env>(*const Scope<'scope, 'env>);
+unsafe impl Send for ScopePtr<'_, '_> {}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns `f` onto the scope's pool. The closure may borrow
+    /// anything that outlives the `scope` call and may spawn further
+    /// tasks through the scope reference it receives.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        let scope_ptr = ScopePtr(self as *const Self);
+        let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let scope_ptr = scope_ptr; // capture the Send wrapper, not its field
+            let scope = unsafe { &*scope_ptr.0 };
+            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| f(scope))) {
+                scope
+                    .panic
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .get_or_insert(payload);
+            }
+            // Clone before the decrement: once `pending` hits zero the
+            // scope frame may be freed by the waiting caller.
+            let latch = scope.latch.clone();
+            if scope.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+                latch.set();
+            }
+        });
+        // Safety: `scope` blocks until `pending` reaches zero, so the
+        // 'scope borrows inside the task outlive its execution.
+        let task: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
+        let job = HeapJob::job_ref(task);
+        match WORKER.get() {
+            Some(w) if std::ptr::eq(w.registry, Arc::as_ptr(&self.registry)) => {
+                let registry = unsafe { &*w.registry };
+                registry.push_local(w.index, job);
+            }
+            _ => self.registry.inject(job),
+        }
+    }
+}
+
+/// Creates a fork-join scope on the current pool and blocks until the
+/// body and every [`Scope::spawn`]ed task have completed. Panics from
+/// the body or any task are propagated (first one wins).
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    let registry = current_registry();
+    let s = Scope {
+        registry: registry.clone(),
+        pending: AtomicUsize::new(1),
+        latch: new_latch(),
+        panic: Mutex::new(None),
+        _marker: PhantomData,
+    };
+    let body = panic::catch_unwind(AssertUnwindSafe(|| f(&s)));
+    if s.pending.fetch_sub(1, Ordering::SeqCst) != 1 {
+        // Tasks still in flight: help if we are a worker of this pool,
+        // otherwise block.
+        match WORKER.get() {
+            Some(w) if std::ptr::eq(w.registry, Arc::as_ptr(&registry)) => {
+                let reg = unsafe { &*w.registry };
+                reg.wait_until(w.index, &s.latch);
+            }
+            _ => s.latch.wait(),
+        }
+    }
+    let spawned_panic = s.panic.lock().unwrap_or_else(|e| e.into_inner()).take();
+    match body {
+        Err(payload) => panic::resume_unwind(payload),
+        Ok(r) => {
+            if let Some(payload) = spawned_panic {
+                panic::resume_unwind(payload);
+            }
+            r
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of workers; `0` (the default) shares the global pool.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        if self.num_threads == 0 {
+            return Ok(ThreadPool {
+                registry: global_registry().clone(),
+                handles: Vec::new(),
+            });
+        }
+        let (registry, handles) = Registry::spawn(self.num_threads);
+        Ok(ThreadPool { registry, handles })
+    }
+}
+
+/// Error type for [`ThreadPoolBuilder::build`] (never produced here).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A dedicated worker pool. [`install`](Self::install)ed closures
+/// route `join`/`scope`/parallel-iterator work to this pool's workers;
+/// dropping the pool terminates and joins them.
+pub struct ThreadPool {
+    registry: Arc<Registry>,
+    /// Worker handles when this pool owns its threads (empty for the
+    /// shared global pool).
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool as the current thread's pool context.
+    /// Parallel work inside `f` executes on this pool's workers — and
+    /// since those workers resolve their own registry, the context
+    /// survives into nested spawns and stolen jobs.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        INSTALLED.with(|s| s.borrow_mut().push(self.registry.clone()));
+        struct PopGuard;
+        impl Drop for PopGuard {
+            fn drop(&mut self) {
+                INSTALLED.with(|s| {
+                    s.borrow_mut().pop();
+                });
+            }
+        }
+        let _guard = PopGuard;
+        f()
+    }
+
+    /// This pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.registry.num_threads()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        if self.handles.is_empty() {
+            return; // shared global pool
+        }
+        self.registry.terminate.store(true, Ordering::Release);
+        {
+            let _g = self
+                .registry
+                .sleep_lock
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            self.registry.sleep_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}

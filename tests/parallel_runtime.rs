@@ -1,0 +1,267 @@
+//! Cross-crate tests for the work-stealing fork-join runtime: proof
+//! that `rayon::join` really executes on multiple OS threads, pool-size
+//! invariance of the parallel tree operations and sequence primitives,
+//! and a `VersionedGraph` stress test driven from inside the pool.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use aspen::{CompressedEdges, Graph, VersionedGraph};
+use ctree::{CTree, ChunkParams, DeltaCodec};
+use ptree::Tree;
+
+/// Acceptance proof for the runtime: above the grain thresholds,
+/// `rayon::join`'s two closures execute on two distinct OS threads
+/// that provably overlap in time (the first spins until the second —
+/// stolen by a pool worker — reports in).
+#[test]
+fn join_executes_on_multiple_os_threads() {
+    let b_thread = Mutex::new(None);
+    let b_done = AtomicBool::new(false);
+    let a_thread = parlib::with_threads(2, || {
+        rayon::join(
+            || {
+                let deadline = Instant::now() + Duration::from_secs(10);
+                while !b_done.load(Ordering::Acquire) && Instant::now() < deadline {
+                    std::thread::yield_now();
+                }
+                std::thread::current().id()
+            },
+            || {
+                *b_thread.lock().unwrap() = Some(std::thread::current().id());
+                b_done.store(true, Ordering::Release);
+            },
+        )
+        .0
+    });
+    let b_thread = b_thread.lock().unwrap().expect("second closure never ran");
+    assert_ne!(
+        a_thread, b_thread,
+        "rayon::join executed both closures on one OS thread"
+    );
+}
+
+/// Batch updates driven from *inside* the pool: `rayon::scope` tasks
+/// hammer `VersionedGraph` batch inserts concurrently (each insert
+/// itself runs a parallel `MultiInsert` on the same pool), which
+/// exercises nested fork-join plus writer-lock serialization.
+#[test]
+fn versioned_graph_survives_pool_driven_batch_inserts() {
+    const TASKS: u32 = 4;
+    const BATCHES: u32 = 8;
+    const PER_BATCH: u32 = 64;
+
+    let edges: Vec<(u32, u32)> = (0..64u32)
+        .flat_map(|i| [(i, (i + 1) % 64), ((i + 1) % 64, i)])
+        .collect();
+    let vg: VersionedGraph<CompressedEdges> =
+        VersionedGraph::new(Graph::from_edges(&edges, Default::default()));
+    let before = vg.acquire().num_edges();
+    let applied = AtomicU64::new(0);
+
+    parlib::with_threads(4, || {
+        rayon::scope(|s| {
+            for task in 0..TASKS {
+                let vg = &vg;
+                let applied = &applied;
+                s.spawn(move |_| {
+                    for b in 0..BATCHES {
+                        // Disjoint vertex ranges per task: every edge is
+                        // new, so the expected final count is exact.
+                        let base = 1_000 + task * 10_000 + b * PER_BATCH * 2;
+                        let batch: Vec<(u32, u32)> =
+                            (0..PER_BATCH).map(|i| (task, base + i)).collect();
+                        vg.insert_edges_undirected(&batch);
+                        applied.fetch_add(u64::from(PER_BATCH), Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+    });
+
+    assert_eq!(
+        applied.load(Ordering::Relaxed),
+        u64::from(TASKS * BATCHES * PER_BATCH)
+    );
+    let after = vg.acquire();
+    assert_eq!(
+        after.num_edges(),
+        before + u64::from(TASKS * BATCHES * PER_BATCH) * 2,
+        "pool-driven batches lost or duplicated edges"
+    );
+    after.check_invariants();
+}
+
+/// The frontier-parallel kernels (edge_map over core snapshots) give
+/// identical answers on a 1-worker and a 4-worker pool.
+#[test]
+fn graph_kernels_pool_size_invariant() {
+    let edges = graphgen::Rmat::new(10, 0xFEED).symmetric_graph_edges(20_000);
+    let run = |threads: usize| {
+        parlib::with_threads(threads, || {
+            let g: Graph<CompressedEdges> = Graph::from_edges(&edges, Default::default());
+            let bfs = algorithms::bfs(&g, 0);
+            let cc = algorithms::connected_components(&g);
+            let (pr, _iters) = algorithms::pagerank(&g, 1e-6, 30);
+            (bfs.num_reached(), cc, pr)
+        })
+    };
+    let (r1, c1, p1) = run(1);
+    let (r4, c4, p4) = run(4);
+    assert_eq!(r1, r4);
+    assert_eq!(c1, c4);
+    // PageRank tree-sums f64s and the split grain depends on the pool
+    // width, so merge trees (and rounding) legitimately differ across
+    // pool sizes — compare with a tolerance, not bit-for-bit.
+    assert_eq!(p1.len(), p4.len());
+    for (a, b) in p1.iter().zip(&p4) {
+        assert!(
+            (a - b).abs() < 1e-9,
+            "pagerank diverged across pool sizes: {a} vs {b}"
+        );
+    }
+}
+
+fn ptree_of(xs: &BTreeSet<u32>) -> Tree<u32> {
+    Tree::from_sorted(&xs.iter().copied().collect::<Vec<_>>())
+}
+
+fn ctree_of(xs: &BTreeSet<u32>, b: u32) -> CTree<DeltaCodec> {
+    CTree::build(xs.iter().copied().collect(), ChunkParams::with_b(b))
+}
+
+fn sorted_set(max: u32, len: usize) -> impl Strategy<Value = BTreeSet<u32>> {
+    proptest::collection::vec(0..max, 0..len).prop_map(|v| v.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// ptree set operations produce identical results on a 1-worker
+    /// and a 4-worker pool (determinism under real parallelism).
+    #[test]
+    fn ptree_setops_pool_size_invariant(
+        xs in sorted_set(40_000, 2500),
+        ys in sorted_set(40_000, 2500),
+    ) {
+        let run = |threads: usize| {
+            parlib::with_threads(threads, || {
+                let a = ptree_of(&xs);
+                let b = ptree_of(&ys);
+                (
+                    a.union(&b, |x, _| *x).to_vec(),
+                    a.difference(&b).to_vec(),
+                    a.intersection(&b, |x, _| *x).to_vec(),
+                )
+            })
+        };
+        let (u1, d1, i1) = run(1);
+        let (u4, d4, i4) = run(4);
+        prop_assert_eq!(&u1, &u4);
+        prop_assert_eq!(&d1, &d4);
+        prop_assert_eq!(&i1, &i4);
+        // And both match the oracle.
+        prop_assert_eq!(u1, xs.union(&ys).copied().collect::<Vec<_>>());
+        prop_assert_eq!(d1, xs.difference(&ys).copied().collect::<Vec<_>>());
+        prop_assert_eq!(i1, xs.intersection(&ys).copied().collect::<Vec<_>>());
+    }
+
+    /// ctree set operations (chunked + compressed) are pool-size
+    /// invariant and match the oracle.
+    #[test]
+    fn ctree_setops_pool_size_invariant(
+        xs in sorted_set(30_000, 2000),
+        ys in sorted_set(30_000, 2000),
+    ) {
+        let run = |threads: usize| {
+            parlib::with_threads(threads, || {
+                let a = ctree_of(&xs, 64);
+                let b = ctree_of(&ys, 64);
+                (
+                    a.union(&b).to_vec(),
+                    a.difference(&b).to_vec(),
+                    a.intersect(&b).to_vec(),
+                )
+            })
+        };
+        let (u1, d1, i1) = run(1);
+        let (u4, d4, i4) = run(4);
+        prop_assert_eq!(&u1, &u4);
+        prop_assert_eq!(&d1, &d4);
+        prop_assert_eq!(&i1, &i4);
+        prop_assert_eq!(u1, xs.union(&ys).copied().collect::<Vec<_>>());
+        prop_assert_eq!(d1, xs.difference(&ys).copied().collect::<Vec<_>>());
+        prop_assert_eq!(i1, xs.intersection(&ys).copied().collect::<Vec<_>>());
+    }
+
+    /// parlib scan/pack/filter_indices are pool-size invariant and
+    /// match their sequential definitions.
+    #[test]
+    fn parlib_primitives_pool_size_invariant(
+        xs in proptest::collection::vec(0u64..1000, 0..20_000),
+    ) {
+        let run = |threads: usize| {
+            parlib::with_threads(threads, || {
+                (
+                    parlib::scan(&xs, 0u64, |a, b| a + b),
+                    parlib::pack(&xs, |&x| x % 3 == 0),
+                    parlib::filter_indices(&xs, |&x| x % 7 == 0),
+                )
+            })
+        };
+        let ((p1, t1), k1, f1) = run(1);
+        let ((p4, t4), k4, f4) = run(4);
+        prop_assert_eq!(&p1, &p4);
+        prop_assert_eq!(t1, t4);
+        prop_assert_eq!(&k1, &k4);
+        prop_assert_eq!(&f1, &f4);
+        // Sequential oracles.
+        let mut acc = 0u64;
+        for (i, x) in xs.iter().enumerate() {
+            prop_assert_eq!(p1[i], acc);
+            acc += x;
+        }
+        prop_assert_eq!(t1, acc);
+        prop_assert_eq!(k1, xs.iter().copied().filter(|x| x % 3 == 0).collect::<Vec<_>>());
+    }
+
+    /// Batch MultiInsert/MultiDelete through the full graph stack is
+    /// pool-size invariant.
+    #[test]
+    fn graph_batch_updates_pool_size_invariant(
+        inserts in proptest::collection::vec((0u32..400, 0u32..400), 1..600),
+        deletes in proptest::collection::vec((0u32..400, 0u32..400), 0..200),
+    ) {
+        let run = |threads: usize| {
+            parlib::with_threads(threads, || {
+                let g: Graph<CompressedEdges> = Graph::new(Default::default());
+                let g = g.insert_edges(&aspen::symmetrize(&inserts));
+                let g = g.delete_edges(&aspen::symmetrize(&deletes));
+                (g.num_edges(), g.degree_distribution_digest())
+            })
+        };
+        prop_assert_eq!(run(1), run(4));
+    }
+}
+
+/// Helper digest so the property test above compares full adjacency
+/// structure, not just counts.
+trait DegreeDigest {
+    fn degree_distribution_digest(&self) -> u64;
+}
+
+impl DegreeDigest for Graph<CompressedEdges> {
+    fn degree_distribution_digest(&self) -> u64 {
+        use aspen::GraphView;
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for v in 0..self.id_bound() as u32 {
+            for n in self.neighbors(v) {
+                h = (h ^ (u64::from(v) << 32 | u64::from(n))).wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        h
+    }
+}
