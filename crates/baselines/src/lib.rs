@@ -1,8 +1,8 @@
 //! Comparison systems, rebuilt in Rust.
 //!
 //! The paper benchmarks Aspen against two streaming systems (Stinger
-//! [28], LLAMA [46]) and three static frameworks (Ligra+ [70], GAP [6],
-//! Galois [55]). Those are C/C++ codebases; to keep the comparisons
+//! \[28], LLAMA \[46]) and three static frameworks (Ligra+ \[70],
+//! GAP \[6], Galois \[55]). Those are C/C++ codebases; to keep the comparisons
 //! about *data structures* rather than FFI and build systems, this
 //! crate re-implements each system's representative representation and
 //! update discipline:

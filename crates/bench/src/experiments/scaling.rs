@@ -27,13 +27,42 @@ use graphgen::Rmat;
 /// Pool widths the experiment sweeps.
 const THREADS: &[usize] = &[1, 2, 4, 8];
 
+#[derive(Clone, Copy)]
 struct OpTimes {
+    fork_ns: f64,
     insert: f64,
     bfs: f64,
     cc: f64,
 }
 
+/// Wall-clock cost of one `rayon::join`, measured on the *current*
+/// pool by timing a perfect binary join tree with trivial leaves.
+///
+/// This is the per-fork constant the grain thresholds across the
+/// workspace (`SEQ_BUILD`, `SEQ_BULK`, `SEQ_SETOP`, parlib block
+/// sizes) amortize against; the runtime book (`docs/RUNTIME.md`)
+/// records the measured values. At 1 worker the pool inlines both
+/// closures, so the 1-worker figure is the sequential-fallback cost;
+/// at ≥2 workers the figure includes all deque and latch traffic,
+/// averaged over the tree (most forks are pushed-then-popped-back
+/// un-stolen, a minority are genuine steals).
+fn fork_overhead_ns(depth: u32, reps: usize) -> f64 {
+    fn tree(d: u32) -> u64 {
+        if d == 0 {
+            return 1;
+        }
+        let (a, b) = rayon::join(|| tree(d - 1), || tree(d - 1));
+        a + b
+    }
+    let joins = (1u64 << depth) - 1;
+    let t = crate::median_time(reps, || {
+        std::hint::black_box(tree(depth));
+    });
+    t / joins as f64 * 1e9
+}
+
 fn measure(g: &Graph<CompressedEdges>, batch: &[(u32, u32)], hub: u32, reps: usize) -> OpTimes {
+    let fork_ns = fork_overhead_ns(14, reps);
     let insert = crate::median_time(reps, || {
         std::hint::black_box(g.insert_edges(batch));
     });
@@ -43,7 +72,12 @@ fn measure(g: &Graph<CompressedEdges>, batch: &[(u32, u32)], hub: u32, reps: usi
     let cc = crate::median_time(reps, || {
         std::hint::black_box(algorithms::connected_components(g));
     });
-    OpTimes { insert, bfs, cc }
+    OpTimes {
+        fork_ns,
+        insert,
+        bfs,
+        cc,
+    }
 }
 
 /// Renders the thread-scaling experiment on `d`.
@@ -73,6 +107,7 @@ pub fn run_scaling(d: &Dataset, quick: bool) -> Table {
         ),
         &[
             "threads",
+            "fork ns",
             "insert",
             "ins x",
             "ins edges/s",
@@ -86,13 +121,10 @@ pub fn run_scaling(d: &Dataset, quick: bool) -> Table {
     let mut base: Option<OpTimes> = None;
     for &threads in THREADS {
         let times = parlib::with_threads(threads, || measure(&g, &batch, hub, reps));
-        let b = base.get_or_insert(OpTimes {
-            insert: times.insert,
-            bfs: times.bfs,
-            cc: times.cc,
-        });
+        let b = base.get_or_insert(times);
         t.row(&[
             threads.to_string(),
+            format!("{:.0}", times.fork_ns),
             crate::fmt_secs(times.insert),
             format!("{:.2}x", b.insert / times.insert),
             crate::fmt_rate(batch.len() as f64 / times.insert),

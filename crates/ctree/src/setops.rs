@@ -25,15 +25,20 @@ use ptree::Tree;
 /// Combined **element** count (not head count) below which recursions
 /// stop forking and run sequentially.
 ///
-/// Grain rationale: with the paper's default `b = 2⁸`, 4096 elements
-/// are only ~16 heads, but one recursion level moves whole chunks —
-/// `split`/`split_lt`/chunk-`union` are `O(b)` decodes, several µs
-/// each — so a leaf still carries tens of µs of work against the
-/// ~1 µs work-stealing fork. Counting elements rather than heads
+/// Grain rationale (re-audited against the lock-free Chase–Lev
+/// runtime; `docs/RUNTIME.md` has the measurements): with the paper's
+/// default `b = 2⁸`, 2048 elements are only ~8 heads, but one
+/// recursion level moves whole chunks — `split`/`split_lt`/
+/// chunk-`union` are `O(b)` decodes, several µs each — so a leaf
+/// still carries tens of µs of work against a fork that now costs
+/// ~0.1 µs un-stolen (allocation-, lock- and CAS-free owner path) and
+/// ~1 µs when genuinely stolen. Halving the old 4096 threshold
+/// doubles the exposed parallelism for the small-batch updates the
+/// streaming engine applies. Counting elements rather than heads
 /// keeps the threshold meaningful across the `b` sweep of Table 5:
 /// small-`b` trees (many cheap heads) and large-`b` trees (few
 /// expensive chunks) both bottom out near the same leaf cost.
-const SEQ_SETOP: usize = 1 << 12;
+const SEQ_SETOP: usize = 1 << 11;
 
 impl<C: ChunkCodec> CTree<C> {
     /// Splits into `(elements < k, k ∈ self, elements > k)`

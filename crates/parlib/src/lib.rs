@@ -6,14 +6,15 @@
 //! scheduler with a small set of sequence primitives (`Scan`, `Filter`,
 //! parallel sort; Appendix 10.1). This crate provides the Rust
 //! equivalents on top of [`rayon`] — backed by the workspace's
-//! work-stealing fork-join pool, so the primitives genuinely run with
-//! the `O(log n)` depths quoted below. Block sizes adapt to the pool
-//! width (`~8` blocks per worker, see `scan::block_size`), and the
-//! default pool width honours the `ASPEN_THREADS` environment
-//! variable:
+//! lock-free work-stealing fork-join pool (Chase–Lev deques with
+//! adaptive split-on-steal iterators; see `docs/RUNTIME.md`), so the
+//! primitives genuinely run with the `O(log n)` depths quoted below.
+//! Block sizes adapt to the pool width (`~8` blocks per worker, see
+//! `scan::block_size`), and the default pool width honours the
+//! `ASPEN_THREADS` environment variable:
 //!
-//! * [`scan`] — exclusive prefix sums with an associative operator,
-//!   `O(n)` work and `O(log n)` depth.
+//! * [`scan`](fn@scan) — exclusive prefix sums with an associative
+//!   operator, `O(n)` work and `O(log n)` depth.
 //! * [`pack`]/[`filter_indices`] — stable parallel filter.
 //! * [`AtomicBitset`] — a lock-free concurrent bitset used for visited
 //!   flags in graph traversals.

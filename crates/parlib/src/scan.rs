@@ -8,16 +8,25 @@
 use rayon::prelude::*;
 
 /// Below this input length the primitives run sequentially outright:
-/// a fork-join round trip costs ~1 µs on the work-stealing pool, so
-/// inputs this small never win from splitting.
-const SEQ: usize = 4096;
+/// even with the lock-free runtime's cheap un-stolen forks (~0.1 µs;
+/// see `docs/RUNTIME.md`), a *stolen* fork still costs a cross-thread
+/// handshake (~1 µs), and inputs this small finish in a few µs of
+/// per-element work — splitting can only lose.
+const SEQ: usize = 2048;
 
 /// Block size for the two-pass algorithms, adapted to the pool width:
 /// ~8 blocks per worker gives the stealing scheduler slack to
-/// rebalance, floored at 1024 elements so a block amortizes its fork
+/// rebalance, floored at 512 elements so a block amortizes even a
+/// stolen fork (the un-stolen majority are ~10× cheaper under the
+/// Chase–Lev runtime, which is what let this floor halve from 1024)
 /// and capped so the per-block scratch stays cache-friendly.
+///
+/// The blocks feed the runtime's adaptive split-on-steal iterators:
+/// the *block* is the smallest stealable unit here, and the splitter
+/// decides how many of the ~8·width blocks actually fork based on
+/// observed steal pressure — an idle pool drains them in one leaf.
 fn block_size(n: usize) -> usize {
-    (n / (rayon::current_num_threads() * 8)).clamp(1024, 1 << 16)
+    (n / (rayon::current_num_threads() * 8)).clamp(512, 1 << 16)
 }
 
 /// Exclusive prefix sum ("scan") under the associative operator `op`.

@@ -12,15 +12,19 @@ use rayon::prelude::*;
 
 /// Subtree size below which construction runs sequentially.
 ///
-/// Grain rationale: building from sorted input costs ~100 ns per
-/// entry (node allocation + rotation-free `join_link`), an order of
-/// magnitude less than one `union` level, so construction bottoms out
-/// at a larger leaf than [`bulk`](crate::bulk) ops. 1024 entries ≈
-/// 100 µs per leaf — fork overhead ~1% against the ~1 µs
-/// work-stealing fork — while exposing twice the parallelism of the
-/// old 2048 threshold for the mid-size batches `MultiInsert` builds
-/// from (the regime Table 8 sweeps).
-const SEQ_BUILD: usize = 1024;
+/// Grain rationale (re-audited against the lock-free Chase–Lev
+/// runtime; see `docs/RUNTIME.md` for the measurements and the
+/// general sizing method): building from sorted input costs ~100 ns
+/// per entry (node allocation + rotation-free `join_link`). A fork
+/// whose second half is popped back un-stolen is now allocation-,
+/// lock- and CAS-free (~0.1 µs wall, ~20× cheaper than the mutex-era
+/// figure comments here used to cite); a *stolen* fork adds a
+/// cross-thread handshake, call it ~1 µs worst case. 512 entries ≈
+/// 50 µs per leaf keeps even all-stolen fork overhead around 2% while
+/// exposing twice the parallelism of the previous 1024 threshold for
+/// the mid-size batches `MultiInsert` builds from (the regime Table 8
+/// sweeps).
+const SEQ_BUILD: usize = 512;
 
 impl<E: Entry, A: Augment<E>> Tree<E, A> {
     /// Builds a tree from entries already sorted by key with no

@@ -14,15 +14,19 @@ use crate::tree::{join_link, split_link, Tree};
 /// Below this combined size the recursion stops forking and runs
 /// sequentially.
 ///
-/// Grain rationale (audited against the work-stealing `rayon` shim):
-/// a fork costs one deque round-trip plus a latch allocation, ~1 µs
-/// uncontended, while one level of `union`/`difference` costs
+/// Grain rationale (re-audited against the lock-free Chase–Lev
+/// runtime; `docs/RUNTIME.md` has the measurements): a fork is no
+/// longer "a deque round-trip plus a latch allocation, ~1 µs" — the
+/// un-stolen owner path is allocation-, lock- and CAS-free (~0.1 µs),
+/// and only a genuinely stolen fork pays a cross-thread handshake
+/// (~1 µs worst case). One level of `union`/`difference` still costs
 /// ~300–500 ns per exposed node (a `split_link` descent plus a
-/// `join_link` rebuild). A 512-entry leaf therefore carries
-/// ~150–250 µs of work — fork overhead under 1% — while a batch of
-/// `k` updates against a large tree still exposes `~k/256` stealable
-/// tasks, plenty for the pool widths the paper evaluates.
-const SEQ_BULK: usize = 512;
+/// `join_link` rebuild), so a 256-entry leaf carries ~75–125 µs of
+/// work — stolen-fork overhead ~1%, un-stolen ~0.1% — while a batch
+/// of `k` updates against a large tree now exposes `~k/128` stealable
+/// tasks, twice the previous width for the mid-size batches the
+/// paper's Table 8 sweeps.
+const SEQ_BULK: usize = 256;
 
 impl<E: Entry, A: Augment<E>> Tree<E, A> {
     /// The union of two trees; entries present in both are merged with

@@ -14,6 +14,17 @@ use std::time::Duration;
 /// [`num_threads`](Self::num_threads) `None` (the default) the engine
 /// uses the process-global pool (sized by `ASPEN_THREADS` or the
 /// machine parallelism).
+///
+/// Since the runtime moved to lock-free Chase–Lev deques with
+/// adaptive split-on-steal iterators (`docs/RUNTIME.md`), sharing one
+/// pool between the writer and the query threads is cheaper than it
+/// used to be: the writer's small trickle batches apply nearly
+/// fork-free when the pool is busy with queries (the adaptive
+/// splitter only subdivides under observed steal pressure), and
+/// neither side can convoy the other on a deque lock — there are
+/// none. The practical guidance stands: size the pool to the cores
+/// the engine *owns*, and prefer one shared pool per engine over
+/// per-thread pools.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct EngineConfig {
     /// Workers in the engine's dedicated compute pool; `None` shares

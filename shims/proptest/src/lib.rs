@@ -3,7 +3,7 @@
 //!
 //! Implements the surface the workspace's property tests use: the
 //! [`proptest!`] macro (with optional `#![proptest_config(..)]`),
-//! [`Strategy`] with `prop_map`/`boxed`, integer-range and tuple
+//! [`Strategy`](strategy::Strategy) with `prop_map`/`boxed`, integer-range and tuple
 //! strategies, [`collection::vec`], [`any`], [`prop_oneof!`] and the
 //! `prop_assert*` macros. Cases are generated from a fixed seed (plus
 //! the case index), so runs are deterministic; there is **no
@@ -259,7 +259,7 @@ pub mod collection {
     use super::strategy::Strategy;
     use super::*;
 
-    /// Length specification for [`vec`]: a fixed count or a range.
+    /// Length specification for [`vec()`]: a fixed count or a range.
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         lo: usize,
@@ -300,7 +300,7 @@ pub mod collection {
         }
     }
 
-    /// Output of [`vec`].
+    /// Output of [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,

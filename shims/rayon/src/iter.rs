@@ -6,11 +6,23 @@
 //! [`sum`](ParallelIterator::sum), [`reduce`](ParallelIterator::reduce),
 //! [`collect`](ParallelIterator::collect), …) recursively
 //! [`split`](ParallelIterator::split) the iterator and hand the halves
-//! to [`crate::join`] until pieces fall below a grain size
-//! (`weight / (8 × pool width)`, floored at [`MIN_SEQ_WEIGHT`]), then
-//! drain each leaf sequentially and merge partial results in order —
-//! so order-sensitive terminals (`collect`, ordered `reduce`) see
-//! exactly the sequential result.
+//! to [`crate::join`], then drain each leaf sequentially and merge
+//! partial results in order — so order-sensitive terminals (`collect`,
+//! ordered `reduce`) see exactly the sequential result.
+//!
+//! **How far to split is decided adaptively** (split-on-steal, the
+//! [`Splitter`]): a task starts with a budget of `pool width` splits
+//! that halves at each split, which exposes ~2×width pieces up front —
+//! enough that every worker can grab one. A task splits *beyond* its
+//! budget only when it detects that it was **stolen** (it is running
+//! on a different thread than the one that forked it): a steal proves
+//! other workers are hungry, so the task's half of the data is worth
+//! subdividing further. An un-contended drain therefore pays a handful
+//! of forks regardless of input size, while a loaded pool keeps
+//! splitting to full width exactly where the steals happen — skewed
+//! item costs rebalance without a statically tuned grain. The
+//! [`MIN_SEQ_WEIGHT`] floor keeps pathological steal cascades from
+//! splitting below amortization.
 //!
 //! Sources over contiguous data (slices, `Vec`s, ranges, chunks) are
 //! [`IndexedParallelIterator`]s — they know their exact length and can
@@ -22,26 +34,62 @@
 use crate::pool;
 use std::sync::Arc;
 
-/// Leaves below this weight are never split further: the fork costs a
-/// deque round-trip plus a latch allocation (~1 µs), so a leaf should
-/// carry at least a few microseconds of work even for cheap per-item
-/// bodies.
+/// Tasks below twice this weight are never split further: even on the
+/// lock-free deques a fork costs a deque round trip plus, if stolen, a
+/// cross-thread latch handshake (~0.1 µs un-stolen, see
+/// `docs/RUNTIME.md`), so a leaf should carry at least a few
+/// microseconds of work even for cheap per-item bodies.
 pub const MIN_SEQ_WEIGHT: usize = 128;
 
-fn default_grain(weight: usize) -> usize {
-    let threads = pool::current_num_threads();
-    if threads <= 1 {
-        return usize::MAX; // degenerate pool: pure sequential drain
+/// The adaptive split-on-steal heuristic (rayon's `Splitter`, on this
+/// runtime's [`pool::thread_marker`]): each task carries a halving
+/// split budget seeded with the pool width, and a task that observes
+/// it was stolen — it runs under a different thread marker than the
+/// one it was created under — resets its budget to the full width.
+/// Copied (not shared) into both halves of every fork, so detection is
+/// purely local: no atomics, just two TLS reads per decision.
+#[derive(Clone, Copy)]
+struct Splitter {
+    splits: usize,
+    origin: pool::ThreadMarker,
+}
+
+impl Splitter {
+    fn new() -> Splitter {
+        let threads = pool::current_num_threads();
+        Splitter {
+            // A 1-thread pool never splits: join would inline both
+            // halves anyway, so forking is pure overhead.
+            splits: if threads > 1 { threads } else { 0 },
+            origin: pool::thread_marker(),
+        }
     }
-    // 8 pieces per worker gives the stealing scheduler slack to
-    // rebalance skewed item costs without drowning in forks.
-    (weight / (threads * 8)).max(MIN_SEQ_WEIGHT)
+
+    /// Decides whether a task of `weight` should fork once more,
+    /// halving the budget (or resetting it, if the task was stolen).
+    fn try_split(&mut self, weight: usize) -> bool {
+        if weight < 2 * MIN_SEQ_WEIGHT {
+            return false;
+        }
+        let here = pool::thread_marker();
+        if here != self.origin {
+            // Stolen: thieves are idle-hungry, re-arm the full budget.
+            self.origin = here;
+            self.splits = pool::current_num_threads().max(self.splits);
+            true
+        } else if self.splits > 0 {
+            self.splits /= 2;
+            true
+        } else {
+            false
+        }
+    }
 }
 
 /// Recursive fork-join driver shared by every terminal operation.
 fn drive<P, T>(
     p: P,
-    grain: usize,
+    mut splitter: Splitter,
     seq: &(impl Fn(P) -> T + Sync),
     merge: &(impl Fn(T, T) -> T + Sync),
 ) -> T
@@ -49,12 +97,12 @@ where
     P: ParallelIterator,
     T: Send,
 {
-    if p.weight() > grain {
+    if splitter.try_split(p.weight()) {
         match p.split() {
             Ok((a, b)) => {
                 let (ta, tb) = crate::join(
-                    || drive(a, grain, seq, merge),
-                    || drive(b, grain, seq, merge),
+                    || drive(a, splitter, seq, merge),
+                    || drive(b, splitter, seq, merge),
                 );
                 return merge(ta, tb);
             }
@@ -157,10 +205,9 @@ pub trait ParallelIterator: Sized + Send {
     where
         F: Fn(Self::Item) + Send + Sync,
     {
-        let grain = default_grain(self.weight());
         drive(
             self,
-            grain,
+            Splitter::new(),
             &|p: Self| p.fold_drain((), |(), x| f(x)),
             &|(), ()| (),
         );
@@ -173,10 +220,9 @@ pub trait ParallelIterator: Sized + Send {
         ID: Fn() -> Self::Item + Send + Sync,
         OP: Fn(Self::Item, Self::Item) -> Self::Item + Send + Sync,
     {
-        let grain = default_grain(self.weight());
         drive(
             self,
-            grain,
+            Splitter::new(),
             &|p: Self| p.fold_drain(identity(), &op),
             &|a, b| op(a, b),
         )
@@ -186,10 +232,9 @@ pub trait ParallelIterator: Sized + Send {
     where
         S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
     {
-        let grain = default_grain(self.weight());
         let total = drive(
             self,
-            grain,
+            Splitter::new(),
             &|p: Self| {
                 p.fold_drain(None::<S>, |acc, x| {
                     let x = S::sum(std::iter::once(x));
@@ -209,10 +254,9 @@ pub trait ParallelIterator: Sized + Send {
     }
 
     fn count(self) -> usize {
-        let grain = default_grain(self.weight());
         drive(
             self,
-            grain,
+            Splitter::new(),
             &|p: Self| p.fold_drain(0usize, |c, _| c + 1),
             &|a, b| a + b,
         )
@@ -237,10 +281,9 @@ pub trait ParallelIterator: Sized + Send {
     where
         OP: Fn(Self::Item, Self::Item) -> Self::Item + Send + Sync,
     {
-        let grain = default_grain(self.weight());
         drive(
             self,
-            grain,
+            Splitter::new(),
             &|p: Self| {
                 p.fold_drain(None, |acc, x| {
                     Some(match acc {
@@ -329,10 +372,9 @@ pub trait FromParallelIterator<T: Send> {
 
 impl<T: Send> FromParallelIterator<T> for Vec<T> {
     fn from_par_iter<P: ParallelIterator<Item = T>>(p: P) -> Self {
-        let grain = default_grain(p.weight());
         drive(
             p,
-            grain,
+            Splitter::new(),
             &|q: P| {
                 let hint = q.items_hint().min(1 << 20);
                 q.fold_drain(Vec::with_capacity(hint), |mut v, x| {

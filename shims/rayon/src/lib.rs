@@ -3,17 +3,20 @@
 //! dependencies are shimmed — see `shims/README.md`).
 //!
 //! Unlike the earlier sequential stand-in, this shim is a **real
-//! work-stealing fork-join runtime**:
+//! work-stealing fork-join runtime** on lock-free Chase–Lev deques:
 //!
 //! * [`join`] executes both closures on pool workers — the second
-//!   closure is exposed for stealing while the first runs, with an
-//!   inline fallback when the pool is single-threaded or the local
-//!   deque is already saturated ([`pool`] module);
+//!   closure is exposed on the worker's Chase–Lev deque (`deque`
+//!   module) for stealing while the first runs; popped back un-stolen,
+//!   it runs inline with no lock and no CAS. An inline fallback covers
+//!   single-threaded pools and saturated deques (`pool` module);
 //! * [`scope`]/[`Scope::spawn`] route through the same pool's deques;
 //! * the data-parallel iterators (`par_iter`, `into_par_iter`,
-//!   `par_chunks*`, `par_sort*`, `zip`, `enumerate`, …) genuinely
-//!   split work across the pool and merge ordered results ([`iter`]
-//!   module);
+//!   `par_chunks*`, `par_sort*`, `zip`, `enumerate`, …) split
+//!   **adaptively**: a task subdivides further only when the scheduler
+//!   shows steal pressure (the task migrated across threads), so a
+//!   lone worker drains almost fork-free while a loaded pool splits to
+//!   full width (`iter` module);
 //! * [`ThreadPool::install`] re-routes all of the above to a dedicated
 //!   pool, and the context propagates into nested spawns because
 //!   stolen jobs run *on that pool's workers* (each worker resolves
@@ -22,8 +25,11 @@
 //!   variable, falling back to the machine parallelism.
 //!
 //! The API surface matches what the workspace uses so that swapping
-//! the real crate back in is a one-line `Cargo.toml` change.
+//! the real crate back in is a one-line `Cargo.toml` change. The
+//! deque protocol, memory orderings and splitting heuristic are
+//! documented in `docs/RUNTIME.md` at the repository root.
 
+mod deque;
 mod iter;
 mod pool;
 

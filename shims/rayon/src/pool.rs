@@ -3,27 +3,33 @@
 //!
 //! Structure (a deliberately small rayon-core):
 //!
-//! * a [`Registry`] owns one mutex-guarded deque per worker plus a
-//!   global injector queue for jobs arriving from non-pool threads;
+//! * a [`Registry`] owns one **lock-free Chase–Lev deque**
+//!   ([`crate::deque`]) per worker plus a global injector queue for
+//!   jobs arriving from non-pool threads;
 //! * workers pop their own deque LIFO (cache-hot, depth-first) and
 //!   steal FIFO from victims (breadth-first, big pieces first) — the
 //!   classic work-stealing discipline;
 //! * [`join`] pushes the second closure as a [`StackJob`] on the local
-//!   deque, runs the first inline, then either pops the job back
-//!   (nobody stole it → run inline, zero synchronization beyond the
-//!   deque lock) or helps execute other jobs until the thief finishes;
-//! * blocked non-pool threads wait on a latch (condvar), blocked
-//!   workers *help* (keep executing stolen jobs) so the pool can never
-//!   deadlock on nested parallelism;
+//!   deque, runs the first inline, then pops its deque back down: if
+//!   nobody stole the job it comes back and runs inline — on the
+//!   Chase–Lev owner path that round trip is a handful of relaxed
+//!   atomics and two fences, **no lock and no CAS** — otherwise the
+//!   worker *helps* (keeps executing other jobs) until the thief
+//!   finishes;
+//! * latches separate a cheap atomic probe (used by helping workers)
+//!   from a condvar wait (used by non-pool threads); the condvar path
+//!   is armed only when a waiter registers, so setting a latch nobody
+//!   blocks on is a single release store;
+//! * blocked non-pool threads wait on the condvar, blocked workers
+//!   help, so the pool can never deadlock on nested parallelism;
 //! * panics inside jobs are captured and re-thrown at the join point,
 //!   matching rayon's semantics.
 //!
-//! The deques are `Mutex<VecDeque>` rather than lock-free Chase–Lev
-//! deques: pushes/pops are a few tens of nanoseconds uncontended,
-//! which the `SEQ_*` grain thresholds in `ptree`/`ctree` amortize to
-//! noise. Swapping in the real rayon restores the lock-free fast path
-//! with zero API change.
+//! `docs/RUNTIME.md` at the repository root documents the full deque
+//! protocol, the memory orderings, and the measured per-fork cost the
+//! workspace's grain thresholds are tuned against.
 
+use crate::deque::{Deque, Steal};
 use std::any::Any;
 use std::cell::{Cell, RefCell, UnsafeCell};
 use std::collections::VecDeque;
@@ -58,10 +64,61 @@ impl JobRef {
     pub(crate) unsafe fn execute(self) {
         (self.exec)(self.data)
     }
+
+    /// Identity comparison: two refs to the same job.
+    pub(crate) fn same_job(self, other: JobRef) -> bool {
+        std::ptr::eq(self.data, other.data)
+    }
+
+    /// Decomposes into two plain words for storage in the deque's
+    /// atomic slots.
+    pub(crate) fn into_words(self) -> (usize, usize) {
+        (self.data as usize, self.exec as usize)
+    }
+
+    /// Recomposes from [`into_words`](Self::into_words) output.
+    ///
+    /// # Safety
+    ///
+    /// The words must have come from `into_words` on a live job — the
+    /// deque protocol guarantees this for every value it *certifies*
+    /// (speculatively read values whose CAS failed are discarded
+    /// without being recomposed into anything callable).
+    pub(crate) unsafe fn from_words(data: usize, exec: usize) -> JobRef {
+        JobRef {
+            data: data as *const (),
+            exec: std::mem::transmute::<usize, unsafe fn(*const ())>(exec),
+        }
+    }
+
+    /// A dummy job carrying `tag` in its data word; never executable.
+    /// Used by the deque race tests, which only account claims.
+    #[cfg(test)]
+    pub(crate) fn tagged_for_test(tag: usize) -> JobRef {
+        unsafe fn never(_: *const ()) {
+            unreachable!("test job executed");
+        }
+        JobRef {
+            data: tag as *const (),
+            exec: never,
+        }
+    }
 }
 
 /// A completion flag with both a cheap probe (for helping workers) and
 /// a blocking wait (for non-pool threads).
+///
+/// The condvar machinery is armed lazily: `wait()` registers itself in
+/// `waiters` before its final re-check, and `set()` only takes the
+/// lock when it observes a registered waiter. The common case — a
+/// stolen `join` job completing while the joiner *helps* (probing, not
+/// blocking) — therefore sets the latch with one release store and one
+/// SeqCst load, no lock. The SeqCst pair (`waiters` increment before
+/// the waiter's `done` re-check; `done` store before the setter's
+/// `waiters` load) is a Dekker handshake: either the waiter sees
+/// `done` and never sleeps, or the setter sees the waiter and takes
+/// the lock to notify — and the notification can't be lost because the
+/// waiter re-checks `done` under the same lock it sleeps on.
 ///
 /// Always handled through an [`Arc`]: the job's final `set()` operates
 /// on a clone taken *before* touching the flag, so the joiner may free
@@ -69,6 +126,7 @@ impl JobRef {
 /// succeeds without racing the setter's condvar notification.
 pub(crate) struct LatchInner {
     done: AtomicBool,
+    waiters: AtomicUsize,
     lock: Mutex<()>,
     cv: Condvar,
 }
@@ -78,6 +136,7 @@ pub(crate) type Latch = Arc<LatchInner>;
 pub(crate) fn new_latch() -> Latch {
     Arc::new(LatchInner {
         done: AtomicBool::new(false),
+        waiters: AtomicUsize::new(0),
         lock: Mutex::new(()),
         cv: Condvar::new(),
     })
@@ -85,9 +144,11 @@ pub(crate) fn new_latch() -> Latch {
 
 impl LatchInner {
     fn set(&self) {
-        let _g = self.lock.lock().unwrap_or_else(|e| e.into_inner());
-        self.done.store(true, Ordering::Release);
-        self.cv.notify_all();
+        self.done.store(true, Ordering::SeqCst);
+        if self.waiters.load(Ordering::SeqCst) > 0 {
+            let _g = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+            self.cv.notify_all();
+        }
     }
 
     pub(crate) fn probe(&self) -> bool {
@@ -95,19 +156,40 @@ impl LatchInner {
     }
 
     fn wait(&self) {
-        let mut g = self.lock.lock().unwrap_or_else(|e| e.into_inner());
-        while !self.done.load(Ordering::Acquire) {
-            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        if self.probe() {
+            return;
         }
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        {
+            let mut g = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+            while !self.done.load(Ordering::SeqCst) {
+                g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
 /// A job living on the joiner's stack frame: the closure, a slot for
-/// its result (or captured panic), and the completion latch.
+/// its result (or captured panic), and its completion signals.
+///
+/// Completion has a two-tier design so the per-`join` cost stays
+/// allocation-free on the hot path:
+///
+/// * `done` is an **inline** flag. Worker joiners *help* while they
+///   wait, so they only ever probe; the executing thief's final touch
+///   of this frame is the release store to `done`, after which the
+///   joiner may pop its stack frame at any instant.
+/// * `blocking` is an **optional heap latch**, armed only by
+///   [`join_external`] (non-pool joiners can't help; they must block
+///   on a condvar). It is an `Arc` because the setter still needs it
+///   after its last frame touch: it clones the handle out of the
+///   frame *first*, stores `done`, then signals the clone.
 pub(crate) struct StackJob<F, R> {
     f: UnsafeCell<Option<F>>,
     result: UnsafeCell<Option<std::thread::Result<R>>>,
-    latch: Latch,
+    done: AtomicBool,
+    blocking: Option<Latch>,
 }
 
 impl<F, R> StackJob<F, R>
@@ -115,18 +197,34 @@ where
     F: FnOnce() -> R + Send,
     R: Send,
 {
+    /// A job joined by a pool worker: probe-only completion, no
+    /// allocation.
     fn new(f: F) -> Self {
         StackJob {
             f: UnsafeCell::new(Some(f)),
             result: UnsafeCell::new(None),
-            latch: new_latch(),
+            done: AtomicBool::new(false),
+            blocking: None,
         }
+    }
+
+    /// A job joined by a non-pool thread: arms the condvar latch.
+    fn new_blocking(f: F) -> Self {
+        StackJob {
+            blocking: Some(new_latch()),
+            ..Self::new(f)
+        }
+    }
+
+    fn probe(&self) -> bool {
+        self.done.load(Ordering::Acquire)
     }
 
     /// # Safety
     ///
     /// The returned ref must not outlive `self`, and `self` must stay
-    /// alive until the latch is set (the join protocol guarantees it).
+    /// alive until completion is signalled (the join protocol
+    /// guarantees it).
     unsafe fn as_job_ref(&self) -> JobRef {
         JobRef {
             data: self as *const Self as *const (),
@@ -139,10 +237,18 @@ where
         let f = (*this.f.get()).take().expect("stack job executed twice");
         let result = panic::catch_unwind(AssertUnwindSafe(f));
         *this.result.get() = Some(result);
-        // Clone the latch out of the job first: after `set`, the joiner
-        // may pop its stack frame (freeing the job) at any moment.
-        let latch = this.latch.clone();
-        latch.set();
+        match this.blocking.clone() {
+            // Worker joiner: the release store is the last touch of
+            // the (possibly about-to-be-freed) frame.
+            None => this.done.store(true, Ordering::Release),
+            // External joiner: it watches only the heap latch, so the
+            // frame touches (done, then the Arc read above) all happen
+            // before the signal that frees the frame.
+            Some(latch) => {
+                this.done.store(true, Ordering::Release);
+                latch.set();
+            }
+        }
     }
 
     /// Runs the closure on the current thread after the job was popped
@@ -152,9 +258,9 @@ where
         f()
     }
 
-    /// Retrieves the result once the latch has been observed set.
+    /// Retrieves the result once completion has been observed.
     fn into_result(self) -> R {
-        match self.result.into_inner().expect("latch set without result") {
+        match self.result.into_inner().expect("completion without result") {
             Ok(r) => r,
             Err(payload) => panic::resume_unwind(payload),
         }
@@ -186,10 +292,18 @@ impl HeapJob {
 // Registry (one per pool)
 // ---------------------------------------------------------------------------
 
-/// Shared state of one thread pool: worker deques, the injector queue
-/// for external submissions, and the sleep machinery.
+/// Shared state of one thread pool: the workers' lock-free Chase–Lev
+/// deques, the injector queue for external submissions, and the sleep
+/// machinery.
+///
+/// The injector stays a mutex-guarded `VecDeque`: it only carries jobs
+/// from *non-pool* threads (one per external `join`/`scope` root, e.g.
+/// a stream writer's batch apply), so it is off every per-fork hot
+/// path — and external joins need its reclaim-by-identity operation
+/// ([`pop_injected_if`](Self::pop_injected_if)), which a Chase–Lev
+/// deque cannot express.
 pub(crate) struct Registry {
-    deques: Vec<Mutex<VecDeque<JobRef>>>,
+    deques: Vec<Deque>,
     injector: Mutex<VecDeque<JobRef>>,
     sleepers: AtomicUsize,
     sleep_lock: Mutex<()>,
@@ -207,7 +321,7 @@ impl Registry {
     /// Builds a registry and spawns its `n` worker threads.
     fn spawn(n: usize) -> (Arc<Registry>, Vec<std::thread::JoinHandle<()>>) {
         let registry = Arc::new(Registry {
-            deques: (0..n).map(|_| Mutex::new(VecDeque::new())).collect(),
+            deques: (0..n).map(|_| Deque::default()).collect(),
             injector: Mutex::new(VecDeque::new()),
             sleepers: AtomicUsize::new(0),
             sleep_lock: Mutex::new(()),
@@ -232,12 +346,18 @@ impl Registry {
         self.deques.len()
     }
 
+    /// Pushes onto worker `index`'s deque. **Must only be called from
+    /// that worker's own thread** (Chase–Lev owner discipline); both
+    /// call sites — `join_on_worker` and `Scope::spawn` on a worker —
+    /// run on the owning thread by construction.
     fn push_local(&self, index: usize, job: JobRef) {
-        self.deques[index]
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .push_back(job);
+        self.deques[index].push(job);
         self.notify();
+    }
+
+    /// Pops worker `index`'s own deque (LIFO). **Owner thread only.**
+    fn pop_local(&self, index: usize) -> Option<JobRef> {
+        self.deques[index].pop()
     }
 
     fn inject(&self, job: JobRef) {
@@ -249,6 +369,11 @@ impl Registry {
     }
 
     fn notify(&self) {
+        // Dekker fence against `sleep`: order the (relaxed) deque
+        // publish before the sleepers read, mirroring the fence between
+        // the sleeper's registration and its queue re-check. One of the
+        // two sides always sees the other.
+        std::sync::atomic::fence(Ordering::SeqCst);
         if self.sleepers.load(Ordering::SeqCst) > 0 {
             let _g = self.sleep_lock.lock().unwrap_or_else(|e| e.into_inner());
             self.sleep_cv.notify_all();
@@ -256,24 +381,7 @@ impl Registry {
     }
 
     fn local_pending(&self, index: usize) -> usize {
-        self.deques[index]
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .len()
-    }
-
-    /// Pops the back of `index`'s deque if it is exactly `job` (the
-    /// un-stolen fast path of `join`). Nested joins fully unwind their
-    /// own pushes and thieves take from the front, so if the job is
-    /// still present it can only be at the back.
-    fn pop_local_if(&self, index: usize, job: JobRef) -> bool {
-        let mut dq = self.deques[index].lock().unwrap_or_else(|e| e.into_inner());
-        if dq.back().is_some_and(|j| std::ptr::eq(j.data, job.data)) {
-            dq.pop_back();
-            true
-        } else {
-            false
-        }
+        self.deques[index].len()
     }
 
     /// Removes `job` from the injector if no worker claimed it yet.
@@ -288,14 +396,15 @@ impl Registry {
     }
 
     /// One round of the work-finding protocol: own deque (LIFO), then
-    /// the injector, then steal from victims round-robin (FIFO).
+    /// the injector, then steal from victims round-robin (FIFO). A
+    /// victim whose steal hit CAS contention ([`Steal::Retry`]) is
+    /// re-swept a bounded number of times: contention proves work
+    /// existed moments ago, but unbounded re-sweeping would let
+    /// thieves monopolize timeshared cores (the caller's spin/yield —
+    /// or sleep — loop is the right place to back off).
     fn find_work(&self, index: Option<usize>) -> Option<JobRef> {
         if let Some(i) = index {
-            if let Some(job) = self.deques[i]
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .pop_back()
-            {
+            if let Some(job) = self.pop_local(i) {
                 return Some(job);
             }
         }
@@ -309,18 +418,23 @@ impl Registry {
         }
         let n = self.deques.len();
         let start = self.next_victim.fetch_add(1, Ordering::Relaxed);
-        for k in 0..n {
-            let v = (start + k) % n;
-            if Some(v) == index {
-                continue;
+        for _sweep in 0..3 {
+            let mut contended = false;
+            for k in 0..n {
+                let v = (start + k) % n;
+                if Some(v) == index {
+                    continue;
+                }
+                match self.deques[v].steal() {
+                    Steal::Success(job) => return Some(job),
+                    Steal::Retry => contended = true,
+                    Steal::Empty => {}
+                }
             }
-            if let Some(job) = self.deques[v]
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .pop_front()
-            {
-                return Some(job);
+            if !contended {
+                return None;
             }
+            std::hint::spin_loop();
         }
         None
     }
@@ -334,23 +448,24 @@ impl Registry {
         {
             return true;
         }
-        self.deques
-            .iter()
-            .any(|d| !d.lock().unwrap_or_else(|e| e.into_inner()).is_empty())
+        self.deques.iter().any(|d| !d.is_empty())
     }
 
     /// Parks an idle worker without missed wakeups: the worker
-    /// registers in `sleepers` *before* its final queue re-check, so a
-    /// concurrent pusher either reads `sleepers > 0` (and must take
-    /// `sleep_lock` to notify — which it cannot hold until the worker
-    /// has reached `wait_timeout` and released it), or its push is
-    /// already SeqCst-ordered before the re-check and gets seen there.
+    /// registers in `sleepers` *before* its final queue re-check
+    /// (separated by a SeqCst fence pairing with the one in
+    /// [`notify`](Self::notify)), so a concurrent pusher either reads
+    /// `sleepers > 0` — and must take `sleep_lock` to notify, which it
+    /// cannot hold until the worker has reached `wait_timeout` and
+    /// released it — or its deque publish is fence-ordered before the
+    /// re-check and gets seen there.
     fn sleep(&self) {
         let g = self.sleep_lock.lock().unwrap_or_else(|e| e.into_inner());
         if self.terminate.load(Ordering::Acquire) {
             return;
         }
         self.sleepers.fetch_add(1, Ordering::SeqCst);
+        std::sync::atomic::fence(Ordering::SeqCst);
         if self.has_pending() {
             self.sleepers.fetch_sub(1, Ordering::SeqCst);
             return;
@@ -363,12 +478,12 @@ impl Registry {
     }
 
     /// Cooperative wait for worker threads: keep executing other jobs
-    /// until `latch` is set. This is what makes nested fork-join
-    /// deadlock-free — a blocked worker is never idle while work
-    /// exists.
-    fn wait_until(&self, index: usize, latch: &LatchInner) {
+    /// until `probe` reports completion. This is what makes nested
+    /// fork-join deadlock-free — a blocked worker is never idle while
+    /// work exists.
+    fn wait_until(&self, index: usize, probe: impl Fn() -> bool) {
         let mut idle_spins = 0u32;
-        while !latch.probe() {
+        while !probe() {
             if let Some(job) = self.find_work(Some(index)) {
                 unsafe { job.execute() };
                 idle_spins = 0;
@@ -460,6 +575,28 @@ pub fn current_num_threads() -> usize {
     current_registry().num_threads()
 }
 
+/// Cheap identity of the current execution context: `(registry, worker
+/// index)` on a pool worker, a unique per-thread tag elsewhere. The
+/// adaptive splitter ([`crate::iter`]'s split-on-steal) compares the
+/// marker a task was created under with the marker it runs under — a
+/// difference proves the task crossed threads, i.e. was stolen.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ThreadMarker(usize, usize);
+
+/// The current thread's [`ThreadMarker`]. Two TLS reads, no
+/// allocation — cheap enough to call once per splitter decision.
+pub fn thread_marker() -> ThreadMarker {
+    if let Some(w) = WORKER.get() {
+        return ThreadMarker(w.registry as usize, w.index);
+    }
+    thread_local! {
+        static THREAD_TAG: u8 = const { 0 };
+    }
+    // Non-pool thread: a TLS slot's address is unique per live thread,
+    // and 0 in the first word can never collide with a registry.
+    ThreadMarker(0, THREAD_TAG.with(|t| t as *const _ as usize))
+}
+
 // ---------------------------------------------------------------------------
 // join
 // ---------------------------------------------------------------------------
@@ -467,12 +604,13 @@ pub fn current_num_threads() -> usize {
 /// Runs both closures, potentially in parallel on the current pool,
 /// and returns both results.
 ///
-/// On a pool worker, `b` is exposed on the worker's deque for stealing
-/// while `a` runs inline; if nobody steals it, it is popped back and
-/// run inline with no cross-thread traffic. On a non-pool thread, `b`
-/// is injected into the pool. With a single-threaded pool — or when
-/// the local deque already holds [`LOCAL_PENDING_LIMIT`] pending jobs
-/// — both closures simply run inline.
+/// On a pool worker, `b` is exposed on the worker's Chase–Lev deque
+/// for stealing while `a` runs inline; if nobody steals it, it is
+/// popped back (a lock- and CAS-free owner pop) and run inline with no
+/// cross-thread traffic. On a non-pool thread, `b` is injected into
+/// the pool. With a single-threaded pool — or when the local deque
+/// already holds `LOCAL_PENDING_LIMIT` pending jobs — both closures
+/// simply run inline.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -494,6 +632,34 @@ where
     join_external(&registry, a, b)
 }
 
+/// After `a` has finished on a worker, gets `b` back: pops the local
+/// deque down — executing any scope-spawned jobs `a` left above `b` —
+/// until either `b` itself comes back (returns `true`: the un-stolen
+/// fast path, a lock- and CAS-free Chase–Lev owner pop) or the pop
+/// runs dry, which proves a thief claimed `b` (returns `false` once
+/// `b`'s latch is set, after helping with other pool work meanwhile).
+fn reclaim_or_wait(
+    registry: &Registry,
+    index: usize,
+    job_ref: JobRef,
+    probe: impl Fn() -> bool + Copy,
+) -> bool {
+    loop {
+        if probe() {
+            return false;
+        }
+        match registry.pop_local(index) {
+            Some(job) if job.same_job(job_ref) => return true,
+            // A scope job pushed above `b`: run it and keep popping.
+            Some(job) => unsafe { job.execute() },
+            None => {
+                registry.wait_until(index, probe);
+                return false;
+            }
+        }
+    }
+}
+
 fn join_on_worker<A, B, RA, RB>(registry: &Registry, index: usize, a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -508,18 +674,16 @@ where
         Ok(v) => v,
         Err(payload) => {
             // Reclaim `b` before unwinding: a thief may hold a pointer
-            // into this stack frame.
-            if !registry.pop_local_if(index, job_ref) {
-                registry.wait_until(index, &job_b.latch);
-            }
+            // into this stack frame. Popped back un-stolen, it is
+            // dropped un-run (matching rayon's panic semantics).
+            let _ = reclaim_or_wait(registry, index, job_ref, || job_b.probe());
             panic::resume_unwind(payload);
         }
     };
-    if registry.pop_local_if(index, job_ref) {
+    if reclaim_or_wait(registry, index, job_ref, || job_b.probe()) {
         let rb = job_b.run_popped();
         (ra, rb)
     } else {
-        registry.wait_until(index, &job_b.latch);
         (ra, job_b.into_result())
     }
 }
@@ -531,14 +695,15 @@ where
     RA: Send,
     RB: Send,
 {
-    let job_b = StackJob::new(b);
+    let job_b = StackJob::new_blocking(b);
+    let latch = job_b.blocking.clone().expect("blocking job has a latch");
     let job_ref = unsafe { job_b.as_job_ref() };
     registry.inject(job_ref);
     let ra = match panic::catch_unwind(AssertUnwindSafe(a)) {
         Ok(v) => v,
         Err(payload) => {
             if !registry.pop_injected_if(job_ref) {
-                job_b.latch.wait();
+                latch.wait();
             }
             panic::resume_unwind(payload);
         }
@@ -548,7 +713,7 @@ where
         let rb = job_b.run_popped();
         (ra, rb)
     } else {
-        job_b.latch.wait();
+        latch.wait();
         (ra, job_b.into_result())
     }
 }
@@ -636,7 +801,8 @@ where
         match WORKER.get() {
             Some(w) if std::ptr::eq(w.registry, Arc::as_ptr(&registry)) => {
                 let reg = unsafe { &*w.registry };
-                reg.wait_until(w.index, &s.latch);
+                let latch = &s.latch;
+                reg.wait_until(w.index, || latch.probe());
             }
             _ => s.latch.wait(),
         }

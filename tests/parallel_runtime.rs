@@ -1,7 +1,8 @@
 //! Cross-crate tests for the work-stealing fork-join runtime: proof
 //! that `rayon::join` really executes on multiple OS threads, pool-size
-//! invariance of the parallel tree operations and sequence primitives,
-//! and a `VersionedGraph` stress test driven from inside the pool.
+//! invariance of the parallel tree operations, sequence primitives and
+//! the adaptive (split-on-steal) iterator scheduler, and a
+//! `VersionedGraph` stress test driven from inside the pool.
 
 use proptest::prelude::*;
 use std::collections::BTreeSet;
@@ -226,6 +227,59 @@ proptest! {
         }
         prop_assert_eq!(t1, acc);
         prop_assert_eq!(k1, xs.iter().copied().filter(|x| x % 3 == 0).collect::<Vec<_>>());
+    }
+
+    /// The adaptive splitter (split-on-steal) produces identical
+    /// results at every pool width, for every adaptor shape the
+    /// workspace leans on. Split *points* depend on nondeterministic
+    /// steal timing, so this property is exactly what the runtime's
+    /// ordered-merge discipline must guarantee: collect order, ordered
+    /// reduction, and count/sum totals may not vary with where (or
+    /// whether) the iterator forked. Chunked iteration is included
+    /// because its weight (elements, not chunks) interacts with the
+    /// splitter's MIN_SEQ_WEIGHT floor.
+    #[test]
+    fn adaptive_splitter_pool_size_invariant(
+        xs in proptest::collection::vec(0u64..100_000, 0..30_000),
+        chunk in 1usize..2048,
+    ) {
+        use rayon::prelude::*;
+        let run = |threads: usize| {
+            parlib::with_threads(threads, || {
+                let mapped: Vec<u64> = xs.par_iter().map(|&x| x.wrapping_mul(2654435761)).collect();
+                let filtered: Vec<u64> = xs.par_iter().copied().filter(|x| x % 3 == 0).collect();
+                let expanded: Vec<u64> = xs
+                    .par_iter()
+                    .flat_map_iter(|&x| (0..x % 4).map(move |i| x + i))
+                    .collect();
+                let chunk_sums: Vec<u64> = xs.par_chunks(chunk).map(|c| c.iter().sum()).collect();
+                // Note: only *associative* reductions are pool-size
+                // invariant — split points vary with steal timing, so
+                // a non-associative op would legitimately diverge.
+                let maxed = xs.par_iter().copied().max();
+                let total: u64 = xs.par_iter().copied().sum();
+                (mapped, filtered, expanded, chunk_sums, maxed, total)
+            })
+        };
+        let r1 = run(1);
+        // Sequential oracles against the 1-thread run first.
+        prop_assert_eq!(
+            &r1.0,
+            &xs.iter().map(|&x| x.wrapping_mul(2654435761)).collect::<Vec<_>>()
+        );
+        prop_assert_eq!(
+            &r1.1,
+            &xs.iter().copied().filter(|x| x % 3 == 0).collect::<Vec<_>>()
+        );
+        prop_assert_eq!(
+            &r1.3,
+            &xs.chunks(chunk).map(|c| c.iter().sum()).collect::<Vec<u64>>()
+        );
+        prop_assert_eq!(r1.5, xs.iter().sum::<u64>());
+        // Then cross-pool invariance at the widths CI exercises.
+        for threads in [2, 4, 8] {
+            prop_assert_eq!(&r1, &run(threads), "diverged at {} workers", threads);
+        }
     }
 
     /// Batch MultiInsert/MultiDelete through the full graph stack is

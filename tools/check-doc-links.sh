@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Checks that every relative markdown link in the repo's docs resolves
+# to an existing file. External (http/https/mailto) links and pure
+# in-page anchors are skipped; a `path#anchor` link is checked for the
+# file part only. Run from anywhere inside the repository; CI runs it
+# after the rustdoc build.
+set -euo pipefail
+
+cd "$(git rev-parse --show-toplevel 2>/dev/null || dirname "$0")/."
+
+fail=0
+# The documentation surface: the README, the docs/ book and the shims
+# README. (PAPER.md / PAPERS.md / SNIPPETS.md / ISSUE.md are
+# harness-provided reference material, not maintained documentation.)
+docs=""
+for doc in README.md ROADMAP.md docs/ARCHITECTURE.md docs/RUNTIME.md shims/README.md; do
+    if [ -e "$doc" ]; then
+        docs="$docs $doc"
+    else
+        echo "MISSING DOC FILE: $doc" >&2
+        fail=1
+    fi
+done
+# Pick up any future additions to the docs/ book.
+for doc in docs/*.md; do
+    case " $docs " in *" $doc "*) ;; *) docs="$docs $doc" ;; esac
+done
+
+for doc in $docs; do
+    dir=$(dirname "$doc")
+    # Extract [text](target) pairs; tolerate multiple links per line.
+    while IFS= read -r target; do
+        case "$target" in
+        http://* | https://* | mailto:* | '#'*) continue ;;
+        esac
+        file=${target%%#*}
+        [ -z "$file" ] && continue
+        if [ ! -e "$dir/$file" ]; then
+            echo "BROKEN: $doc -> $target" >&2
+            fail=1
+        fi
+    done < <(grep -o '\[[^]]*\]([^)]*)' "$doc" | sed 's/.*(\(.*\))/\1/')
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "doc link check failed" >&2
+    exit 1
+fi
+echo "doc links OK ($(echo "$docs" | wc -w) files checked)"
