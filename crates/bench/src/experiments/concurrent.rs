@@ -89,6 +89,7 @@ pub fn run_stream_engine(sets: &[Dataset]) -> Table {
     for d in sets {
         let run = run_one(d, 2, 2);
         let r = &run.report;
+        let rate = r.updates_applied as f64 / run.wall.as_secs_f64();
         t.row(&[
             d.name.to_owned(),
             r.updates_applied.to_string(),
@@ -100,8 +101,32 @@ pub fn run_stream_engine(sets: &[Dataset]) -> Table {
             crate::fmt_secs(r.update_e2e.p99.as_secs_f64()),
             crate::fmt_secs(r.query.p50.as_secs_f64()),
             r.queries_run.to_string(),
-            crate::fmt_rate(r.updates_applied as f64 / run.wall.as_secs_f64()),
+            crate::fmt_rate(rate),
         ]);
+        // Raw values for the --json manifest (the cells above are
+        // human-formatted strings).
+        t.metric(&format!("{}.updates_per_s", d.name), rate);
+        t.metric(
+            &format!("{}.updates_applied", d.name),
+            r.updates_applied as f64,
+        );
+        t.metric(
+            &format!("{}.apply_p50_ns", d.name),
+            r.batch_apply.p50.as_nanos() as f64,
+        );
+        t.metric(
+            &format!("{}.apply_p99_ns", d.name),
+            r.batch_apply.p99.as_nanos() as f64,
+        );
+        t.metric(
+            &format!("{}.e2e_p99_ns", d.name),
+            r.update_e2e.p99.as_nanos() as f64,
+        );
+        t.metric(
+            &format!("{}.query_p50_ns", d.name),
+            r.query.p50.as_nanos() as f64,
+        );
+        t.metric(&format!("{}.queries_run", d.name), r.queries_run as f64);
     }
     t
 }

@@ -133,6 +133,14 @@ pub fn run_scaling(d: &Dataset, quick: bool) -> Table {
             crate::fmt_secs(times.cc),
             format!("{:.2}x", b.cc / times.cc),
         ]);
+        t.metric(&format!("t{threads}.fork_ns"), times.fork_ns);
+        t.metric(&format!("t{threads}.insert_s"), times.insert);
+        t.metric(
+            &format!("t{threads}.insert_edges_per_s"),
+            batch.len() as f64 / times.insert,
+        );
+        t.metric(&format!("t{threads}.bfs_s"), times.bfs);
+        t.metric(&format!("t{threads}.cc_s"), times.cc);
     }
     t
 }

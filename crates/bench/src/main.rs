@@ -2,7 +2,7 @@
 //! evaluation (§7) on the synthetic stand-in datasets.
 //!
 //! ```text
-//! repro <experiment> [--large] [--quick]
+//! repro <experiment> [--large] [--quick] [--json <path>] [--trace <path>]
 //!
 //! experiments:
 //!   table1    graph statistics
@@ -24,32 +24,140 @@
 //!   all       everything above, in order
 //!
 //! flags:
-//!   --large   also run the web-graph stand-ins (slower)
-//!   --quick   tiny dataset only (CI smoke run)
+//!   --large        also run the web-graph stand-ins (slower)
+//!   --quick        tiny dataset only (CI smoke run)
+//!   --json <path>  also write the run (tables, raw metrics, runtime
+//!                  counters) as a JSON manifest
+//!   --trace <path> record task spans and write Chrome trace_event
+//!                  JSON (open in chrome://tracing or Perfetto);
+//!                  needs the default `obs-trace` build
 //! ```
 
 use bench_support::datasets::{self, Dataset};
 use bench_support::experiments as exp;
+use bench_support::tables::Table;
+use obs::Json;
+
+struct Cli {
+    which: String,
+    large: bool,
+    quick: bool,
+    json_path: Option<String>,
+    trace_path: Option<String>,
+}
+
+fn parse_cli(args: impl Iterator<Item = String>) -> Result<Cli, String> {
+    let mut cli = Cli {
+        which: String::new(),
+        large: false,
+        quick: false,
+        json_path: None,
+        trace_path: None,
+    };
+    let mut args = args.peekable();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--large" => cli.large = true,
+            "--quick" => cli.quick = true,
+            "--json" => {
+                cli.json_path = Some(args.next().ok_or("--json needs a file path")?);
+            }
+            "--trace" => {
+                cli.trace_path = Some(args.next().ok_or("--trace needs a file path")?);
+            }
+            _ if a.starts_with("--") => return Err(format!("unknown flag: {a}")),
+            _ if cli.which.is_empty() => cli.which = a,
+            _ => return Err(format!("more than one experiment given: {a}")),
+        }
+    }
+    if cli.which.is_empty() {
+        cli.which = "all".to_owned();
+    }
+    Ok(cli)
+}
+
+/// The `--json` manifest: run parameters, every table (formatted rows
+/// plus raw metrics), and the work-stealing runtime's counters.
+fn manifest(cli: &Cli, tables: &[Table]) -> Json {
+    let rt = rayon::current_runtime_stats();
+    let worker = |w: &rayon::WorkerRuntimeStats| {
+        Json::obj([
+            ("jobs", Json::from(w.jobs)),
+            ("forks", Json::from(w.forks)),
+            ("steals", Json::from(w.steals)),
+            ("steal_retries", Json::from(w.steal_retries)),
+            ("splitter_resets", Json::from(w.splitter_resets)),
+            ("sleeps", Json::from(w.sleeps)),
+            ("depth_mean", Json::from(w.depth_mean)),
+            ("depth_max", Json::from(w.depth_max)),
+        ])
+    };
+    Json::obj([
+        ("schema", Json::from("aspen-repro/bench/v1")),
+        ("experiment", Json::from(cli.which.as_str())),
+        ("quick", Json::from(cli.quick)),
+        ("large", Json::from(cli.large)),
+        ("threads", Json::from(parlib::num_threads() as u64)),
+        (
+            "tables",
+            Json::Arr(tables.iter().map(Table::to_json).collect()),
+        ),
+        (
+            "runtime",
+            Json::obj([
+                // Counters of the *global* pool; experiments that build
+                // dedicated pools (stream, scaling) report their own
+                // numbers through table metrics instead.
+                ("pool", Json::from("global")),
+                ("injected", Json::from(rt.injected)),
+                ("wakes", Json::from(rt.wakes)),
+                ("totals", worker(&rt.totals())),
+                (
+                    "workers",
+                    Json::Arr(rt.workers.iter().map(worker).collect()),
+                ),
+            ]),
+        ),
+    ])
+}
+
+fn write_or_die(path: &str, contents: &str, what: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("repro: cannot write {what} to {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("repro: wrote {what} to {path}");
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let which = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or_else(|| "all".to_owned());
-    let large = args.iter().any(|a| a == "--large");
-    let quick = args.iter().any(|a| a == "--quick");
+    let cli = match parse_cli(std::env::args().skip(1)) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("repro: {msg}");
+            std::process::exit(2);
+        }
+    };
 
-    let mut sets: Vec<Dataset> = if quick {
+    if cli.trace_path.is_some() {
+        if cfg!(feature = "obs-trace") {
+            obs::trace::enable();
+        } else {
+            eprintln!(
+                "repro: built without the `obs-trace` feature — the trace \
+                 will contain no task spans (rebuild with default features)"
+            );
+        }
+    }
+
+    let mut sets: Vec<Dataset> = if cli.quick {
         vec![datasets::tiny()]
     } else {
         datasets::SMALL.to_vec()
     };
-    if large {
+    if cli.large {
         sets.extend_from_slice(datasets::LARGE);
     }
-    let sweep_target = if quick {
+    let sweep_target = if cli.quick {
         datasets::tiny()
     } else {
         *datasets::SMALL.last().expect("small tier nonempty")
@@ -57,59 +165,137 @@ fn main() {
 
     println!(
         "# repro: {} on {} datasets, {} threads\n",
-        which,
+        cli.which,
         sets.len(),
         parlib::num_threads()
     );
 
-    let run = |name: &str| which == name || which == "all";
+    let run = |name: &str| cli.which == name || cli.which == "all";
+    let mut tables: Vec<Table> = Vec::new();
+    let mut emit = |t: Table| {
+        t.print();
+        tables.push(t);
+    };
 
     if run("table1") {
-        exp::run_table1(&sets).print();
+        emit(exp::run_table1(&sets));
     }
     if run("table2") {
-        exp::run_table2(&sets).print();
+        emit(exp::run_table2(&sets));
     }
-    if run("table3") || which == "table4" {
-        exp::run_table3_4(&sets).print();
+    if run("table3") || cli.which == "table4" {
+        emit(exp::run_table3_4(&sets));
     }
     if run("table5") {
-        exp::run_table5(&sweep_target).print();
+        emit(exp::run_table5(&sweep_target));
     }
     if run("table6") {
-        exp::run_table6(&sets).print();
+        emit(exp::run_table6(&sets));
     }
     if run("table7") {
-        exp::run_table7(&sets).print();
+        emit(exp::run_table7(&sets));
     }
     if run("table8") {
-        exp::run_table8(&sets).print();
+        emit(exp::run_table8(&sets));
     }
     if run("figure5") {
-        exp::run_figure5(&sets).print();
+        emit(exp::run_figure5(&sets));
     }
     if run("table9") {
-        exp::run_table9(&sets).print();
+        emit(exp::run_table9(&sets));
     }
     if run("table10") {
-        exp::run_table10().print();
+        emit(exp::run_table10());
     }
     if run("table11") {
-        exp::run_table11(&sets).print();
+        emit(exp::run_table11(&sets));
     }
     if run("table12") {
-        exp::run_table12(&sets).print();
+        emit(exp::run_table12(&sets));
     }
     if run("table13") {
-        exp::run_table13(&sets).print();
+        emit(exp::run_table13(&sets));
     }
-    if run("table14") || which == "table15" {
-        exp::run_table14_15(&sets).print();
+    if run("table14") || cli.which == "table15" {
+        emit(exp::run_table14_15(&sets));
     }
     if run("stream") {
-        exp::run_stream_engine(&sets).print();
+        emit(exp::run_stream_engine(&sets));
     }
     if run("scaling") {
-        exp::run_scaling(&sweep_target, quick).print();
+        emit(exp::run_scaling(&sweep_target, cli.quick));
+    }
+
+    if let Some(path) = &cli.json_path {
+        write_or_die(path, &manifest(&cli, &tables).render(), "results JSON");
+    }
+    if let Some(path) = &cli.trace_path {
+        obs::trace::disable();
+        write_or_die(path, &obs::trace::chrome_trace_json(), "trace");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> std::vec::IntoIter<String> {
+        s.iter()
+            .map(|a| (*a).to_owned())
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    #[test]
+    fn cli_defaults_to_all() {
+        let cli = parse_cli(args(&[])).unwrap();
+        assert_eq!(cli.which, "all");
+        assert!(!cli.quick && !cli.large);
+        assert!(cli.json_path.is_none() && cli.trace_path.is_none());
+    }
+
+    #[test]
+    fn cli_flag_values_are_not_experiments() {
+        // Regression: `--json r.json` must not make "r.json" the
+        // experiment selector.
+        let cli = parse_cli(args(&[
+            "stream", "--json", "r.json", "--trace", "t.json", "--quick",
+        ]))
+        .unwrap();
+        assert_eq!(cli.which, "stream");
+        assert!(cli.quick);
+        assert_eq!(cli.json_path.as_deref(), Some("r.json"));
+        assert_eq!(cli.trace_path.as_deref(), Some("t.json"));
+    }
+
+    #[test]
+    fn cli_rejects_dangling_and_unknown_flags() {
+        assert!(parse_cli(args(&["--json"])).is_err());
+        assert!(parse_cli(args(&["--frobnicate"])).is_err());
+        assert!(parse_cli(args(&["stream", "scaling"])).is_err());
+    }
+
+    #[test]
+    fn manifest_renders_parseable_json() {
+        let cli = parse_cli(args(&["stream", "--quick"])).unwrap();
+        let mut t = Table::new("demo", &["col"]);
+        t.row(&["v".into()]);
+        t.metric("demo.value", 42.0);
+        let m = manifest(&cli, &[t]);
+        let parsed = obs::json::parse(&m.render()).expect("manifest parses");
+        assert_eq!(
+            parsed.get("schema").and_then(Json::as_str),
+            Some("aspen-repro/bench/v1")
+        );
+        assert_eq!(
+            parsed.get("experiment").and_then(Json::as_str),
+            Some("stream")
+        );
+        let tables = parsed.get("tables").and_then(Json::as_arr).expect("tables");
+        assert_eq!(tables.len(), 1);
+        assert!(parsed
+            .get("runtime")
+            .and_then(|r| r.get("totals"))
+            .is_some());
     }
 }

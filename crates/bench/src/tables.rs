@@ -1,11 +1,20 @@
-//! Minimal fixed-width table rendering for the `repro` output.
+//! Minimal fixed-width table rendering for the `repro` output, plus
+//! the machine-readable (`--json`) projection of the same data.
+
+use obs::Json;
 
 /// A plain-text table with a title, header row and data rows.
+///
+/// Experiments can also attach named **metrics** — raw numbers (units
+/// in the name) that bypass the human formatting of the cells, so the
+/// `--json` output carries comparable values instead of strings like
+/// `"3.1 ms"`.
 #[derive(Clone, Debug, Default)]
 pub struct Table {
     title: String,
     header: Vec<String>,
     rows: Vec<Vec<String>>,
+    metrics: Vec<(String, f64)>,
 }
 
 impl Table {
@@ -15,6 +24,7 @@ impl Table {
             title: title.to_owned(),
             header: header.iter().map(|s| (*s).to_owned()).collect(),
             rows: Vec::new(),
+            metrics: Vec::new(),
         }
     }
 
@@ -28,9 +38,50 @@ impl Table {
         self.rows.push(cells.to_vec());
     }
 
+    /// Attaches a raw numeric metric (name the units, e.g.
+    /// `"tiny.updates_per_s"`). Not rendered in the text table; carried
+    /// by [`to_json`](Self::to_json) for downstream comparison.
+    pub fn metric(&mut self, name: &str, value: f64) {
+        self.metrics.push((name.to_owned(), value));
+    }
+
+    /// The attached raw metrics, in insertion order.
+    pub fn metrics(&self) -> &[(String, f64)] {
+        &self.metrics
+    }
+
+    /// The table's title line.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
     /// Number of data rows appended so far.
     pub fn num_rows(&self) -> usize {
         self.rows.len()
+    }
+
+    /// Machine-readable projection: title, header, the formatted rows,
+    /// and the raw metrics as a name→number object.
+    pub fn to_json(&self) -> Json {
+        let strings =
+            |cells: &[String]| Json::Arr(cells.iter().map(|c| c.as_str().into()).collect());
+        Json::obj([
+            ("title", Json::from(self.title.as_str())),
+            ("header", strings(&self.header)),
+            (
+                "rows",
+                Json::Arr(self.rows.iter().map(|r| strings(r)).collect()),
+            ),
+            (
+                "metrics",
+                Json::Obj(
+                    self.metrics
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::from(*v)))
+                        .collect(),
+                ),
+            ),
+        ])
     }
 
     /// Renders with per-column alignment.
@@ -92,5 +143,21 @@ mod tests {
     fn rejects_ragged_rows() {
         let mut t = Table::new("x", &["a", "b"]);
         t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn json_projection_round_trips() {
+        let mut t = Table::new("Demo", &["graph", "time"]);
+        t.row(&["tiny".into(), "0.1 s".into()]);
+        t.metric("tiny.time_s", 0.1);
+        let rendered = t.to_json().render();
+        let parsed = obs::json::parse(&rendered).expect("table JSON parses");
+        assert_eq!(parsed.get("title").and_then(Json::as_str), Some("Demo"));
+        assert_eq!(
+            parsed.get("rows").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(1)
+        );
+        let m = parsed.get("metrics").expect("metrics present");
+        assert_eq!(m.get("tiny.time_s").and_then(Json::as_f64), Some(0.1));
     }
 }

@@ -1,0 +1,456 @@
+//! The lock-free log₂-bucketed latency histogram, generalized out of
+//! `aspen-stream`'s private stats module so every layer of the stack
+//! (runtime, engine, bench harness, future server endpoints) shares
+//! one implementation — and so histograms can be *snapshotted* at any
+//! instant, merged, and diffed for periodic delta reporting instead of
+//! only read at end-of-run.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two buckets: bucket `i` holds values whose
+/// nanosecond count has its highest set bit at position `i`, so 64
+/// buckets cover the full `u64` nanosecond range (0 ns … ~584 years).
+pub const BUCKETS: usize = 64;
+
+/// A lock-free log₂-bucketed latency histogram.
+///
+/// Recording is a single atomic increment into the bucket
+/// `⌊log₂(nanos)⌋`, so writer- and query-thread instrumentation costs
+/// nanoseconds. Quantiles are read back at bucket resolution (within a
+/// factor of 2), which is what latency reporting needs — the paper
+/// reports latency distributions over orders of magnitude, not
+/// nanosecond-exact percentiles.
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+    max_nanos: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_nanos: AtomicU64::new(0),
+            max_nanos: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The bucket index for a nanosecond value: `⌊log₂(nanos)⌋`, with 0
+/// landing in bucket 0 alongside 1 ns.
+#[inline]
+fn bucket_of(nanos: u64) -> usize {
+    ((64 - nanos.leading_zeros()).saturating_sub(1) as usize).min(BUCKETS - 1)
+}
+
+/// Geometric midpoint of bucket `i` (values in `[2^i, 2^(i+1))`).
+#[inline]
+fn bucket_mid(i: usize) -> Duration {
+    let lo = 1u128 << i;
+    Duration::from_nanos((lo as f64 * std::f64::consts::SQRT_2) as u64)
+}
+
+impl LatencyHistogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one measurement. Thread-safe, wait-free.
+    pub fn record(&self, d: Duration) {
+        self.record_nanos(d.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Records one measurement given directly in nanoseconds.
+    pub fn record_nanos(&self, nanos: u64) {
+        self.buckets[bucket_of(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Folds every measurement of `other` into `self` (bucket-wise
+    /// addition; the merged mean and max stay exact).
+    pub fn merge(&self, other: &LatencyHistogram) {
+        self.merge_snapshot(&other.snapshot());
+    }
+
+    /// Folds a previously taken snapshot into `self`.
+    pub fn merge_snapshot(&self, snap: &HistogramSnapshot) {
+        for (i, &b) in snap.buckets.iter().enumerate() {
+            if b > 0 {
+                self.buckets[i].fetch_add(b, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(snap.count, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(snap.sum_nanos, Ordering::Relaxed);
+        self.max_nanos.fetch_max(snap.max_nanos, Ordering::Relaxed);
+    }
+
+    /// Number of recorded measurements.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean of all measurements, or zero when empty.
+    pub fn mean(&self) -> Duration {
+        self.snapshot().mean()
+    }
+
+    /// Largest recorded measurement.
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_nanos.load(Ordering::Relaxed))
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) at bucket resolution: the
+    /// geometric midpoint of the bucket holding the `⌈q·n⌉`-th
+    /// measurement. Zero when empty.
+    pub fn quantile(&self, q: f64) -> Duration {
+        self.snapshot().quantile(q)
+    }
+
+    /// Snapshot of count/mean/p50/p95/p99/max for reporting.
+    pub fn summarize(&self) -> LatencySummary {
+        self.snapshot().summarize()
+    }
+
+    /// An owned point-in-time copy of the full bucket state.
+    ///
+    /// Buckets are read with relaxed loads while writers may still be
+    /// recording: a snapshot can trail in-flight increments, but every
+    /// count it shows was really recorded, and counts never decrease
+    /// between snapshots (monotonicity is what the delta API relies
+    /// on). Once writers are quiescent a snapshot is exact.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum_nanos: self.sum_nanos.load(Ordering::Relaxed),
+            max_nanos: self.max_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned point-in-time copy of a [`LatencyHistogram`]: plain `u64`
+/// buckets, so it can be diffed against an earlier snapshot
+/// ([`delta_since`](Self::delta_since)) or merged with snapshots from
+/// other histograms — the substrate for periodic live reporting.
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum_nanos: u64,
+    max_nanos: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum_nanos: 0,
+            max_nanos: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Number of measurements in the snapshot.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all measurements, in nanoseconds.
+    pub fn sum_nanos(&self) -> u64 {
+        self.sum_nanos
+    }
+
+    /// Mean of the snapshot's measurements, or zero when empty.
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(self.sum_nanos / self.count)
+    }
+
+    /// Largest measurement in the snapshot.
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_nanos)
+    }
+
+    /// Bucket contents, oldest (smallest) bucket first.
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// The `q`-quantile at bucket resolution; see
+    /// [`LatencyHistogram::quantile`].
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                // Report the bucket's geometric midpoint, capped at the
+                // observed maximum so no quantile ever exceeds `max()`.
+                return bucket_mid(i).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// count/mean/p50/p95/p99/max of the snapshot.
+    pub fn summarize(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count,
+            mean: self.mean(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            max: self.max(),
+        }
+    }
+
+    /// The measurements recorded between `earlier` and `self`
+    /// (bucket-wise saturating subtraction). Both snapshots must come
+    /// from the same histogram for the delta to be meaningful.
+    ///
+    /// The delta's `max` is a bound, not an interval-exact maximum: a
+    /// histogram keeps one cumulative maximum, so the delta reports it
+    /// only if the interval actually recorded something, and it may
+    /// predate the interval. Quantiles and the mean are interval-exact.
+    pub fn delta_since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let count = self.count.saturating_sub(earlier.count);
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].saturating_sub(earlier.buckets[i])),
+            count,
+            sum_nanos: self.sum_nanos.saturating_sub(earlier.sum_nanos),
+            max_nanos: if count == 0 { 0 } else { self.max_nanos },
+        }
+    }
+
+    /// Bucket-wise merge of two snapshots (e.g. the same metric from
+    /// several workers).
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i] + other.buckets[i]),
+            count: self.count + other.count,
+            sum_nanos: self.sum_nanos.saturating_add(other.sum_nanos),
+            max_nanos: self.max_nanos.max(other.max_nanos),
+        }
+    }
+
+    /// The snapshot as JSON: summary fields plus the non-empty buckets
+    /// as `[bucket_floor_ns, count]` pairs (empty buckets are omitted
+    /// to keep long-running snapshots compact).
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        let s = self.summarize();
+        let buckets: Vec<Json> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b > 0)
+            .map(|(i, &b)| Json::Arr(vec![Json::U64(1u64 << i), Json::U64(b)]))
+            .collect();
+        Json::obj([
+            ("count", Json::U64(self.count)),
+            ("sum_ns", Json::U64(self.sum_nanos)),
+            ("mean_ns", Json::U64(s.mean.as_nanos() as u64)),
+            ("p50_ns", Json::U64(s.p50.as_nanos() as u64)),
+            ("p95_ns", Json::U64(s.p95.as_nanos() as u64)),
+            ("p99_ns", Json::U64(s.p99.as_nanos() as u64)),
+            ("max_ns", Json::U64(self.max_nanos)),
+            ("buckets", Json::Arr(buckets)),
+        ])
+    }
+}
+
+/// Point-in-time percentile summary of a [`LatencyHistogram`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LatencySummary {
+    pub count: u64,
+    pub mean: Duration,
+    pub p50: Duration,
+    pub p95: Duration,
+    pub p99: Duration,
+    pub max: Duration,
+}
+
+impl std::fmt::Display for LatencySummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1?} p50={:.1?} p95={:.1?} p99={:.1?} max={:.1?}",
+            self.count, self.mean, self.p50, self.p95, self.p99, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.quantile(0.5), Duration::ZERO);
+        assert_eq!(h.max(), Duration::ZERO);
+        let s = h.summarize();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p99, Duration::ZERO);
+    }
+
+    #[test]
+    fn zero_nanos_lands_in_bucket_zero() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::ZERO);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.max(), Duration::ZERO);
+        // The only measurement is 0 ns: every quantile must be capped
+        // at the observed max rather than reporting the bucket mid.
+        assert_eq!(h.quantile(0.5), Duration::ZERO);
+        assert_eq!(h.quantile(1.0), Duration::ZERO);
+        assert_eq!(h.snapshot().buckets()[0], 1);
+    }
+
+    #[test]
+    fn u64_max_nanos_saturates_into_top_bucket() {
+        let h = LatencyHistogram::new();
+        h.record_nanos(u64::MAX);
+        h.record(Duration::MAX); // > u64::MAX nanos; clamps
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.snapshot().buckets()[BUCKETS - 1], 2);
+        assert_eq!(h.max(), Duration::from_nanos(u64::MAX));
+        // Quantile lands inside the top bucket, capped at the max.
+        let p99 = h.quantile(0.99);
+        assert!(p99 >= Duration::from_nanos(1 << 63), "p99 = {p99:?}");
+        assert!(p99 <= h.max(), "p99 = {p99:?}");
+    }
+
+    #[test]
+    fn quantiles_are_order_of_magnitude_accurate() {
+        let h = LatencyHistogram::new();
+        for _ in 0..90 {
+            h.record(Duration::from_micros(10));
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_millis(10));
+        }
+        let p50 = h.quantile(0.5);
+        assert!(
+            p50 >= Duration::from_micros(5) && p50 <= Duration::from_micros(20),
+            "p50 = {p50:?}"
+        );
+        let p99 = h.quantile(0.99);
+        assert!(p99 >= Duration::from_millis(5), "p99 = {p99:?}");
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.max(), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn mean_tracks_sum() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_micros(1));
+        h.record(Duration::from_micros(3));
+        assert_eq!(h.mean(), Duration::from_micros(2));
+    }
+
+    #[test]
+    fn merge_of_empty_is_identity() {
+        let a = LatencyHistogram::new();
+        a.record(Duration::from_micros(5));
+        a.merge(&LatencyHistogram::new());
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.max(), Duration::from_micros(5));
+        let empty = LatencyHistogram::new();
+        empty.merge(&a);
+        assert_eq!(empty.count(), 1);
+        assert_eq!(empty.mean(), Duration::from_micros(5));
+    }
+
+    #[test]
+    fn merge_combines_counts_means_and_maxima() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        a.record(Duration::from_nanos(0));
+        a.record(Duration::from_micros(2));
+        b.record_nanos(u64::MAX);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), Duration::from_nanos(u64::MAX));
+        let snap = a.snapshot();
+        assert_eq!(snap.buckets()[0], 1);
+        assert_eq!(snap.buckets()[BUCKETS - 1], 1);
+        // Count, max and quantile placement stay exact even when the
+        // nanosecond sum wraps on pathological (584-year) inputs.
+        let p100 = snap.quantile(1.0);
+        assert!(p100 >= Duration::from_nanos(1 << 63) && p100 <= snap.max());
+    }
+
+    #[test]
+    fn delta_since_isolates_the_interval() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_micros(1));
+        let t0 = h.snapshot();
+        h.record(Duration::from_millis(1));
+        h.record(Duration::from_millis(1));
+        let t1 = h.snapshot();
+        let d = t1.delta_since(&t0);
+        assert_eq!(d.count(), 2);
+        assert_eq!(d.mean(), Duration::from_millis(1));
+        let p50 = d.quantile(0.5);
+        assert!(
+            p50 >= Duration::from_micros(500) && p50 <= Duration::from_millis(1),
+            "delta p50 = {p50:?}"
+        );
+    }
+
+    #[test]
+    fn empty_delta_is_empty() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_micros(7));
+        let s = h.snapshot();
+        let d = s.delta_since(&s);
+        assert_eq!(d.count(), 0);
+        assert_eq!(d.max(), Duration::ZERO);
+        assert_eq!(d.summarize().p99, Duration::ZERO);
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        let h = std::sync::Arc::new(LatencyHistogram::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let h = h.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000 {
+                    h.record(Duration::from_nanos(i));
+                }
+            }));
+        }
+        for t in handles {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 4000);
+    }
+
+    #[test]
+    fn snapshot_json_has_summary_fields() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_micros(3));
+        let rendered = h.snapshot().to_json().render();
+        assert!(rendered.contains("\"count\":1"), "{rendered}");
+        assert!(rendered.contains("\"buckets\":[["), "{rendered}");
+        let parsed = crate::json::parse(&rendered).expect("snapshot JSON parses");
+        assert_eq!(parsed.get("count").and_then(|j| j.as_u64()), Some(1));
+    }
+}

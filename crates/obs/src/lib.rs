@@ -1,0 +1,54 @@
+//! `aspen-obs`: the workspace's observability layer.
+//!
+//! The paper's headline claims are latency distributions under
+//! concurrent load; this crate is the substrate that makes every layer
+//! of the reproduction *observable while it runs* instead of only at
+//! end-of-run:
+//!
+//! * **[`LatencyHistogram`]** ([`hist`]) — the lock-free log₂-bucketed
+//!   histogram (generalized out of `aspen-stream`), now snapshotable
+//!   ([`HistogramSnapshot`]), mergeable and diffable for periodic
+//!   delta reporting.
+//! * **[`Registry`]** ([`registry`]) — named counters, gauges and
+//!   histograms registered once; recording is lock-free through `Arc`
+//!   handles, and a [`Snapshot`] renders as a text report or a JSON
+//!   document at any instant — the surface a future `/stats` endpoint
+//!   serves.
+//! * **[`trace`]** — span tracing into per-thread fixed-size ring
+//!   buffers, exported as Chrome `trace_event` JSON for
+//!   `chrome://tracing` / Perfetto. Behind the `obs-trace` feature the
+//!   [`trace::span`] guard is real (and still runtime-gated by
+//!   [`trace::enable`]); without it every instrumentation site folds
+//!   to nothing.
+//! * **[`json`]** — the dependency-free JSON tree/writer/parser behind
+//!   snapshots, traces and the `repro --json` results files (the build
+//!   container has no crates.io access, hence no serde).
+//!
+//! # Quick start
+//!
+//! ```
+//! use obs::{Registry};
+//! use std::time::Duration;
+//!
+//! let reg = Registry::new();
+//! let batches = reg.counter("writer.batches");
+//! let apply = reg.histogram("writer.apply");
+//!
+//! batches.inc();
+//! apply.record(Duration::from_micros(250));
+//!
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.counter("writer.batches"), Some(1));
+//! println!("{}", snap.render_text());
+//! let json = snap.to_json().render();
+//! assert!(json.contains("\"writer.batches\":1"));
+//! ```
+
+pub mod hist;
+pub mod json;
+pub mod registry;
+pub mod trace;
+
+pub use hist::{HistogramSnapshot, LatencyHistogram, LatencySummary};
+pub use json::Json;
+pub use registry::{Counter, Gauge, Metric, MetricValue, Registry, Snapshot};

@@ -1,0 +1,387 @@
+//! The metrics registry: named counters, gauges and latency
+//! histograms, registered once and snapshotable at any time.
+//!
+//! Recording is lock-free — handles returned by
+//! [`Registry::counter`]/[`gauge`](Registry::gauge)/[`histogram`](Registry::histogram)
+//! are `Arc`s around plain atomics, so instrumented hot paths never
+//! touch the registry again after registration. The registry's own
+//! mutex guards only the (rare) registration and snapshot walks.
+//!
+//! A snapshot ([`Registry::snapshot`]) is an owned, point-in-time copy
+//! of every metric that renders as a text report
+//! ([`Snapshot::render_text`]) or a JSON document
+//! ([`Snapshot::to_json`]) — the substrate a future `/stats` endpoint
+//! serves verbatim.
+
+use crate::hist::{HistogramSnapshot, LatencyHistogram};
+use crate::json::Json;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing `u64` metric.
+///
+/// Exposes both the ergonomic `inc`/`add`/`get` surface and the
+/// `AtomicU64`-shaped `fetch_add`/`load` surface, so existing code
+/// holding what used to be a raw atomic keeps compiling unchanged.
+#[derive(Default, Debug)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// `AtomicU64`-compatible add; returns the previous value.
+    #[inline]
+    pub fn fetch_add(&self, n: u64, order: Ordering) -> u64 {
+        self.value.fetch_add(n, order)
+    }
+
+    /// `AtomicU64`-compatible load.
+    #[inline]
+    pub fn load(&self, order: Ordering) -> u64 {
+        self.value.load(order)
+    }
+}
+
+/// A signed metric that can move both ways (queue depths, live
+/// versions, resident bytes).
+#[derive(Default, Debug)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.value.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Records `v` if it exceeds the current value (high-watermark use).
+    #[inline]
+    pub fn max(&self, v: i64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A handle to any registered metric.
+#[derive(Clone)]
+pub enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<LatencyHistogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A named collection of metrics. See the module docs.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<Vec<(String, Metric)>>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide registry. Library code that has no natural
+    /// owner for its metrics (e.g. the runtime shim) registers here;
+    /// subsystems with a lifecycle of their own (a stream engine)
+    /// should carry their own `Registry` instead so instances don't
+    /// collide.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// Registers (or retrieves) the counter `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric
+    /// kind — that is a wiring bug, not a runtime condition.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        match self.get_or_insert(name, || Metric::Counter(Arc::new(Counter::new()))) {
+            Metric::Counter(c) => c,
+            other => panic!("metric {name:?} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Registers (or retrieves) the gauge `name`; panics on a kind
+    /// mismatch like [`counter`](Self::counter).
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        match self.get_or_insert(name, || Metric::Gauge(Arc::new(Gauge::new()))) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric {name:?} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Registers (or retrieves) the latency histogram `name`; panics on
+    /// a kind mismatch like [`counter`](Self::counter).
+    pub fn histogram(&self, name: &str) -> Arc<LatencyHistogram> {
+        match self.get_or_insert(name, || {
+            Metric::Histogram(Arc::new(LatencyHistogram::new()))
+        }) {
+            Metric::Histogram(h) => h,
+            other => panic!("metric {name:?} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Registers a metric created elsewhere under `name` (e.g. a
+    /// histogram shared with a non-registry consumer). Replaces
+    /// nothing: like the typed getters, an existing entry wins and a
+    /// kind mismatch panics.
+    pub fn register(&self, name: &str, metric: Metric) -> Metric {
+        self.get_or_insert(name, || metric.clone())
+    }
+
+    fn get_or_insert(&self, name: &str, make: impl FnOnce() -> Metric) -> Metric {
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((_, m)) = entries.iter().find(|(n, _)| n == name) {
+            return m.clone();
+        }
+        let m = make();
+        entries.push((name.to_owned(), m.clone()));
+        m
+    }
+
+    /// Names of all registered metrics, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        let mut names: Vec<String> = entries.iter().map(|(n, _)| n.clone()).collect();
+        names.sort();
+        names
+    }
+
+    /// An owned, point-in-time copy of every metric, sorted by name.
+    ///
+    /// Concurrent recorders may land increments while the snapshot
+    /// walks the entries; each individual metric is read atomically
+    /// (no torn values), and repeated snapshots observe monotonically
+    /// non-decreasing counters.
+    pub fn snapshot(&self) -> Snapshot {
+        let handles: Vec<(String, Metric)> = {
+            let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+            entries.clone()
+        };
+        let mut values: Vec<(String, MetricValue)> = handles
+            .into_iter()
+            .map(|(name, m)| {
+                let v = match m {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(Box::new(h.snapshot())),
+                };
+                (name, v)
+            })
+            .collect();
+        values.sort_by(|a, b| a.0.cmp(&b.0));
+        Snapshot { values }
+    }
+}
+
+/// The captured value of one metric inside a [`Snapshot`].
+#[derive(Clone, Debug)]
+pub enum MetricValue {
+    Counter(u64),
+    Gauge(i64),
+    /// Boxed: a full bucket copy is ~540 bytes, two orders of magnitude
+    /// larger than the scalar variants sharing this enum.
+    Histogram(Box<HistogramSnapshot>),
+}
+
+/// A point-in-time copy of a [`Registry`], renderable as text or JSON.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    values: Vec<(String, MetricValue)>,
+}
+
+impl Snapshot {
+    /// All captured `(name, value)` pairs, sorted by name.
+    pub fn entries(&self) -> &[(String, MetricValue)] {
+        &self.values
+    }
+
+    /// The captured value of `name`, if registered.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.values.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Convenience: the value of counter `name`, `None` otherwise.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name) {
+            Some(MetricValue::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Convenience: the captured histogram `name`, `None` otherwise.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.get(name) {
+            Some(MetricValue::Histogram(h)) => Some(h.as_ref()),
+            _ => None,
+        }
+    }
+
+    /// A plain-text report, one metric per line, histograms as
+    /// percentile summaries.
+    pub fn render_text(&self) -> String {
+        let width = self.values.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (name, value) in &self.values {
+            match value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("{name:<width$}  {v}\n"));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!("{name:<width$}  {v}\n"));
+                }
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!("{name:<width$}  {}\n", h.summarize()));
+                }
+            }
+        }
+        out
+    }
+
+    /// The snapshot as one JSON object keyed by metric name.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(
+            self.values
+                .iter()
+                .map(|(name, value)| {
+                    let v = match value {
+                        MetricValue::Counter(v) => Json::U64(*v),
+                        MetricValue::Gauge(v) => Json::I64(*v),
+                        MetricValue::Histogram(h) => h.to_json(),
+                    };
+                    (name.clone(), v)
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn register_is_idempotent_and_shared() {
+        let r = Registry::new();
+        let a = r.counter("ops");
+        let b = r.counter("ops");
+        a.inc();
+        b.add(2);
+        assert_eq!(r.snapshot().counter("ops"), Some(3));
+        assert_eq!(r.names(), vec!["ops".to_owned()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+
+    #[test]
+    fn snapshot_captures_all_kinds_sorted() {
+        let r = Registry::new();
+        r.gauge("z.depth").set(-4);
+        r.counter("a.ops").add(7);
+        r.histogram("m.lat").record(Duration::from_micros(10));
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.entries().iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a.ops", "m.lat", "z.depth"]);
+        assert_eq!(snap.counter("a.ops"), Some(7));
+        assert_eq!(snap.histogram("m.lat").unwrap().count(), 1);
+        let text = snap.render_text();
+        assert!(text.contains("a.ops"), "{text}");
+        assert!(text.contains("p99"), "{text}");
+    }
+
+    #[test]
+    fn snapshot_json_parses_back() {
+        let r = Registry::new();
+        r.counter("c").add(5);
+        r.gauge("g").set(-1);
+        r.histogram("h").record(Duration::from_nanos(100));
+        let rendered = r.snapshot().to_json().render();
+        let parsed = crate::json::parse(&rendered).expect("valid JSON");
+        assert_eq!(parsed.get("c").and_then(Json::as_u64), Some(5));
+        assert_eq!(parsed.get("g"), Some(&Json::I64(-1)));
+        assert_eq!(
+            parsed
+                .get("h")
+                .and_then(|h| h.get("count"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn register_external_histogram() {
+        let r = Registry::new();
+        let h = Arc::new(LatencyHistogram::new());
+        r.register("shared", Metric::Histogram(h.clone()));
+        h.record(Duration::from_micros(1));
+        assert_eq!(r.snapshot().histogram("shared").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn global_registry_is_a_singleton() {
+        let c = Registry::global().counter("obs.test.global");
+        c.inc();
+        assert!(Registry::global().snapshot().counter("obs.test.global") >= Some(1));
+    }
+}

@@ -1,0 +1,469 @@
+//! Task/span tracing into per-thread fixed-size ring buffers, exported
+//! as Chrome `trace_event` JSON (loadable in `chrome://tracing` or
+//! [Perfetto](https://ui.perfetto.dev)).
+//!
+//! # Cost model
+//!
+//! * Built **without** the `obs-trace` feature, [`span`] returns an
+//!   inert zero-sized value with no `Drop` impl — every call site
+//!   folds to nothing, so library consumers pay zero.
+//! * Built **with** the feature but with tracing not
+//!   [`enable`]d, a span costs one relaxed atomic load.
+//! * With tracing enabled, a span costs two monotonic-clock reads and
+//!   one push into the calling thread's ring (an uncontended mutex —
+//!   rings are per-thread, only the exporter ever takes one from
+//!   outside).
+//!
+//! Rings are **fixed-size** ([`TraceRing`]): when a thread records
+//! more events than its ring holds, the oldest are overwritten. A
+//! trace is therefore always bounded in memory no matter how long the
+//! run — the export notes how many events were dropped.
+
+use crate::json::Json;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// One completed span: a named interval on one thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Span label (Chrome `name`).
+    pub name: &'static str,
+    /// Category (Chrome `cat`), e.g. `"runtime"` or `"stream"`.
+    pub cat: &'static str,
+    /// Trace-local thread id (Chrome `tid`).
+    pub tid: u64,
+    /// Start offset from the trace origin, nanoseconds.
+    pub start_ns: u64,
+    /// Span duration, nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// A fixed-capacity event buffer: pushing beyond capacity overwrites
+/// the oldest event, so memory stays bounded on arbitrarily long runs.
+#[derive(Debug)]
+pub struct TraceRing {
+    buf: Vec<TraceEvent>,
+    cap: usize,
+    /// Next overwrite position once the buffer is full.
+    next: usize,
+    recorded: u64,
+}
+
+impl TraceRing {
+    /// # Panics
+    ///
+    /// Panics when `cap` is zero.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "trace ring capacity must be nonzero");
+        TraceRing {
+            buf: Vec::with_capacity(cap.min(1024)),
+            cap,
+            next: 0,
+            recorded: 0,
+        }
+    }
+
+    /// Appends an event, overwriting the oldest when full.
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.next] = ev;
+            self.next = (self.next + 1) % self.cap;
+        }
+        self.recorded += 1;
+    }
+
+    /// Events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events ever pushed, including overwritten ones.
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events lost to wrap-around.
+    pub fn dropped(&self) -> u64 {
+        self.recorded - self.buf.len() as u64
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        if self.buf.len() == self.cap {
+            out.extend_from_slice(&self.buf[self.next..]);
+            out.extend_from_slice(&self.buf[..self.next]);
+        } else {
+            out.extend_from_slice(&self.buf);
+        }
+        out
+    }
+
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.next = 0;
+        self.recorded = 0;
+    }
+}
+
+/// Default per-thread ring capacity (events). At ~40 bytes per event
+/// this bounds a thread's trace memory to ~2.5 MB.
+pub const DEFAULT_RING_CAPACITY: usize = 65_536;
+
+struct ThreadRing {
+    label: String,
+    tid: u64,
+    ring: Mutex<TraceRing>,
+}
+
+/// The process-wide trace collector: one ring per recording thread.
+struct Tracer {
+    rings: Mutex<Vec<Arc<ThreadRing>>>,
+    origin: Instant,
+    next_tid: AtomicU64,
+    ring_capacity: AtomicUsize,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn tracer() -> &'static Tracer {
+    static TRACER: OnceLock<Tracer> = OnceLock::new();
+    TRACER.get_or_init(|| Tracer {
+        rings: Mutex::new(Vec::new()),
+        origin: Instant::now(),
+        next_tid: AtomicU64::new(1),
+        ring_capacity: AtomicUsize::new(DEFAULT_RING_CAPACITY),
+    })
+}
+
+thread_local! {
+    static LOCAL_RING: OnceLock<Arc<ThreadRing>> = const { OnceLock::new() };
+}
+
+/// Starts recording spans (idempotent). Until this is called, spans
+/// cost one relaxed load and record nothing.
+pub fn enable() {
+    tracer(); // pin the time origin no later than the first event
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Stops recording spans; already-recorded events stay exportable.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Release);
+}
+
+/// Whether spans are currently being recorded.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Sets the ring capacity used for threads that have not recorded yet
+/// (existing rings keep their size). Call before [`enable`].
+pub fn set_ring_capacity(events: usize) {
+    tracer()
+        .ring_capacity
+        .store(events.max(1), Ordering::Relaxed);
+}
+
+/// Nanoseconds since the trace origin.
+pub fn now_ns() -> u64 {
+    tracer()
+        .origin
+        .elapsed()
+        .as_nanos()
+        .min(u128::from(u64::MAX)) as u64
+}
+
+fn local_ring() -> Arc<ThreadRing> {
+    LOCAL_RING.with(|slot| {
+        slot.get_or_init(|| {
+            let t = tracer();
+            let tid = t.next_tid.fetch_add(1, Ordering::Relaxed);
+            let label = std::thread::current()
+                .name()
+                .map(|n| n.to_owned())
+                .unwrap_or_else(|| format!("thread-{tid}"));
+            let ring = Arc::new(ThreadRing {
+                label,
+                tid,
+                ring: Mutex::new(TraceRing::new(t.ring_capacity.load(Ordering::Relaxed))),
+            });
+            t.rings
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(ring.clone());
+            ring
+        })
+        .clone()
+    })
+}
+
+/// Records one completed span on the current thread. This is the
+/// low-level entry the [`span`] guard drops into; it records
+/// unconditionally — callers check [`is_enabled`].
+pub fn record_complete(name: &'static str, cat: &'static str, start_ns: u64, dur_ns: u64) {
+    let tr = local_ring();
+    let ev = TraceEvent {
+        name,
+        cat,
+        tid: tr.tid,
+        start_ns,
+        dur_ns,
+    };
+    tr.ring.lock().unwrap_or_else(|e| e.into_inner()).push(ev);
+}
+
+/// An in-flight span; recording happens when it drops. Obtain via
+/// [`span`] / [`span_cat`].
+#[cfg(feature = "obs-trace")]
+pub struct Span {
+    name: &'static str,
+    cat: &'static str,
+    start_ns: u64,
+    armed: bool,
+}
+
+#[cfg(feature = "obs-trace")]
+impl Drop for Span {
+    fn drop(&mut self) {
+        if self.armed {
+            let end = now_ns();
+            record_complete(
+                self.name,
+                self.cat,
+                self.start_ns,
+                end.saturating_sub(self.start_ns),
+            );
+        }
+    }
+}
+
+/// Opens a span in category `cat`; it records itself when dropped.
+#[cfg(feature = "obs-trace")]
+#[inline]
+pub fn span_cat(name: &'static str, cat: &'static str) -> Span {
+    let armed = is_enabled();
+    Span {
+        name,
+        cat,
+        start_ns: if armed { now_ns() } else { 0 },
+        armed,
+    }
+}
+
+/// An inert span: the crate was built without `obs-trace`, so every
+/// instrumentation site folds to nothing.
+#[cfg(not(feature = "obs-trace"))]
+#[derive(Clone, Copy)]
+pub struct Span;
+
+/// No-op without the `obs-trace` feature.
+#[cfg(not(feature = "obs-trace"))]
+#[inline(always)]
+pub fn span_cat(_name: &'static str, _cat: &'static str) -> Span {
+    Span
+}
+
+/// Opens a span in the default category; see [`span_cat`].
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    span_cat(name, "task")
+}
+
+/// All currently retained events across every thread's ring, sorted by
+/// start time.
+pub fn events() -> Vec<TraceEvent> {
+    let rings: Vec<Arc<ThreadRing>> = tracer()
+        .rings
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone();
+    let mut out: Vec<TraceEvent> = Vec::new();
+    for r in rings {
+        out.extend(r.ring.lock().unwrap_or_else(|e| e.into_inner()).events());
+    }
+    out.sort_by_key(|e| e.start_ns);
+    out
+}
+
+/// Total events lost to ring wrap-around across all threads.
+pub fn total_dropped() -> u64 {
+    tracer()
+        .rings
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .map(|r| r.ring.lock().unwrap_or_else(|e| e.into_inner()).dropped())
+        .sum()
+}
+
+/// Empties every ring (thread registrations survive).
+pub fn clear() {
+    let rings: Vec<Arc<ThreadRing>> = tracer()
+        .rings
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone();
+    for r in rings {
+        r.ring.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+}
+
+/// Exports everything recorded so far as a Chrome `trace_event` JSON
+/// document (the `{"traceEvents": [...]}` object form): complete
+/// (`"ph": "X"`) events plus thread-name metadata, timestamps in
+/// microseconds as the format requires. Load it in `chrome://tracing`
+/// or Perfetto.
+pub fn chrome_trace_json() -> String {
+    let rings: Vec<Arc<ThreadRing>> = tracer()
+        .rings
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone();
+    let mut events: Vec<Json> = Vec::new();
+    let mut dropped = 0u64;
+    for r in &rings {
+        let ring = r.ring.lock().unwrap_or_else(|e| e.into_inner());
+        dropped += ring.dropped();
+        if ring.is_empty() {
+            continue;
+        }
+        events.push(Json::obj([
+            ("name", Json::from("thread_name")),
+            ("ph", Json::from("M")),
+            ("pid", Json::U64(1)),
+            ("tid", Json::U64(r.tid)),
+            ("args", Json::obj([("name", Json::from(r.label.as_str()))])),
+        ]));
+        for ev in ring.events() {
+            events.push(Json::obj([
+                ("name", Json::from(ev.name)),
+                ("cat", Json::from(ev.cat)),
+                ("ph", Json::from("X")),
+                ("ts", Json::F64(ev.start_ns as f64 / 1_000.0)),
+                ("dur", Json::F64(ev.dur_ns as f64 / 1_000.0)),
+                ("pid", Json::U64(1)),
+                ("tid", Json::U64(ev.tid)),
+            ]));
+        }
+    }
+    Json::obj([
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::from("ms")),
+        (
+            "otherData",
+            Json::obj([("dropped_events", Json::U64(dropped))]),
+        ),
+    ])
+    .render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_wraps_and_keeps_newest() {
+        let mut r = TraceRing::new(4);
+        for i in 0..10u64 {
+            r.push(TraceEvent {
+                name: "t",
+                cat: "test",
+                tid: 0,
+                start_ns: i,
+                dur_ns: 1,
+            });
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.recorded(), 10);
+        assert_eq!(r.dropped(), 6);
+        let starts: Vec<u64> = r.events().iter().map(|e| e.start_ns).collect();
+        assert_eq!(starts, vec![6, 7, 8, 9], "oldest events must be evicted");
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_below_capacity_preserves_order() {
+        let mut r = TraceRing::new(8);
+        for i in 0..3u64 {
+            r.push(TraceEvent {
+                name: "t",
+                cat: "test",
+                tid: 0,
+                start_ns: 10 - i,
+                dur_ns: 0,
+            });
+        }
+        let starts: Vec<u64> = r.events().iter().map(|e| e.start_ns).collect();
+        assert_eq!(starts, vec![10, 9, 8], "insertion order, not time order");
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_ring_is_rejected() {
+        let _ = TraceRing::new(0);
+    }
+
+    #[test]
+    fn recorded_events_export_as_chrome_trace() {
+        // One combined test: the collector is process-global, so
+        // splitting this into several #[test]s would race.
+        record_complete("alpha", "test", 100, 50);
+        record_complete("beta", "test", 200, 25);
+        let evs = events();
+        assert!(evs.iter().any(|e| e.name == "alpha"));
+        let doc = chrome_trace_json();
+        let parsed = crate::json::parse(&doc).expect("chrome trace is valid JSON");
+        let traced = parsed
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents array");
+        // Thread metadata + the two spans, at least.
+        assert!(traced.len() >= 3, "got {} events", traced.len());
+        assert!(traced.iter().any(|e| {
+            e.get("ph").and_then(Json::as_str) == Some("X")
+                && e.get("name").and_then(Json::as_str) == Some("alpha")
+        }));
+        assert!(traced
+            .iter()
+            .any(|e| e.get("ph").and_then(Json::as_str) == Some("M")));
+    }
+
+    #[cfg(feature = "obs-trace")]
+    #[test]
+    fn span_guard_records_only_when_enabled() {
+        // Also a single test for the same global-state reason.
+        disable();
+        clear();
+        {
+            let _s = span("disabled-span");
+        }
+        assert!(
+            !events().iter().any(|e| e.name == "disabled-span"),
+            "span recorded while disabled"
+        );
+        enable();
+        {
+            let _s = span_cat("enabled-span", "test");
+            std::hint::black_box(());
+        }
+        disable();
+        let evs = events();
+        let ev = evs
+            .iter()
+            .find(|e| e.name == "enabled-span")
+            .expect("span recorded while enabled");
+        assert_eq!(ev.cat, "test");
+    }
+}

@@ -64,4 +64,6 @@ pub use config::{BatchPolicy, EngineConfig};
 pub use engine::{StreamEngine, StreamEngineBuilder};
 pub use handle::{IngestError, IngestHandle, TryIngestError};
 pub use query::{analytics, QueryExecutor, QueryFn, QuerySpec};
-pub use stats::{EngineStats, LatencyHistogram, LatencySummary, StatsReport};
+pub use stats::{
+    EngineSnapshot, EngineStats, HistogramSnapshot, LatencyHistogram, LatencySummary, StatsReport,
+};

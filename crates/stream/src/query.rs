@@ -128,6 +128,7 @@ impl<E: EdgeSet> QueryExecutor<E> {
     /// records each analytic's pure run time on top of it.
     pub fn run_once(&self) -> Vec<u64> {
         self.with_pool(|| {
+            let _round = obs::trace::span_cat("query.round", "stream");
             let snapshot = self.vg.acquire();
             if let Some(t) = &self.tracker {
                 if !t.is_valid(snapshot.num_edges()) {
@@ -136,9 +137,15 @@ impl<E: EdgeSet> QueryExecutor<E> {
                         .fetch_add(1, Ordering::Relaxed);
                 }
             }
-            let flat = FlatSnapshot::new(&snapshot);
+            let flat = {
+                let _s = obs::trace::span_cat("query.flatten", "stream");
+                FlatSnapshot::new(&snapshot)
+            };
             let mut digests = Vec::with_capacity(self.queries.len());
             for q in &self.queries {
+                // One span per analytic, named after it ("bfs", "cc",
+                // …) so Perfetto's aggregation groups by query.
+                let _s = obs::trace::span_cat(q.name, "query");
                 let t0 = Instant::now();
                 digests.push((q.run)(&flat));
                 self.stats.query.record(t0.elapsed());

@@ -1,184 +1,176 @@
-//! Engine observability: lock-free latency histograms and the
-//! end-of-run report.
+//! Engine observability: the engine's metrics live in an
+//! [`obs::Registry`] (one per engine), so the same counters and
+//! histograms the end-of-run [`StatsReport`] folds up are also
+//! nameable, snapshotable at any instant, and renderable as text or
+//! JSON by generic observability tooling — without the engine having
+//! to know who is watching.
+//!
+//! [`LatencyHistogram`] and [`LatencySummary`] moved to `aspen-obs`
+//! (`obs::hist`) and are re-exported here so existing callers compile
+//! unchanged. The struct-of-fields shape of [`EngineStats`] is also
+//! unchanged: fields are now [`Arc`] handles into the registry, and
+//! [`obs::Counter`] mirrors the `AtomicU64` `fetch_add`/`load` calls
+//! the writer and query paths were already making.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+pub use obs::{HistogramSnapshot, LatencyHistogram, LatencySummary};
 
-const BUCKETS: usize = 64;
-
-/// A lock-free log₂-bucketed latency histogram.
-///
-/// Recording is a single atomic increment into the bucket
-/// `⌊log₂(nanos)⌋`, so writer- and query-thread instrumentation costs
-/// nanoseconds. Quantiles are read back at bucket resolution (within a
-/// factor of 2), which is what latency reporting needs — the paper
-/// reports latency distributions over orders of magnitude, not
-/// nanosecond-exact percentiles.
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; BUCKETS],
-    count: AtomicU64,
-    sum_nanos: AtomicU64,
-    max_nanos: AtomicU64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            count: AtomicU64::new(0),
-            sum_nanos: AtomicU64::new(0),
-            max_nanos: AtomicU64::new(0),
-        }
-    }
-}
-
-impl LatencyHistogram {
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Records one measurement. Thread-safe, wait-free.
-    pub fn record(&self, d: Duration) {
-        let nanos = d.as_nanos().min(u128::from(u64::MAX)) as u64;
-        let idx = (64 - nanos.leading_zeros()).saturating_sub(1) as usize;
-        self.buckets[idx.min(BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
-        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
-    }
-
-    /// Number of recorded measurements.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// Mean of all measurements, or zero when empty.
-    pub fn mean(&self) -> Duration {
-        let n = self.count();
-        if n == 0 {
-            return Duration::ZERO;
-        }
-        Duration::from_nanos(self.sum_nanos.load(Ordering::Relaxed) / n)
-    }
-
-    /// Largest recorded measurement.
-    pub fn max(&self) -> Duration {
-        Duration::from_nanos(self.max_nanos.load(Ordering::Relaxed))
-    }
-
-    /// The `q`-quantile (`0.0 ..= 1.0`) at bucket resolution: the
-    /// geometric midpoint of the bucket holding the `⌈q·n⌉`-th
-    /// measurement. Zero when empty.
-    pub fn quantile(&self, q: f64) -> Duration {
-        let n = self.count();
-        if n == 0 {
-            return Duration::ZERO;
-        }
-        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
-        let mut seen = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= rank {
-                // Bucket i holds values in [2^i, 2^(i+1)); report the
-                // geometric midpoint, √2·2^i, capped at the observed
-                // maximum so no quantile ever exceeds `max()`.
-                let lo = 1u128 << i;
-                let mid = Duration::from_nanos((lo as f64 * std::f64::consts::SQRT_2) as u64);
-                return mid.min(self.max());
-            }
-        }
-        self.max()
-    }
-
-    /// Snapshot of count/mean/p50/p95/p99/max for reporting.
-    pub fn summarize(&self) -> LatencySummary {
-        LatencySummary {
-            count: self.count(),
-            mean: self.mean(),
-            p50: self.quantile(0.50),
-            p95: self.quantile(0.95),
-            p99: self.quantile(0.99),
-            max: self.max(),
-        }
-    }
-}
-
-/// Point-in-time percentile summary of a [`LatencyHistogram`].
-#[derive(Clone, Copy, Debug, Default)]
-pub struct LatencySummary {
-    pub count: u64,
-    pub mean: Duration,
-    pub p50: Duration,
-    pub p95: Duration,
-    pub p99: Duration,
-    pub max: Duration,
-}
-
-impl std::fmt::Display for LatencySummary {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "n={} mean={:.1?} p50={:.1?} p95={:.1?} p99={:.1?} max={:.1?}",
-            self.count, self.mean, self.p50, self.p95, self.p99, self.max
-        )
-    }
-}
+use obs::{Counter, Registry};
+use std::sync::Arc;
 
 /// Shared counters and histograms recorded by the writer loop and the
 /// query executor while the engine runs.
 ///
 /// All members are updated with relaxed atomics; read them at any time
-/// for a live view, or let [`StreamEngine::finish`] fold them into a
-/// [`StatsReport`].
+/// for a live view, take a [`snapshot`](Self::snapshot) for periodic
+/// delta reporting, or let [`StreamEngine::finish`] fold them into a
+/// [`StatsReport`]. Every metric is registered by name (under the
+/// `stream.` prefix) in this engine's [`registry`](Self::registry).
 ///
 /// [`StreamEngine::finish`]: crate::StreamEngine::finish
-#[derive(Default)]
 pub struct EngineStats {
+    registry: Arc<Registry>,
     /// Latency of applying one batch run (compute + install), per the
     /// core's [`aspen::ApplyTiming`] hook.
-    pub batch_apply: LatencyHistogram,
+    pub batch_apply: Arc<LatencyHistogram>,
     /// End-to-end update latency: enqueue at the producer → visible in
     /// an installed version.
-    pub update_e2e: LatencyHistogram,
+    pub update_e2e: Arc<LatencyHistogram>,
     /// Latency of one registered query execution (including flat
     /// snapshot construction).
-    pub query: LatencyHistogram,
+    pub query: Arc<LatencyHistogram>,
     /// Batches applied by the writer loop.
-    pub batches_applied: AtomicU64,
+    pub batches_applied: Arc<Counter>,
     /// Undirected updates consumed from the channel (raw envelope
     /// count, before coalescing).
-    pub updates_applied: AtomicU64,
+    pub updates_applied: Arc<Counter>,
     /// **Net** insert operations applied after per-batch coalescing
     /// (last update per edge wins); can be less than the raw insert
     /// envelope count when a batch touches an edge more than once.
-    pub inserts_applied: AtomicU64,
+    pub inserts_applied: Arc<Counter>,
     /// **Net** delete operations applied after per-batch coalescing.
-    pub deletes_applied: AtomicU64,
+    pub deletes_applied: Arc<Counter>,
     /// Query executions completed across all query threads.
-    pub queries_run: AtomicU64,
+    pub queries_run: Arc<Counter>,
     /// Snapshots a query thread observed whose edge count did not match
     /// any installed version — **must stay zero**; a nonzero value
     /// means snapshot isolation is broken.
-    pub consistency_violations: AtomicU64,
+    pub consistency_violations: Arc<Counter>,
+}
+
+impl Default for EngineStats {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl EngineStats {
+    /// Stats backed by a fresh private registry.
     pub fn new() -> Self {
-        Self::default()
+        Self::on_registry(Arc::new(Registry::new()))
+    }
+
+    /// Stats registered into an existing registry (e.g. a process-wide
+    /// one a `/stats` endpoint serves). Metric names are fixed, so two
+    /// engines must not share one registry.
+    pub fn on_registry(registry: Arc<Registry>) -> Self {
+        EngineStats {
+            batch_apply: registry.histogram("stream.batch_apply"),
+            update_e2e: registry.histogram("stream.update_e2e"),
+            query: registry.histogram("stream.query"),
+            batches_applied: registry.counter("stream.batches_applied"),
+            updates_applied: registry.counter("stream.updates_applied"),
+            inserts_applied: registry.counter("stream.inserts_applied"),
+            deletes_applied: registry.counter("stream.deletes_applied"),
+            queries_run: registry.counter("stream.queries_run"),
+            consistency_violations: registry.counter("stream.consistency_violations"),
+            registry,
+        }
+    }
+
+    /// The registry holding this engine's metrics, for generic
+    /// rendering ([`obs::Registry::snapshot`] → `render_text()` /
+    /// `to_json()`) or for registering additional app-level metrics
+    /// alongside the engine's.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Coherent point-in-time copy of every counter and histogram.
+    /// Cheap enough for periodic polling; difference two snapshots
+    /// with [`EngineSnapshot::delta_since`] for an interval report.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            batches_applied: self.batches_applied.get(),
+            updates_applied: self.updates_applied.get(),
+            inserts_applied: self.inserts_applied.get(),
+            deletes_applied: self.deletes_applied.get(),
+            queries_run: self.queries_run.get(),
+            consistency_violations: self.consistency_violations.get(),
+            batch_apply: self.batch_apply.snapshot(),
+            update_e2e: self.update_e2e.snapshot(),
+            query: self.query.snapshot(),
+        }
     }
 
     /// Folds the live counters into an owned report.
     pub fn report(&self) -> StatsReport {
+        self.snapshot().report()
+    }
+}
+
+/// A point-in-time copy of all [`EngineStats`] values, including full
+/// histogram bucket contents — so two snapshots can be differenced
+/// into an interval-exact [`StatsReport`] (the periodic-reporting
+/// building block: poll, delta, emit, repeat).
+#[derive(Clone, Debug, Default)]
+pub struct EngineSnapshot {
+    pub batches_applied: u64,
+    pub updates_applied: u64,
+    pub inserts_applied: u64,
+    pub deletes_applied: u64,
+    pub queries_run: u64,
+    pub consistency_violations: u64,
+    pub batch_apply: HistogramSnapshot,
+    pub update_e2e: HistogramSnapshot,
+    pub query: HistogramSnapshot,
+}
+
+impl EngineSnapshot {
+    /// Cumulative report as of this snapshot.
+    pub fn report(&self) -> StatsReport {
         StatsReport {
-            batches_applied: self.batches_applied.load(Ordering::Relaxed),
-            updates_applied: self.updates_applied.load(Ordering::Relaxed),
-            inserts_applied: self.inserts_applied.load(Ordering::Relaxed),
-            deletes_applied: self.deletes_applied.load(Ordering::Relaxed),
-            queries_run: self.queries_run.load(Ordering::Relaxed),
-            consistency_violations: self.consistency_violations.load(Ordering::Relaxed),
+            batches_applied: self.batches_applied,
+            updates_applied: self.updates_applied,
+            inserts_applied: self.inserts_applied,
+            deletes_applied: self.deletes_applied,
+            queries_run: self.queries_run,
+            consistency_violations: self.consistency_violations,
             batch_apply: self.batch_apply.summarize(),
             update_e2e: self.update_e2e.summarize(),
             query: self.query.summarize(),
+        }
+    }
+
+    /// Report covering only the interval `earlier → self`. Counters
+    /// and histogram counts/quantiles/means are interval-exact; a
+    /// histogram's `max` is the cumulative maximum (an upper bound for
+    /// the interval — see [`HistogramSnapshot::delta_since`]).
+    pub fn delta_since(&self, earlier: &EngineSnapshot) -> StatsReport {
+        StatsReport {
+            batches_applied: self.batches_applied.saturating_sub(earlier.batches_applied),
+            updates_applied: self.updates_applied.saturating_sub(earlier.updates_applied),
+            inserts_applied: self.inserts_applied.saturating_sub(earlier.inserts_applied),
+            deletes_applied: self.deletes_applied.saturating_sub(earlier.deletes_applied),
+            queries_run: self.queries_run.saturating_sub(earlier.queries_run),
+            consistency_violations: self
+                .consistency_violations
+                .saturating_sub(earlier.consistency_violations),
+            batch_apply: self
+                .batch_apply
+                .delta_since(&earlier.batch_apply)
+                .summarize(),
+            update_e2e: self.update_e2e.delta_since(&earlier.update_e2e).summarize(),
+            query: self.query.delta_since(&earlier.query).summarize(),
         }
     }
 }
@@ -239,6 +231,8 @@ impl std::fmt::Display for StatsReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::Ordering;
+    use std::time::Duration;
 
     #[test]
     fn empty_histogram_is_zeroed() {
@@ -306,5 +300,60 @@ mod tests {
         let text = r.to_string();
         assert!(text.contains("batch apply"), "{text}");
         assert!(!text.contains("VIOLATIONS"), "{text}");
+    }
+
+    #[test]
+    fn stats_are_registered_by_name() {
+        let s = EngineStats::new();
+        s.queries_run.inc();
+        s.query.record(Duration::from_micros(7));
+        let snap = s.registry().snapshot();
+        assert_eq!(snap.counter("stream.queries_run"), Some(1));
+        let h = snap
+            .histogram("stream.query")
+            .expect("histogram registered");
+        assert_eq!(h.count(), 1);
+        // The generic renderers see the engine metrics too.
+        assert!(snap.render_text().contains("stream.batches_applied"));
+        assert!(obs::json::parse(&snap.to_json().render()).is_ok());
+    }
+
+    #[test]
+    fn snapshot_delta_isolates_the_interval() {
+        let s = EngineStats::new();
+        s.updates_applied.add(10);
+        s.batches_applied.inc();
+        s.update_e2e.record(Duration::from_micros(10));
+        let first = s.snapshot();
+
+        s.updates_applied.add(5);
+        s.batches_applied.inc();
+        for _ in 0..3 {
+            s.update_e2e.record(Duration::from_millis(2));
+        }
+        let second = s.snapshot();
+
+        let delta = second.delta_since(&first);
+        assert_eq!(delta.updates_applied, 5);
+        assert_eq!(delta.batches_applied, 1);
+        assert_eq!(delta.update_e2e.count, 3);
+        // Interval mean reflects only the three 2 ms samples, not the
+        // earlier 10 µs one.
+        assert!(delta.update_e2e.mean >= Duration::from_millis(1));
+        assert!((delta.mean_batch_size() - 5.0).abs() < 1e-9);
+
+        // Cumulative report is unaffected.
+        assert_eq!(second.report().updates_applied, 15);
+        assert_eq!(second.report().update_e2e.count, 4);
+    }
+
+    #[test]
+    fn snapshot_delta_against_empty_is_cumulative() {
+        let s = EngineStats::new();
+        s.queries_run.add(3);
+        s.query.record(Duration::from_micros(1));
+        let delta = s.snapshot().delta_since(&EngineSnapshot::default());
+        assert_eq!(delta.queries_run, 3);
+        assert_eq!(delta.query.count, 1);
     }
 }

@@ -173,24 +173,36 @@ fn flush<E: EdgeSet>(
     if batch.is_empty() {
         return;
     }
-    let net = coalesce(batch);
-    let timing = vg.update_with_timed(|g| {
-        let mut next = None;
-        if !net.inserts.is_empty() {
-            next = Some(g.insert_edges(&aspen::symmetrize(&net.inserts)));
-        }
-        if !net.deletes.is_empty() {
-            let base = next.as_ref().unwrap_or(g);
-            next = Some(base.delete_edges(&aspen::symmetrize(&net.deletes)));
-        }
-        let next = next.expect("nonempty batch nets to at least one op");
-        if let Some(t) = tracker {
-            // Register before install: a reader that acquires the new
-            // version immediately already finds its count valid.
-            t.register(next.num_edges());
-        }
-        next
-    });
+    // Phase spans (no-ops unless the `obs-trace` feature is on and
+    // tracing is enabled): the whole flush, with coalesce and the
+    // version install as nested sub-phases — the classic question a
+    // trace answers here is how much of a slow flush was tree work
+    // versus batch preprocessing.
+    let _flush = obs::trace::span_cat("batch.flush", "stream");
+    let net = {
+        let _s = obs::trace::span_cat("batch.coalesce", "stream");
+        coalesce(batch)
+    };
+    let timing = {
+        let _s = obs::trace::span_cat("batch.apply", "stream");
+        vg.update_with_timed(|g| {
+            let mut next = None;
+            if !net.inserts.is_empty() {
+                next = Some(g.insert_edges(&aspen::symmetrize(&net.inserts)));
+            }
+            if !net.deletes.is_empty() {
+                let base = next.as_ref().unwrap_or(g);
+                next = Some(base.delete_edges(&aspen::symmetrize(&net.deletes)));
+            }
+            let next = next.expect("nonempty batch nets to at least one op");
+            if let Some(t) = tracker {
+                // Register before install: a reader that acquires the
+                // new version immediately already finds its count valid.
+                t.register(next.num_edges());
+            }
+            next
+        })
+    };
 
     // The whole batch became visible at the install; settle
     // end-to-end latencies for every enqueued update it carried.

@@ -76,6 +76,7 @@ impl Splitter {
             // Stolen: thieves are idle-hungry, re-arm the full budget.
             self.origin = here;
             self.splits = pool::current_num_threads().max(self.splits);
+            pool::note_splitter_reset();
             true
         } else if self.splits > 0 {
             self.splits /= 2;

@@ -22,7 +22,13 @@
 //!   stolen jobs run *on that pool's workers* (each worker resolves
 //!   its own registry);
 //! * the default pool width honours the `ASPEN_THREADS` environment
-//!   variable, falling back to the machine parallelism.
+//!   variable, falling back to the machine parallelism;
+//! * **runtime introspection** (beyond-rayon extension): always-on
+//!   per-worker scheduler counters behind
+//!   [`ThreadPool::runtime_stats`] / [`current_runtime_stats`], and —
+//!   under the `obs-trace` feature — a task-span tracer that records
+//!   every pool-side job execution into `aspen-obs`'s per-thread ring
+//!   buffers for Chrome `trace_event` export.
 //!
 //! The API surface matches what the workspace uses so that swapping
 //! the real crate back in is a one-line `Cargo.toml` change. The
@@ -38,7 +44,8 @@ pub use iter::{
     ParallelSlice, ParallelSliceMut,
 };
 pub use pool::{
-    current_num_threads, join, scope, Scope, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder,
+    current_num_threads, current_runtime_stats, join, scope, RuntimeStats, Scope, ThreadPool,
+    ThreadPoolBuildError, ThreadPoolBuilder, WorkerRuntimeStats,
 };
 
 pub mod prelude {
@@ -345,6 +352,59 @@ mod tests {
             1,
             "zip-discarded tail leaked or double-dropped"
         );
+    }
+
+    #[test]
+    fn runtime_stats_count_scheduler_activity() {
+        let p = pool(4);
+        // A steal can in principle lose every race on a loaded CI box;
+        // re-run the workload until one lands (first pass in practice).
+        for _ in 0..20 {
+            p.install(|| {
+                // Keep mapped values small: 2M full-width values would
+                // overflow the u64 sum (which panics in debug builds).
+                let s: u64 = (0..2_000_000u64)
+                    .into_par_iter()
+                    .map(|x| x.wrapping_mul(0x9E3779B97F4A7C15) >> 56)
+                    .sum();
+                std::hint::black_box(s);
+            });
+            if p.runtime_stats().totals().steals > 0 {
+                break;
+            }
+        }
+        let stats = p.runtime_stats();
+        assert_eq!(stats.workers.len(), 4);
+        let t = stats.totals();
+        assert!(t.forks > 0, "no forks recorded: {stats}");
+        assert!(t.jobs > 0, "no job executions recorded: {stats}");
+        assert!(t.steals > 0, "no steals recorded on a 4-wide pool: {stats}");
+        assert!(
+            t.splitter_resets > 0,
+            "steals happened but no splitter reset: {stats}"
+        );
+        assert!(stats.injected > 0, "external join roots not counted");
+        assert!(t.depth_samples > 0, "deque depth never sampled");
+        assert_eq!(
+            t.jobs,
+            stats.workers.iter().map(|w| w.jobs).sum::<u64>(),
+            "totals must sum the per-worker rows"
+        );
+        // The Display table renders one row per worker plus totals.
+        let rendered = stats.to_string();
+        assert!(rendered.contains("steals") && rendered.contains("total"));
+    }
+
+    #[test]
+    fn runtime_stats_are_cumulative_and_monotone() {
+        let p = pool(2);
+        p.install(|| (0..100_000u64).into_par_iter().sum::<u64>());
+        let before = p.runtime_stats().totals();
+        p.install(|| (0..100_000u64).into_par_iter().sum::<u64>());
+        let after = p.runtime_stats().totals();
+        assert!(after.forks >= before.forks);
+        assert!(after.jobs >= before.jobs);
+        assert!(after.steals >= before.steals);
     }
 
     #[test]

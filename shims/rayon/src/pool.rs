@@ -35,9 +35,170 @@ use std::cell::{Cell, RefCell, UnsafeCell};
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Runtime metrics
+// ---------------------------------------------------------------------------
+
+/// Local-deque depth is sampled on every `DEPTH_SAMPLE_MASK + 1`-th
+/// fork rather than every fork: the depth read walks the deque's
+/// `bottom`/`top` pair, and sampling keeps the per-fork overhead to a
+/// single relaxed increment plus a branch.
+const DEPTH_SAMPLE_MASK: u64 = 63;
+
+/// Always-on per-worker scheduler counters, one cache line per worker
+/// so the relaxed increments on the fork/steal hot paths never
+/// false-share. Written only by scheduler code; read (racily, which is
+/// fine for monitoring) by [`Registry::runtime_stats`].
+#[repr(align(128))]
+#[derive(Default)]
+struct WorkerMetrics {
+    /// Type-erased jobs executed on this worker (stolen `join` halves,
+    /// scope spawns, injected roots) — the un-stolen `join` fast path
+    /// runs inline and is *not* a job execution.
+    jobs: AtomicU64,
+    /// Jobs pushed onto this worker's own deque (`join` forks and
+    /// worker-side scope spawns).
+    forks: AtomicU64,
+    /// Successful steals *by* this worker (victim attribution would
+    /// need a cross-thread write on the victim's line).
+    steals: AtomicU64,
+    /// Steal attempts that hit CAS contention ([`Steal::Retry`]).
+    steal_retries: AtomicU64,
+    /// Adaptive-splitter budget resets observed on this worker — each
+    /// one is a task that detected it was stolen (`crate::iter`).
+    splitter_resets: AtomicU64,
+    /// Times this worker went to sleep on the idle condvar.
+    sleeps: AtomicU64,
+    depth_sum: AtomicU64,
+    depth_samples: AtomicU64,
+    depth_max: AtomicU64,
+}
+
+impl WorkerMetrics {
+    fn sample_depth(&self, depth: u64) {
+        self.depth_sum.fetch_add(depth, Ordering::Relaxed);
+        self.depth_samples.fetch_add(1, Ordering::Relaxed);
+        self.depth_max.fetch_max(depth, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of one worker's scheduler counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct WorkerRuntimeStats {
+    pub jobs: u64,
+    pub forks: u64,
+    pub steals: u64,
+    pub steal_retries: u64,
+    pub splitter_resets: u64,
+    pub sleeps: u64,
+    /// Number of deque-depth samples behind [`depth_mean`](Self::depth_mean)
+    /// (one sample per 64 forks).
+    pub depth_samples: u64,
+    pub depth_mean: f64,
+    pub depth_max: u64,
+}
+
+impl WorkerRuntimeStats {
+    fn read(m: &WorkerMetrics) -> WorkerRuntimeStats {
+        let depth_sum = m.depth_sum.load(Ordering::Relaxed);
+        let depth_samples = m.depth_samples.load(Ordering::Relaxed);
+        WorkerRuntimeStats {
+            jobs: m.jobs.load(Ordering::Relaxed),
+            forks: m.forks.load(Ordering::Relaxed),
+            steals: m.steals.load(Ordering::Relaxed),
+            steal_retries: m.steal_retries.load(Ordering::Relaxed),
+            splitter_resets: m.splitter_resets.load(Ordering::Relaxed),
+            sleeps: m.sleeps.load(Ordering::Relaxed),
+            depth_samples,
+            depth_mean: if depth_samples == 0 {
+                0.0
+            } else {
+                depth_sum as f64 / depth_samples as f64
+            },
+            depth_max: m.depth_max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A snapshot of a pool's scheduler counters: one row per worker plus
+/// the pool-wide injector/wakeup counts. Obtained from
+/// [`ThreadPool::runtime_stats`] or [`current_runtime_stats`]; values
+/// are cumulative since pool creation, so rates come from differencing
+/// two snapshots.
+#[derive(Clone, Debug, Default)]
+pub struct RuntimeStats {
+    pub workers: Vec<WorkerRuntimeStats>,
+    /// Jobs submitted through the external injector queue (roots of
+    /// `join`/`scope` calls made from non-pool threads).
+    pub injected: u64,
+    /// Times a submission found sleepers and rang the idle condvar.
+    pub wakes: u64,
+}
+
+impl RuntimeStats {
+    /// Sums the per-worker rows (depth mean weighted by sample count).
+    pub fn totals(&self) -> WorkerRuntimeStats {
+        let mut t = WorkerRuntimeStats::default();
+        let mut depth_sum = 0.0;
+        for w in &self.workers {
+            t.jobs += w.jobs;
+            t.forks += w.forks;
+            t.steals += w.steals;
+            t.steal_retries += w.steal_retries;
+            t.splitter_resets += w.splitter_resets;
+            t.sleeps += w.sleeps;
+            t.depth_samples += w.depth_samples;
+            depth_sum += w.depth_mean * w.depth_samples as f64;
+            t.depth_max = t.depth_max.max(w.depth_max);
+        }
+        if t.depth_samples > 0 {
+            t.depth_mean = depth_sum / t.depth_samples as f64;
+        }
+        t
+    }
+}
+
+impl std::fmt::Display for RuntimeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:>6} {:>10} {:>10} {:>8} {:>8} {:>7} {:>7} {:>10} {:>9}",
+            "worker",
+            "jobs",
+            "forks",
+            "steals",
+            "retries",
+            "resets",
+            "sleeps",
+            "depth-avg",
+            "depth-max"
+        )?;
+        let mut row = |label: &str, w: &WorkerRuntimeStats| {
+            writeln!(
+                f,
+                "{:>6} {:>10} {:>10} {:>8} {:>8} {:>7} {:>7} {:>10.2} {:>9}",
+                label,
+                w.jobs,
+                w.forks,
+                w.steals,
+                w.steal_retries,
+                w.splitter_resets,
+                w.sleeps,
+                w.depth_mean,
+                w.depth_max
+            )
+        };
+        for (i, w) in self.workers.iter().enumerate() {
+            row(&i.to_string(), w)?;
+        }
+        row("total", &self.totals())?;
+        write!(f, "injected: {}   wakes: {}", self.injected, self.wakes)
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Jobs
@@ -310,6 +471,10 @@ pub(crate) struct Registry {
     sleep_cv: Condvar,
     terminate: AtomicBool,
     next_victim: AtomicUsize,
+    /// One padded counter block per worker (indexed like `deques`).
+    metrics: Vec<WorkerMetrics>,
+    injected: AtomicU64,
+    wakes: AtomicU64,
 }
 
 /// Above this many pending jobs in a worker's local deque, `join` runs
@@ -328,6 +493,9 @@ impl Registry {
             sleep_cv: Condvar::new(),
             terminate: AtomicBool::new(false),
             next_victim: AtomicUsize::new(0),
+            metrics: (0..n).map(|_| WorkerMetrics::default()).collect(),
+            injected: AtomicU64::new(0),
+            wakes: AtomicU64::new(0),
         });
         let handles = (0..n)
             .map(|index| {
@@ -351,7 +519,12 @@ impl Registry {
     /// call sites — `join_on_worker` and `Scope::spawn` on a worker —
     /// run on the owning thread by construction.
     fn push_local(&self, index: usize, job: JobRef) {
+        let m = &self.metrics[index];
+        let forks = m.forks.fetch_add(1, Ordering::Relaxed);
         self.deques[index].push(job);
+        if forks & DEPTH_SAMPLE_MASK == 0 {
+            m.sample_depth(self.deques[index].len() as u64);
+        }
         self.notify();
     }
 
@@ -361,6 +534,7 @@ impl Registry {
     }
 
     fn inject(&self, job: JobRef) {
+        self.injected.fetch_add(1, Ordering::Relaxed);
         self.injector
             .lock()
             .unwrap_or_else(|e| e.into_inner())
@@ -375,6 +549,7 @@ impl Registry {
         // two sides always sees the other.
         std::sync::atomic::fence(Ordering::SeqCst);
         if self.sleepers.load(Ordering::SeqCst) > 0 {
+            self.wakes.fetch_add(1, Ordering::Relaxed);
             let _g = self.sleep_lock.lock().unwrap_or_else(|e| e.into_inner());
             self.sleep_cv.notify_all();
         }
@@ -426,8 +601,20 @@ impl Registry {
                     continue;
                 }
                 match self.deques[v].steal() {
-                    Steal::Success(job) => return Some(job),
-                    Steal::Retry => contended = true,
+                    Steal::Success(job) => {
+                        if let Some(i) = index {
+                            self.metrics[i].steals.fetch_add(1, Ordering::Relaxed);
+                        }
+                        return Some(job);
+                    }
+                    Steal::Retry => {
+                        if let Some(i) = index {
+                            self.metrics[i]
+                                .steal_retries
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                        contended = true;
+                    }
                     Steal::Empty => {}
                 }
             }
@@ -459,7 +646,7 @@ impl Registry {
     /// cannot hold until the worker has reached `wait_timeout` and
     /// released it — or its deque publish is fence-ordered before the
     /// re-check and gets seen there.
-    fn sleep(&self) {
+    fn sleep(&self, index: usize) {
         let g = self.sleep_lock.lock().unwrap_or_else(|e| e.into_inner());
         if self.terminate.load(Ordering::Acquire) {
             return;
@@ -470,6 +657,7 @@ impl Registry {
             self.sleepers.fetch_sub(1, Ordering::SeqCst);
             return;
         }
+        self.metrics[index].sleeps.fetch_add(1, Ordering::Relaxed);
         let _woken = match self.sleep_cv.wait_timeout(g, Duration::from_millis(100)) {
             Ok((g, _)) => g,
             Err(e) => e.into_inner().0,
@@ -485,7 +673,7 @@ impl Registry {
         let mut idle_spins = 0u32;
         while !probe() {
             if let Some(job) = self.find_work(Some(index)) {
-                unsafe { job.execute() };
+                unsafe { self.execute_job(index, job) };
                 idle_spins = 0;
             } else if idle_spins < 64 {
                 std::hint::spin_loop();
@@ -493,6 +681,30 @@ impl Registry {
             } else {
                 std::thread::yield_now();
             }
+        }
+    }
+
+    /// Runs a claimed job on worker `index`, counting it and (under
+    /// the `obs-trace` feature) recording a task span. Every pool-side
+    /// `JobRef::execute` goes through here; the span call is a
+    /// zero-sized no-op when the feature is off and a single relaxed
+    /// load when it is compiled in but tracing is not enabled.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`JobRef::execute`].
+    unsafe fn execute_job(&self, index: usize, job: JobRef) {
+        self.metrics[index].jobs.fetch_add(1, Ordering::Relaxed);
+        let _span = obs::trace::span_cat("job", "runtime");
+        job.execute();
+    }
+
+    /// Point-in-time copy of the pool's scheduler counters.
+    fn runtime_stats(&self) -> RuntimeStats {
+        RuntimeStats {
+            workers: self.metrics.iter().map(WorkerRuntimeStats::read).collect(),
+            injected: self.injected.load(Ordering::Relaxed),
+            wakes: self.wakes.load(Ordering::Relaxed),
         }
     }
 }
@@ -506,8 +718,8 @@ fn worker_main(registry: Arc<Registry>, index: usize) {
     while !registry.terminate.load(Ordering::Acquire) {
         match registry.find_work(Some(index)) {
             // Job execution never unwinds: panics are captured inside.
-            Some(job) => unsafe { job.execute() },
-            None => registry.sleep(),
+            Some(job) => unsafe { registry.execute_job(index, job) },
+            None => registry.sleep(index),
         }
     }
 }
@@ -573,6 +785,25 @@ fn current_registry() -> Arc<Registry> {
 /// The number of worker threads parallel work on this thread will use.
 pub fn current_num_threads() -> usize {
     current_registry().num_threads()
+}
+
+/// Scheduler counters of the pool the current thread's parallel work
+/// routes to (the worker's own pool on a pool thread, else the
+/// innermost [`ThreadPool::install`], else the global pool).
+pub fn current_runtime_stats() -> RuntimeStats {
+    current_registry().runtime_stats()
+}
+
+/// Called by the adaptive splitter (`crate::iter`) when a task detects
+/// it was stolen and re-arms its split budget. Attributed to the
+/// worker the reset happened *on* (the thief); a no-op off-pool.
+pub(crate) fn note_splitter_reset() {
+    if let Some(w) = WORKER.get() {
+        let registry = unsafe { &*w.registry };
+        registry.metrics[w.index]
+            .splitter_resets
+            .fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// Cheap identity of the current execution context: `(registry, worker
@@ -651,7 +882,7 @@ fn reclaim_or_wait(
         match registry.pop_local(index) {
             Some(job) if job.same_job(job_ref) => return true,
             // A scope job pushed above `b`: run it and keep popping.
-            Some(job) => unsafe { job.execute() },
+            Some(job) => unsafe { registry.execute_job(index, job) },
             None => {
                 registry.wait_until(index, probe);
                 return false;
@@ -896,6 +1127,15 @@ impl ThreadPool {
     /// This pool's worker count.
     pub fn current_num_threads(&self) -> usize {
         self.registry.num_threads()
+    }
+
+    /// Point-in-time copy of this pool's scheduler counters: per-worker
+    /// jobs/forks/steals/steal-retries/splitter-resets/sleeps and
+    /// sampled deque depth, plus pool-wide injection and wakeup counts.
+    /// Cumulative since pool creation — difference two snapshots for an
+    /// interval view. Beyond-rayon extension (see `shims/README.md`).
+    pub fn runtime_stats(&self) -> RuntimeStats {
+        self.registry.runtime_stats()
     }
 }
 

@@ -20,6 +20,7 @@
 //! | [`graphgen`] | `aspen-graphgen` | rMAT / Erdős–Rényi / update streams |
 //! | [`ptree`] | `aspen-ptree` | purely-functional treaps (PAM-equivalent) |
 //! | [`encoder`] | `aspen-encoder` | difference encoding + byte codes |
+//! | [`obs`] | `aspen-obs` | metrics registry, latency histograms, task tracing, JSON |
 //! | [`parlib`] | `parlib` | scans, packs, atomics, hashing |
 //!
 //! ## Quick start
@@ -48,6 +49,7 @@ pub use baselines;
 pub use ctree;
 pub use encoder;
 pub use graphgen;
+pub use obs;
 pub use parlib;
 pub use ptree;
 pub use stream;
