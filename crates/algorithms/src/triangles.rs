@@ -12,6 +12,11 @@ use aspen::GraphView;
 use rayon::prelude::*;
 
 /// Counts triangles in an undirected (symmetric) graph.
+///
+/// `u`'s adjacency list is materialized once and reused across all its
+/// edges; each partner list is *streamed* through the compressed-chunk
+/// decoder (`for_each_neighbor_until`), merging against the slice with
+/// early exit — no per-edge allocation.
 pub fn triangle_count<G: GraphView>(graph: &G) -> u64 {
     let n = graph.id_bound() as u32;
     (0..n)
@@ -20,22 +25,23 @@ pub fn triangle_count<G: GraphView>(graph: &G) -> u64 {
             let nu = graph.neighbors(u);
             let mut local = 0u64;
             for &v in nu.iter().filter(|&&v| v > u) {
-                let nv = graph.neighbors(v);
                 // merge-count common neighbors w with w > v
-                let (mut i, mut j) = (0usize, 0usize);
-                while i < nu.len() && j < nv.len() {
-                    match nu[i].cmp(&nv[j]) {
-                        std::cmp::Ordering::Less => i += 1,
-                        std::cmp::Ordering::Greater => j += 1,
-                        std::cmp::Ordering::Equal => {
-                            if nu[i] > v {
-                                local += 1;
-                            }
-                            i += 1;
-                            j += 1;
-                        }
+                let mut i = 0usize;
+                graph.for_each_neighbor_until(v, &mut |w| {
+                    while i < nu.len() && nu[i] < w {
+                        i += 1;
                     }
-                }
+                    if i == nu.len() {
+                        return false;
+                    }
+                    if nu[i] == w {
+                        if w > v {
+                            local += 1;
+                        }
+                        i += 1;
+                    }
+                    true
+                });
             }
             local
         })
@@ -55,19 +61,21 @@ pub fn clustering_coefficients<G: GraphView>(graph: &G) -> Vec<f64> {
             }
             let mut tri = 0u64;
             for &u in &nv {
-                let nu = graph.neighbors(u);
-                let (mut i, mut j) = (0usize, 0usize);
-                while i < nv.len() && j < nu.len() {
-                    match nv[i].cmp(&nu[j]) {
-                        std::cmp::Ordering::Less => i += 1,
-                        std::cmp::Ordering::Greater => j += 1,
-                        std::cmp::Ordering::Equal => {
-                            tri += 1;
-                            i += 1;
-                            j += 1;
-                        }
+                // Stream u's list against the materialized nv slice.
+                let mut i = 0usize;
+                graph.for_each_neighbor_until(u, &mut |w| {
+                    while i < nv.len() && nv[i] < w {
+                        i += 1;
                     }
-                }
+                    if i == nv.len() {
+                        return false;
+                    }
+                    if nv[i] == w {
+                        tri += 1;
+                        i += 1;
+                    }
+                    true
+                });
             }
             // each wedge (u, w) counted once per ordered neighbor pair
             tri as f64 / (d as f64 * (d as f64 - 1.0))

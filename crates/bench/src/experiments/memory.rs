@@ -1,11 +1,16 @@
-//! Memory-accounting experiments: Tables 1, 2, 5 and 9.
+//! Memory-accounting experiments: Tables 1, 2, 5 and 9, plus the
+//! chunk-codec compression frontier (`repro memory`).
 
 use super::{build_aspen, hub};
 use crate::datasets::{default_b, Dataset};
 use crate::tables::Table;
 use crate::{fmt_bytes, fmt_secs, timed};
-use aspen::{ChunkParams, CompressedEdges, FlatSnapshot, Graph, PlainEdges, UncompressedEdges};
+use aspen::{
+    CTreeEdges, ChunkParams, CompressedEdges, FlatSnapshot, Graph, GraphView, PlainEdges,
+    UncompressedEdges,
+};
 use baselines::CompressedCsr;
+use ctree::{ChunkCodec, DeltaCodec, GammaCodec, IntervalCodec, PlainCodec};
 
 /// Table 1: statistics of the stand-in graphs.
 pub fn run_table1(datasets: &[Dataset]) -> Table {
@@ -130,6 +135,77 @@ pub fn run_table9(datasets: &[Dataset]) -> Table {
             format!("{:.2}x", l as f64 / a as f64),
             format!("{:.2}x", c as f64 / a as f64),
         ]);
+    }
+    t
+}
+
+/// Timed sequential decode passes over every adjacency list; the number
+/// of passes amortizes timer noise on the small stand-ins.
+const DECODE_REPS: u32 = 3;
+
+/// One (dataset, codec) row of the compression frontier: space as
+/// bytes-per-edge and sequential decode throughput as ns-per-edge,
+/// both also attached as raw metrics
+/// (`{dataset}.{codec}.bytes_per_edge` / `.decode_ns_per_edge`).
+fn codec_row<C: ChunkCodec>(t: &mut Table, dataset: &str, edges: &[(u32, u32)]) {
+    let g: Graph<CTreeEdges<C>> = Graph::from_edges(edges, default_b());
+    let mem = g.memory_bytes();
+    let ne = g.num_edges().max(1);
+    let bytes_per_edge = mem as f64 / ne as f64;
+
+    // Full sequential neighbor scans through the lazy chunk decoders;
+    // the checksum keeps the traversal from being optimized away.
+    let scan = || {
+        let mut acc = 0u64;
+        for v in 0..g.id_bound() as u32 {
+            g.for_each_neighbor(v, &mut |u| acc = acc.wrapping_add(u64::from(u)));
+        }
+        acc
+    };
+    let warm = scan();
+    let (check, secs) = timed(|| {
+        let mut acc = 0u64;
+        for _ in 0..DECODE_REPS {
+            acc = acc.wrapping_add(std::hint::black_box(scan()));
+        }
+        acc
+    });
+    assert_eq!(check, warm.wrapping_mul(u64::from(DECODE_REPS)));
+    let decode_ns_per_edge = secs * 1e9 / (f64::from(DECODE_REPS) * ne as f64);
+
+    t.row(&[
+        dataset.to_owned(),
+        C::name().to_owned(),
+        fmt_bytes(mem),
+        format!("{bytes_per_edge:.2}"),
+        format!("{decode_ns_per_edge:.1}"),
+    ]);
+    t.metric(
+        &format!("{dataset}.{}.bytes_per_edge", C::name()),
+        bytes_per_edge,
+    );
+    t.metric(
+        &format!("{dataset}.{}.decode_ns_per_edge", C::name()),
+        decode_ns_per_edge,
+    );
+}
+
+/// `repro memory` — the codec axis: the Plain/Delta/Gamma/Interval
+/// space–time frontier, measured per dataset. Bytes-per-edge counts all
+/// C-tree overhead (vertex tree, heads, chunk storage) against the
+/// directed edge count; decode-ns-per-edge is a full sequential
+/// neighbor scan through [`ChunkCodec::iter`].
+pub fn run_memory(datasets: &[Dataset]) -> Table {
+    let mut t = Table::new(
+        "Memory: chunk-codec compression frontier",
+        &["graph", "codec", "memory", "bytes/edge", "decode ns/edge"],
+    );
+    for d in datasets {
+        let edges = d.edges();
+        codec_row::<PlainCodec>(&mut t, d.name, &edges);
+        codec_row::<DeltaCodec>(&mut t, d.name, &edges);
+        codec_row::<GammaCodec>(&mut t, d.name, &edges);
+        codec_row::<IntervalCodec>(&mut t, d.name, &edges);
     }
     t
 }

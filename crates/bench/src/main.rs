@@ -19,6 +19,7 @@
 //!   table12   vs static frameworks
 //!   table13   uncompressed trees vs C-trees
 //!   table14   Ligra+ vs Aspen, all algorithms (covers tables 14 and 15)
+//!   memory    chunk-codec frontier: bytes/edge + decode ns/edge per codec
 //!   stream    concurrent ingestion engine: updates + queries (aspen-stream)
 //!   scaling   batch inserts + BFS/CC at 1/2/4/8 pool workers
 //!   all       everything above, in order
@@ -218,6 +219,9 @@ fn main() {
     }
     if run("table14") || cli.which == "table15" {
         emit(exp::run_table14_15(&sets));
+    }
+    if run("memory") {
+        emit(exp::run_memory(&sets));
     }
     if run("stream") {
         emit(exp::run_stream_engine(&sets));

@@ -14,7 +14,7 @@
 //! The graph layer is generic over [`EdgeSet`], so every experiment can
 //! swap representations without touching algorithm code.
 
-use ctree::{CTree, ChunkCodec, ChunkParams, DeltaCodec, PlainCodec};
+use ctree::{CTree, ChunkCodec, ChunkParams, DefaultCodec, GammaCodec, IntervalCodec, PlainCodec};
 use ptree::Tree;
 
 /// A vertex identifier. The paper's graphs have up to 3.5B vertices
@@ -145,9 +145,17 @@ pub struct CTreeEdges<C: ChunkCodec> {
 /// C-tree chunks without difference encoding ("Aspen (No DE)").
 pub type PlainEdges = CTreeEdges<PlainCodec>;
 
-/// Difference-encoded C-tree chunks ("Aspen (DE)") — the default and
-/// recommended representation.
-pub type CompressedEdges = CTreeEdges<DeltaCodec>;
+/// C-tree chunks with the workspace default codec — difference-encoded
+/// byte codes ("Aspen (DE)") unless one of the `aspen-ctree`
+/// `default-codec-*` features re-selects the codec, which is how the CI
+/// codec matrix re-runs the whole suite per codec.
+pub type CompressedEdges = CTreeEdges<DefaultCodec>;
+
+/// C-tree chunks with Elias-γ bit-coded gaps.
+pub type GammaEdges = CTreeEdges<GammaCodec>;
+
+/// C-tree chunks with intervalized ζ₃ codes (WebGraph-style).
+pub type IntervalEdges = CTreeEdges<IntervalCodec>;
 
 impl<C: ChunkCodec> CTreeEdges<C> {
     /// Access to the underlying C-tree (for diagnostics/benchmarks).
@@ -184,13 +192,9 @@ impl<C: ChunkCodec> EdgeSet for CTreeEdges<C> {
     }
 
     fn for_each_until(&self, f: &mut dyn FnMut(VertexId) -> bool) -> bool {
-        // Chunk-at-a-time traversal with early exit.
-        for v in self.tree.to_vec() {
-            if !f(v) {
-                return false;
-            }
-        }
-        true
+        // Streams chunk decoders with early exit — the old
+        // implementation materialized the whole adjacency list first.
+        self.tree.for_each_until(f)
     }
 
     fn to_vec(&self) -> Vec<VertexId> {
@@ -216,6 +220,8 @@ impl<C: ChunkCodec> EdgeSet for CTreeEdges<C> {
     fn repr_name() -> &'static str {
         match C::name() {
             "delta" => "ctree-delta",
+            "gamma" => "ctree-gamma",
+            "interval" => "ctree-interval",
             _ => "ctree-plain",
         }
     }
@@ -269,6 +275,26 @@ mod tests {
     #[test]
     fn delta_ctree_contract() {
         check_edge_set::<CompressedEdges>(ChunkParams::with_b(4));
+    }
+
+    #[test]
+    fn gamma_ctree_contract() {
+        check_edge_set::<GammaEdges>(ChunkParams::with_b(4));
+    }
+
+    #[test]
+    fn interval_ctree_contract() {
+        check_edge_set::<IntervalEdges>(ChunkParams::with_b(4));
+    }
+
+    #[test]
+    fn bit_codecs_compress_below_plain() {
+        let neighbors: Vec<u32> = (0..10_000).map(|i| i * 3).collect();
+        let plain = PlainEdges::from_sorted(&neighbors, ChunkParams::default());
+        let gamma = GammaEdges::from_sorted(&neighbors, ChunkParams::default());
+        let interval = IntervalEdges::from_sorted(&neighbors, ChunkParams::default());
+        assert!(gamma.memory_bytes() < plain.memory_bytes());
+        assert!(interval.memory_bytes() < plain.memory_bytes());
     }
 
     #[test]

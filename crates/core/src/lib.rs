@@ -63,7 +63,10 @@ mod weighted;
 
 pub use diff::{diff_graphs, GraphDiff};
 pub use edgemap::{edge_map, edge_map_directed, vertex_map, Direction};
-pub use edges::{CTreeEdges, CompressedEdges, EdgeSet, PlainEdges, UncompressedEdges, VertexId};
+pub use edges::{
+    CTreeEdges, CompressedEdges, EdgeSet, GammaEdges, IntervalEdges, PlainEdges, UncompressedEdges,
+    VertexId,
+};
 pub use flat::FlatSnapshot;
 pub use graph::{EdgeMeasure, Graph, VertexEntry, VertexTree};
 pub use subset::VertexSubset;

@@ -9,7 +9,22 @@
 //! Storage is pluggable through [`ChunkCodec`]:
 //!
 //! * [`PlainCodec`] — a shared `u32` array ("Aspen (No DE)" in Table 2),
-//! * [`DeltaCodec`] — difference encoding + byte codes ("Aspen (DE)").
+//! * [`DeltaCodec`] — difference encoding + byte codes ("Aspen (DE)"),
+//! * [`GammaCodec`] — Elias-γ bit codes over the same gaps: unit gaps
+//!   cost 1 bit instead of 1 byte,
+//! * [`IntervalCodec`] — WebGraph-style intervalization + ζ₃ gap codes:
+//!   runs of ≥ [`MIN_RUN`] consecutive neighbours collapse to a
+//!   `(start, len)` pair, the dominant pattern in RMAT/social graphs.
+//!
+//! Every codec exposes a **lazy decode path**: [`ChunkCodec::iter`]
+//! streams the values without materializing a `Vec`, and
+//! [`ChunkCodec::for_each`] is the no-iterator-state fast path built on
+//! it. All chunk set operations (`union`, `difference`, `intersect`,
+//! `filter`, `split3`) merge those streams directly; only the final
+//! result is collected for re-encoding. `search` early-exits per codec
+//! — plain storage binary-searches in place, gap codecs stop the decode
+//! walk at the first value `≥ x`, and interval storage answers
+//! membership in `O(1)` once the covering token is located.
 //!
 //! Chunks are immutable; all operations produce new chunks. Cloning is
 //! `O(1)` (the payload is behind an `Arc`), so copying a path of tree
@@ -18,30 +33,78 @@
 
 use std::sync::Arc;
 
+use encoder::{BitReader, BitWriter};
+
+/// Runs of at least this many consecutive values are stored as
+/// intervals by [`IntervalCodec`].
+pub const MIN_RUN: usize = 4;
+
+/// ζ shrinking parameter used by [`IntervalCodec`] gap codes. `k = 3`
+/// (WebGraph's residual default) matches the gap distribution of
+/// power-law graphs better than γ (≡ ζ₁): unit gaps cost 3 bits while
+/// the large gaps of sparse vertices stay close to byte codes —
+/// measured as the best overall choice on the `repro memory` frontier.
+const ZETA_K: u32 = 3;
+
 /// How a chunk stores its sorted elements.
 ///
-/// This trait is sealed in spirit: the two implementations below cover
-/// the representations evaluated in the paper.
+/// The four implementations below cover the speed/space frontier the
+/// `repro memory` experiment measures: plain words, byte codes, γ bit
+/// codes, and intervalized ζ codes.
 pub trait ChunkCodec: Clone + Send + Sync + 'static {
     /// The payload type (always cheaply cloneable).
-    type Storage: Clone + Send + Sync;
+    type Storage: Clone + Send + Sync + 'static;
+
+    /// Streaming decoder over a payload; see [`iter`](Self::iter).
+    type Iter<'a>: Iterator<Item = u32> + 'a
+    where
+        Self: 'a;
 
     /// Encodes a strictly-increasing slice.
     fn encode(xs: &[u32]) -> Self::Storage;
 
-    /// Decodes `len` elements, appending to `out`.
-    fn decode(storage: &Self::Storage, len: usize, out: &mut Vec<u32>);
+    /// Lazily decodes the `len` encoded elements in ascending order —
+    /// the allocation-free hot path every traversal should prefer over
+    /// [`decode`](Self::decode).
+    ///
+    /// `first` is the smallest element (the chunk header caches it;
+    /// meaningless when `len == 0`). The bit codecs anchor their gap
+    /// streams on it instead of re-encoding the full magnitude of the
+    /// first element in the payload; word/byte codecs ignore it.
+    fn iter(storage: &Self::Storage, len: usize, first: u32) -> Self::Iter<'_>;
+
+    /// Decodes `len` elements, appending to `out` (reserving space
+    /// up front).
+    fn decode(storage: &Self::Storage, len: usize, first: u32, out: &mut Vec<u32>) {
+        out.reserve(len);
+        out.extend(Self::iter(storage, len, first));
+    }
+
+    /// Calls `f` on each decoded element in ascending order. Default
+    /// drives [`iter`](Self::iter); codecs with cheaper internal loops
+    /// (plain slices) override it.
+    #[inline]
+    fn for_each(storage: &Self::Storage, len: usize, first: u32, f: impl FnMut(u32)) {
+        Self::iter(storage, len, first).for_each(f);
+    }
 
     /// Locates `x` among the `len` encoded elements **without
     /// materializing the chunk**: `Ok(i)` if `x` is the `i`-th element,
     /// `Err(i)` with its insertion index otherwise.
     ///
     /// This is the membership hot path (`contains` runs once per tree
-    /// level on every `Split`): plain storage binary-searches the
-    /// shared array in place, delta storage walks the byte codes and
-    /// stops at the first decoded value `≥ x` — no allocation either
-    /// way.
-    fn search(storage: &Self::Storage, len: usize, x: u32) -> Result<usize, usize>;
+    /// level on every `Split`). The default walks the lazy decode
+    /// stream and stops at the first value `≥ x`; plain storage
+    /// overrides with an in-place binary search, interval storage with
+    /// a token walk that answers in `O(1)` per covering interval.
+    fn search(storage: &Self::Storage, len: usize, first: u32, x: u32) -> Result<usize, usize> {
+        for (i, v) in Self::iter(storage, len, first).enumerate() {
+            if v >= x {
+                return if v == x { Ok(i) } else { Err(i) };
+            }
+        }
+        Err(len)
+    }
 
     /// Heap bytes used by the payload.
     fn storage_bytes(storage: &Self::Storage) -> usize;
@@ -56,6 +119,7 @@ pub struct PlainCodec;
 
 impl ChunkCodec for PlainCodec {
     type Storage = Arc<[u32]>;
+    type Iter<'a> = std::iter::Copied<std::slice::Iter<'a, u32>>;
 
     #[inline]
     fn encode(xs: &[u32]) -> Arc<[u32]> {
@@ -63,13 +127,27 @@ impl ChunkCodec for PlainCodec {
     }
 
     #[inline]
-    fn decode(storage: &Arc<[u32]>, len: usize, out: &mut Vec<u32>) {
+    fn iter(storage: &Arc<[u32]>, len: usize, _first: u32) -> Self::Iter<'_> {
+        debug_assert_eq!(storage.len(), len);
+        storage.iter().copied()
+    }
+
+    #[inline]
+    fn decode(storage: &Arc<[u32]>, len: usize, _first: u32, out: &mut Vec<u32>) {
         debug_assert_eq!(storage.len(), len);
         out.extend_from_slice(storage);
     }
 
     #[inline]
-    fn search(storage: &Arc<[u32]>, len: usize, x: u32) -> Result<usize, usize> {
+    fn for_each(storage: &Arc<[u32]>, len: usize, _first: u32, mut f: impl FnMut(u32)) {
+        debug_assert_eq!(storage.len(), len);
+        for &x in storage.iter() {
+            f(x);
+        }
+    }
+
+    #[inline]
+    fn search(storage: &Arc<[u32]>, len: usize, _first: u32, x: u32) -> Result<usize, usize> {
         debug_assert_eq!(storage.len(), len);
         storage.binary_search(&x)
     }
@@ -90,6 +168,7 @@ pub struct DeltaCodec;
 
 impl ChunkCodec for DeltaCodec {
     type Storage = Arc<[u8]>;
+    type Iter<'a> = encoder::SortedDecoder<'a>;
 
     #[inline]
     fn encode(xs: &[u32]) -> Arc<[u8]> {
@@ -97,21 +176,8 @@ impl ChunkCodec for DeltaCodec {
     }
 
     #[inline]
-    fn decode(storage: &Arc<[u8]>, len: usize, out: &mut Vec<u32>) {
-        out.extend(encoder::SortedDecoder::new(storage, len));
-    }
-
-    /// Early-exit decode walk: difference codes only decode forward,
-    /// but they decode *fast*, and the walk stops at the first value
-    /// `≥ x` instead of materializing the whole chunk the way the old
-    /// `to_vec` + `binary_search` implementation did.
-    fn search(storage: &Arc<[u8]>, len: usize, x: u32) -> Result<usize, usize> {
-        for (i, v) in encoder::SortedDecoder::new(storage, len).enumerate() {
-            if v >= x {
-                return if v == x { Ok(i) } else { Err(i) };
-            }
-        }
-        Err(len)
+    fn iter(storage: &Arc<[u8]>, len: usize, _first: u32) -> Self::Iter<'_> {
+        encoder::SortedDecoder::new(storage, len)
     }
 
     #[inline]
@@ -123,6 +189,281 @@ impl ChunkCodec for DeltaCodec {
         "delta"
     }
 }
+
+/// Elias-γ gap codes: each gap `g ≥ 1` costs `2⌊log₂ g⌋ + 1` bits.
+///
+/// The same difference encoding as [`DeltaCodec`], but paid in bits
+/// instead of bytes — a unit gap takes 1 bit, not 8. Decoding is a
+/// forward bit-walk (slower per element than byte codes), which is the
+/// speed/space trade the `repro memory` frontier quantifies.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GammaCodec;
+
+impl ChunkCodec for GammaCodec {
+    type Storage = Arc<[u8]>;
+    type Iter<'a> = GammaIter<'a>;
+
+    fn encode(xs: &[u32]) -> Arc<[u8]> {
+        let mut w = BitWriter::new();
+        // The gap stream is anchored on the chunk header's cached
+        // `first`, so the first element costs γ(1) = 1 bit instead of
+        // re-encoding its full magnitude. `prev` tracks
+        // last-value-plus-one in 64 bits (gaps reach 2³² at u32::MAX).
+        let mut prev = xs.first().map_or(0, |&x| u64::from(x));
+        for &x in xs {
+            debug_assert!(
+                u64::from(x) + 1 > prev,
+                "chunk input not strictly increasing"
+            );
+            w.write_gamma(u64::from(x) + 1 - prev);
+            prev = u64::from(x) + 1;
+        }
+        w.finish().into()
+    }
+
+    #[inline]
+    fn iter(storage: &Arc<[u8]>, len: usize, first: u32) -> GammaIter<'_> {
+        GammaIter {
+            reader: BitReader::new(storage),
+            remaining: len,
+            prev: u64::from(first),
+        }
+    }
+
+    #[inline]
+    fn storage_bytes(storage: &Arc<[u8]>) -> usize {
+        storage.len()
+    }
+
+    fn name() -> &'static str {
+        "gamma"
+    }
+}
+
+/// Streaming decoder over [`GammaCodec`] storage.
+#[derive(Clone, Debug)]
+pub struct GammaIter<'a> {
+    reader: BitReader<'a>,
+    remaining: usize,
+    prev: u64,
+}
+
+impl Iterator for GammaIter<'_> {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        self.prev += self.reader.read_gamma();
+        Some((self.prev - 1) as u32)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for GammaIter<'_> {}
+
+/// Intervalized ζ gap codes (WebGraph's two key ideas, §SNIPPETS 1).
+///
+/// The payload is a stream of **segments**, each opened by a ζ-coded
+/// gap and a one-bit kind flag:
+///
+/// ```text
+/// interval:      ζ(gap)  1  γ(len − MIN_RUN + 1)
+/// literal block: ζ(gap)  0  γ(count)  ζ(gap) × (count − 1)
+/// ```
+///
+/// where `gap` is the distance from the previous segment's last value
+/// (`first + 1` for the first). An **interval** stands for `len ≥`
+/// [`MIN_RUN`] consecutive values from the decoded position; a
+/// **literal block** carries `count` individual gap-coded values (every
+/// maximal run shorter than [`MIN_RUN`]) under a *single* flag, so the
+/// per-segment overhead amortizes to `γ(count) + 1` bits per block
+/// rather than one flag bit per edge. Dense neighbourhoods — the common
+/// case in RMAT and social graphs — collapse to a few bits per *run*
+/// instead of bits per edge, and membership inside a located interval
+/// is answered in `O(1)`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IntervalCodec;
+
+impl ChunkCodec for IntervalCodec {
+    type Storage = Arc<[u8]>;
+    type Iter<'a> = IntervalIter<'a>;
+
+    fn encode(xs: &[u32]) -> Arc<[u8]> {
+        // Length of the maximal run of consecutive values at `i`.
+        let run_len = |i: usize| {
+            let mut j = i + 1;
+            while j < xs.len() && u64::from(xs[j]) == u64::from(xs[j - 1]) + 1 {
+                j += 1;
+            }
+            j - i
+        };
+        let mut w = BitWriter::new();
+        // Anchored on the header's cached `first`: the opening segment
+        // gap is always ζ(1). `prev` tracks last value + 1.
+        let mut prev = xs.first().map_or(0, |&x| u64::from(x));
+        let mut i = 0;
+        while i < xs.len() {
+            debug_assert!(
+                u64::from(xs[i]) + 1 > prev,
+                "chunk input not strictly increasing"
+            );
+            w.write_zeta(u64::from(xs[i]) + 1 - prev, ZETA_K);
+            let run = run_len(i);
+            if run >= MIN_RUN {
+                w.write_bit(1);
+                w.write_gamma((run - MIN_RUN + 1) as u64);
+                prev = u64::from(xs[i + run - 1]) + 1;
+                i += run;
+            } else {
+                // Literal block: everything up to the next long run.
+                let mut end = i + run;
+                while end < xs.len() {
+                    let r = run_len(end);
+                    if r >= MIN_RUN {
+                        break;
+                    }
+                    end += r;
+                }
+                w.write_bit(0);
+                w.write_gamma((end - i) as u64);
+                prev = u64::from(xs[i]) + 1;
+                for &x in &xs[i + 1..end] {
+                    w.write_zeta(u64::from(x) + 1 - prev, ZETA_K);
+                    prev = u64::from(x) + 1;
+                }
+                i = end;
+            }
+        }
+        w.finish().into()
+    }
+
+    #[inline]
+    fn iter(storage: &Arc<[u8]>, len: usize, first: u32) -> IntervalIter<'_> {
+        IntervalIter {
+            tokens: IntervalTokens::new(storage, len, first),
+            cur: 0,
+            run_left: 0,
+            remaining: len,
+        }
+    }
+
+    fn search(storage: &Arc<[u8]>, len: usize, first: u32, x: u32) -> Result<usize, usize> {
+        let x = u64::from(x);
+        let mut idx = 0usize;
+        for (start, run) in IntervalTokens::new(storage, len, first) {
+            let start = u64::from(start);
+            if x < start {
+                return Err(idx);
+            }
+            if x < start + run as u64 {
+                return Ok(idx + (x - start) as usize);
+            }
+            idx += run;
+        }
+        Err(len)
+    }
+
+    #[inline]
+    fn storage_bytes(storage: &Arc<[u8]>) -> usize {
+        storage.len()
+    }
+
+    fn name() -> &'static str {
+        "interval"
+    }
+}
+
+/// Token-level walk over [`IntervalCodec`] storage: yields
+/// `(start, run_len)` with `run_len == 1` for each literal inside a
+/// literal block.
+#[derive(Clone, Debug)]
+struct IntervalTokens<'a> {
+    reader: BitReader<'a>,
+    remaining: usize,
+    lit_left: usize, // literals still due in the current block
+    prev: u64,       // last value + 1
+}
+
+impl<'a> IntervalTokens<'a> {
+    fn new(bytes: &'a [u8], len: usize, first: u32) -> Self {
+        Self {
+            reader: BitReader::new(bytes),
+            remaining: len,
+            lit_left: 0,
+            prev: u64::from(first),
+        }
+    }
+}
+
+impl Iterator for IntervalTokens<'_> {
+    type Item = (u32, usize);
+
+    #[inline]
+    fn next(&mut self) -> Option<(u32, usize)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let start = self.prev + self.reader.read_zeta(ZETA_K) - 1;
+        let run = if self.lit_left > 0 {
+            // Continuation of a literal block: gap only, no flag.
+            self.lit_left -= 1;
+            1
+        } else if self.reader.read_bit() == 1 {
+            self.reader.read_gamma() as usize + MIN_RUN - 1
+        } else {
+            self.lit_left = self.reader.read_gamma() as usize - 1;
+            1
+        };
+        debug_assert!(run <= self.remaining, "interval token overruns chunk len");
+        self.prev = start + run as u64;
+        self.remaining -= run;
+        Some((start as u32, run))
+    }
+}
+
+/// Streaming decoder over [`IntervalCodec`] storage: flattens the token
+/// stream back into individual values.
+#[derive(Clone, Debug)]
+pub struct IntervalIter<'a> {
+    tokens: IntervalTokens<'a>,
+    cur: u64,
+    run_left: usize,
+    remaining: usize,
+}
+
+impl Iterator for IntervalIter<'_> {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        if self.remaining == 0 {
+            return None;
+        }
+        if self.run_left == 0 {
+            let (start, run) = self.tokens.next()?;
+            self.cur = u64::from(start);
+            self.run_left = run;
+        }
+        self.remaining -= 1;
+        self.run_left -= 1;
+        let v = self.cur as u32;
+        self.cur += 1;
+        Some(v)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for IntervalIter<'_> {}
 
 /// An immutable sorted set of `u32` with an `O(1)` boundary header.
 ///
@@ -149,7 +490,7 @@ impl<C: ChunkCodec> Clone for Chunk<C> {
 
 impl<C: ChunkCodec> std::fmt::Debug for Chunk<C> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_list().entries(self.to_vec()).finish()
+        f.debug_list().entries(self.iter()).finish()
     }
 }
 
@@ -161,7 +502,7 @@ impl<C: ChunkCodec> Default for Chunk<C> {
 
 impl<C: ChunkCodec> PartialEq for Chunk<C> {
     fn eq(&self, other: &Self) -> bool {
-        self.len == other.len && self.to_vec() == other.to_vec()
+        self.len == other.len && self.iter().eq(other.iter())
     }
 }
 
@@ -220,23 +561,49 @@ impl<C: ChunkCodec> Chunk<C> {
         (self.len > 0).then_some(self.last)
     }
 
+    /// Lazily decodes the elements in ascending order without
+    /// allocating — the traversal hot path.
+    #[inline]
+    pub fn iter(&self) -> C::Iter<'_> {
+        C::iter(&self.data, self.len(), self.first)
+    }
+
+    /// Calls `f` on each element in ascending order, allocation-free.
+    #[inline]
+    pub fn for_each(&self, f: impl FnMut(u32)) {
+        C::for_each(&self.data, self.len(), self.first, f);
+    }
+
+    /// Like [`for_each`](Self::for_each) but stops (returning `false`)
+    /// the first time `f` returns `false`.
+    #[inline]
+    pub fn for_each_until(&self, mut f: impl FnMut(u32) -> bool) -> bool {
+        for x in self.iter() {
+            if !f(x) {
+                return false;
+            }
+        }
+        true
+    }
+
     /// Decodes the chunk into a sorted `Vec`.
     pub fn to_vec(&self) -> Vec<u32> {
         let mut out = Vec::with_capacity(self.len());
-        C::decode(&self.data, self.len(), &mut out);
+        C::decode(&self.data, self.len(), self.first, &mut out);
         out
     }
 
-    /// Appends the decoded elements to `out`.
+    /// Appends the decoded elements to `out` (reserving space first).
     pub fn decode_into(&self, out: &mut Vec<u32>) {
-        C::decode(&self.data, self.len(), out);
+        out.reserve(self.len());
+        C::decode(&self.data, self.len(), self.first, out);
     }
 
     /// Membership test; `O(chunk size)` — chunks are `O(b log n)` w.h.p.
     ///
     /// Allocation-free: after the `O(1)` header checks it delegates to
     /// [`ChunkCodec::search`], which binary-searches plain storage in
-    /// place and early-exits a delta decode walk at the first element
+    /// place and early-exits the gap-decode walk at the first element
     /// `≥ x`.
     pub fn contains(&self, x: u32) -> bool {
         if self.len == 0 || x < self.first || x > self.last {
@@ -247,7 +614,7 @@ impl<C: ChunkCodec> Chunk<C> {
         if x == self.first || x == self.last {
             return true;
         }
-        C::search(&self.data, self.len(), x).is_ok()
+        C::search(&self.data, self.len(), self.first, x).is_ok()
     }
 
     /// Heap bytes used (payload only; the header lives inline in the
@@ -268,17 +635,17 @@ impl<C: ChunkCodec> Chunk<C> {
         if k > self.last {
             return (self.clone(), false, Self::empty());
         }
-        let xs = self.to_vec();
-        let (idx, found) = match xs.binary_search(&k) {
-            Ok(i) => (i, true),
-            Err(i) => (i, false),
-        };
-        let hi_start = if found { idx + 1 } else { idx };
-        (
-            Self::from_sorted(&xs[..idx]),
-            found,
-            Self::from_sorted(&xs[hi_start..]),
-        )
+        let mut lo = Vec::new();
+        let mut hi = Vec::new();
+        let mut found = false;
+        for x in self.iter() {
+            match x.cmp(&k) {
+                std::cmp::Ordering::Less => lo.push(x),
+                std::cmp::Ordering::Equal => found = true,
+                std::cmp::Ordering::Greater => hi.push(x),
+            }
+        }
+        (Self::from_sorted(&lo), found, Self::from_sorted(&hi))
     }
 
     /// Splits into `(elements < bound, elements > bound)` where `bound`
@@ -298,7 +665,8 @@ impl<C: ChunkCodec> Chunk<C> {
         }
     }
 
-    /// Merged sorted union of two chunks (duplicates collapse).
+    /// Merged sorted union of two chunks (duplicates collapse); streams
+    /// both decode walks, collecting only the merged result.
     pub fn union(&self, other: &Chunk<C>) -> Chunk<C> {
         if self.is_empty() {
             return other.clone();
@@ -306,28 +674,37 @@ impl<C: ChunkCodec> Chunk<C> {
         if other.is_empty() {
             return self.clone();
         }
-        let (a, b) = (self.to_vec(), other.to_vec());
-        let mut out = Vec::with_capacity(a.len() + b.len());
-        let (mut i, mut j) = (0, 0);
-        while i < a.len() && j < b.len() {
-            match a[i].cmp(&b[j]) {
-                std::cmp::Ordering::Less => {
-                    out.push(a[i]);
-                    i += 1;
+        let mut out = Vec::with_capacity(self.len() + other.len());
+        let mut a = self.iter().peekable();
+        let mut b = other.iter().peekable();
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&x), Some(&y)) => match x.cmp(&y) {
+                    std::cmp::Ordering::Less => {
+                        out.push(x);
+                        a.next();
+                    }
+                    std::cmp::Ordering::Greater => {
+                        out.push(y);
+                        b.next();
+                    }
+                    std::cmp::Ordering::Equal => {
+                        out.push(x);
+                        a.next();
+                        b.next();
+                    }
+                },
+                (Some(_), None) => {
+                    out.extend(a.by_ref());
+                    break;
                 }
-                std::cmp::Ordering::Greater => {
-                    out.push(b[j]);
-                    j += 1;
+                (None, Some(_)) => {
+                    out.extend(b.by_ref());
+                    break;
                 }
-                std::cmp::Ordering::Equal => {
-                    out.push(a[i]);
-                    i += 1;
-                    j += 1;
-                }
+                (None, None) => break,
             }
         }
-        out.extend_from_slice(&a[i..]);
-        out.extend_from_slice(&b[j..]);
         Self::from_sorted(&out)
     }
 
@@ -345,12 +722,13 @@ impl<C: ChunkCodec> Chunk<C> {
             return self.clone();
         }
         debug_assert!(self.last < other.first, "concat inputs overlap");
-        let mut xs = self.to_vec();
+        let mut xs = Vec::with_capacity(self.len() + other.len());
+        self.decode_into(&mut xs);
         other.decode_into(&mut xs);
         Self::from_sorted(&xs)
     }
 
-    /// Elements of `self` not present in `other`.
+    /// Elements of `self` not present in `other`; streams both sides.
     pub fn difference(&self, other: &Chunk<C>) -> Chunk<C> {
         if self.is_empty() || other.is_empty() {
             return self.clone();
@@ -359,21 +737,20 @@ impl<C: ChunkCodec> Chunk<C> {
         if other.last < self.first || other.first > self.last {
             return self.clone();
         }
-        let (a, b) = (self.to_vec(), other.to_vec());
-        let mut out = Vec::with_capacity(a.len());
-        let mut j = 0;
-        for x in a {
-            while j < b.len() && b[j] < x {
-                j += 1;
+        let mut out = Vec::with_capacity(self.len());
+        let mut b = other.iter().peekable();
+        for x in self.iter() {
+            while b.peek().is_some_and(|&y| y < x) {
+                b.next();
             }
-            if j >= b.len() || b[j] != x {
+            if b.peek() != Some(&x) {
                 out.push(x);
             }
         }
         Self::from_sorted(&out)
     }
 
-    /// Elements present in both chunks.
+    /// Elements present in both chunks; streams both sides.
     pub fn intersect(&self, other: &Chunk<C>) -> Chunk<C> {
         if self.is_empty() || other.is_empty() {
             return Self::empty();
@@ -381,27 +758,29 @@ impl<C: ChunkCodec> Chunk<C> {
         if other.last < self.first || other.first > self.last {
             return Self::empty();
         }
-        let (a, b) = (self.to_vec(), other.to_vec());
         let mut out = Vec::new();
-        let (mut i, mut j) = (0, 0);
-        while i < a.len() && j < b.len() {
-            match a[i].cmp(&b[j]) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    out.push(a[i]);
-                    i += 1;
-                    j += 1;
-                }
+        let mut b = other.iter().peekable();
+        for x in self.iter() {
+            while b.peek().is_some_and(|&y| y < x) {
+                b.next();
+            }
+            if b.peek() == Some(&x) {
+                out.push(x);
+                b.next();
             }
         }
         Self::from_sorted(&out)
     }
 
-    /// Elements satisfying `pred`, as a new chunk.
-    pub fn filter(&self, pred: impl FnMut(u32) -> bool) -> Chunk<C> {
-        let mut p = pred;
-        let kept: Vec<u32> = self.to_vec().into_iter().filter(|&x| p(x)).collect();
+    /// Elements satisfying `pred`, as a new chunk. Filters during the
+    /// streaming decode walk — one allocation for the kept set, not two.
+    pub fn filter(&self, mut pred: impl FnMut(u32) -> bool) -> Chunk<C> {
+        let mut kept = Vec::with_capacity(self.len());
+        for x in self.iter() {
+            if pred(x) {
+                kept.push(x);
+            }
+        }
         Self::from_sorted(&kept)
     }
 
@@ -429,6 +808,8 @@ mod tests {
 
     type PChunk = Chunk<PlainCodec>;
     type DChunk = Chunk<DeltaCodec>;
+    type GChunk = Chunk<GammaCodec>;
+    type IChunk = Chunk<IntervalCodec>;
 
     #[test]
     fn empty_chunk_basics() {
@@ -451,13 +832,50 @@ mod tests {
     }
 
     #[test]
-    fn plain_and_delta_agree() {
+    fn all_codecs_agree() {
         let xs: Vec<u32> = (0..200).map(|i| i * 17 + 3).collect();
         let p = PChunk::from_sorted(&xs);
         let d = DChunk::from_sorted(&xs);
-        assert_eq!(p.to_vec(), d.to_vec());
+        let g = GChunk::from_sorted(&xs);
+        let iv = IChunk::from_sorted(&xs);
+        assert_eq!(p.to_vec(), xs);
+        assert_eq!(d.to_vec(), xs);
+        assert_eq!(g.to_vec(), xs);
+        assert_eq!(iv.to_vec(), xs);
         // delta should compress a regular sequence well below 4B/elem
         assert!(d.memory_bytes() < p.memory_bytes());
+        // γ wins on small gaps: gap 3 costs 3 bits vs a whole byte
+        let dense: Vec<u32> = (0..200).map(|i| i * 3).collect();
+        let dd = DChunk::from_sorted(&dense);
+        let gd = GChunk::from_sorted(&dense);
+        assert!(gd.memory_bytes() < dd.memory_bytes());
+    }
+
+    #[test]
+    fn lazy_iter_matches_to_vec() {
+        let xs: Vec<u32> = vec![0, 1, 2, 3, 4, 10, 11, 12, 13, 1000, u32::MAX];
+        assert_eq!(PChunk::from_sorted(&xs).iter().collect::<Vec<_>>(), xs);
+        assert_eq!(DChunk::from_sorted(&xs).iter().collect::<Vec<_>>(), xs);
+        assert_eq!(GChunk::from_sorted(&xs).iter().collect::<Vec<_>>(), xs);
+        assert_eq!(IChunk::from_sorted(&xs).iter().collect::<Vec<_>>(), xs);
+        let g = GChunk::from_sorted(&xs);
+        assert_eq!(g.iter().len(), xs.len());
+        let mut seen = Vec::new();
+        g.for_each(|x| seen.push(x));
+        assert_eq!(seen, xs);
+    }
+
+    #[test]
+    fn for_each_until_stops_early() {
+        let c = IChunk::from_sorted(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let mut seen = Vec::new();
+        let finished = c.for_each_until(|x| {
+            seen.push(x);
+            x < 5
+        });
+        assert!(!finished);
+        assert_eq!(seen, vec![1, 2, 3, 4, 5]);
+        assert!(c.for_each_until(|_| true));
     }
 
     #[test]
@@ -474,13 +892,51 @@ mod tests {
         let xs: Vec<u32> = (0..300).map(|i| i * 3 + 7).collect();
         let p = PChunk::from_sorted(&xs);
         let d = DChunk::from_sorted(&xs);
+        let g = GChunk::from_sorted(&xs);
+        let iv = IChunk::from_sorted(&xs);
         for probe in 0..1000u32 {
             let expect = xs.binary_search(&probe);
-            assert_eq!(PlainCodec::search(&p.data, xs.len(), probe), expect);
-            assert_eq!(DeltaCodec::search(&d.data, xs.len(), probe), expect);
+            assert_eq!(PlainCodec::search(&p.data, xs.len(), xs[0], probe), expect);
+            assert_eq!(DeltaCodec::search(&d.data, xs.len(), xs[0], probe), expect);
+            assert_eq!(GammaCodec::search(&g.data, xs.len(), xs[0], probe), expect);
+            assert_eq!(
+                IntervalCodec::search(&iv.data, xs.len(), xs[0], probe),
+                expect
+            );
             assert_eq!(p.contains(probe), expect.is_ok());
             assert_eq!(d.contains(probe), expect.is_ok());
+            assert_eq!(g.contains(probe), expect.is_ok());
+            assert_eq!(iv.contains(probe), expect.is_ok());
         }
+    }
+
+    #[test]
+    fn interval_search_inside_runs() {
+        // A long run plus stragglers exercises the O(1) in-interval hit.
+        let xs: Vec<u32> = (100..200).chain([500, 1000, 1001, 1002, 1003]).collect();
+        let iv = IChunk::from_sorted(&xs);
+        for probe in [99, 100, 150, 199, 200, 499, 500, 501, 1000, 1003, 1004] {
+            assert_eq!(
+                IntervalCodec::search(&iv.data, xs.len(), xs[0], probe),
+                xs.binary_search(&probe),
+                "probe {probe}"
+            );
+        }
+    }
+
+    #[test]
+    fn interval_beats_delta_on_runs() {
+        // 256 consecutive values: delta pays a byte per edge, interval
+        // pays a handful of bits for the whole run.
+        let xs: Vec<u32> = (1000..1256).collect();
+        let d = DChunk::from_sorted(&xs);
+        let iv = IChunk::from_sorted(&xs);
+        assert!(
+            iv.memory_bytes() * 8 < d.memory_bytes(),
+            "interval {} bytes vs delta {} bytes",
+            iv.memory_bytes(),
+            d.memory_bytes()
+        );
     }
 
     #[test]
@@ -516,6 +972,9 @@ mod tests {
         let b = DChunk::from_sorted(&[2, 3, 6]);
         assert_eq!(a.union(&b).to_vec(), vec![1, 2, 3, 5, 6]);
         assert_eq!(a.union(&DChunk::empty()).to_vec(), vec![1, 3, 5]);
+        let ga = GChunk::from_sorted(&[1, 3, 5]);
+        let gb = GChunk::from_sorted(&[2, 3, 6]);
+        assert_eq!(ga.union(&gb).to_vec(), vec![1, 2, 3, 5, 6]);
     }
 
     #[test]
@@ -528,12 +987,12 @@ mod tests {
 
     #[test]
     fn difference_and_intersect() {
-        let a = DChunk::from_sorted(&[1, 2, 3, 4, 5]);
-        let b = DChunk::from_sorted(&[2, 4, 6]);
+        let a = IChunk::from_sorted(&[1, 2, 3, 4, 5]);
+        let b = IChunk::from_sorted(&[2, 4, 6]);
         assert_eq!(a.difference(&b).to_vec(), vec![1, 3, 5]);
         assert_eq!(a.intersect(&b).to_vec(), vec![2, 4]);
         // Disjoint fast paths.
-        let far = DChunk::from_sorted(&[100, 200]);
+        let far = IChunk::from_sorted(&[100, 200]);
         assert_eq!(a.difference(&far).to_vec(), vec![1, 2, 3, 4, 5]);
         assert!(a.intersect(&far).is_empty());
     }
@@ -542,6 +1001,17 @@ mod tests {
     fn filter_keeps_predicate() {
         let a = DChunk::from_sorted(&[1, 2, 3, 4]);
         assert_eq!(a.filter(|x| x % 2 == 0).to_vec(), vec![2, 4]);
+        let g = GChunk::from_sorted(&[1, 2, 3, 4]);
+        assert_eq!(g.filter(|x| x % 2 == 1).to_vec(), vec![1, 3]);
+    }
+
+    #[test]
+    fn decode_into_reserves() {
+        let c = DChunk::from_sorted(&[1, 2, 3, 4, 5]);
+        let mut out = Vec::new();
+        c.decode_into(&mut out);
+        assert!(out.capacity() >= 5);
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
     }
 
     #[test]
@@ -558,5 +1028,32 @@ mod tests {
         let c = DChunk::from_sorted(&[1, 3]);
         assert_eq!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn adversarial_shapes_roundtrip_everywhere() {
+        let cases: Vec<Vec<u32>> = vec![
+            vec![],
+            vec![0],
+            vec![u32::MAX],
+            (0..64).collect(),
+            vec![0, u32::MAX],
+            vec![
+                0,
+                1,
+                2,
+                3,
+                u32::MAX - 3,
+                u32::MAX - 2,
+                u32::MAX - 1,
+                u32::MAX,
+            ],
+        ];
+        for xs in &cases {
+            assert_eq!(&PChunk::from_sorted(xs).to_vec(), xs);
+            assert_eq!(&DChunk::from_sorted(xs).to_vec(), xs);
+            assert_eq!(&GChunk::from_sorted(xs).to_vec(), xs);
+            assert_eq!(&IChunk::from_sorted(xs).to_vec(), xs);
+        }
     }
 }

@@ -48,9 +48,33 @@ mod setops;
 mod tree;
 mod wtree;
 
-pub use chunk::{Chunk, ChunkCodec, DeltaCodec, PlainCodec};
+pub use chunk::{
+    Chunk, ChunkCodec, DeltaCodec, GammaCodec, GammaIter, IntervalCodec, IntervalIter, PlainCodec,
+    MIN_RUN,
+};
 pub use tree::{CTree, ChunkParams, ElementCount, HeadTail, HeadTree};
 pub use wtree::{WCTree, WChunk, WElem, WHeadTail, Weight};
+
+/// The chunk codec used when a tree leaves its codec parameter to the
+/// default — selected at compile time by the `default-codec-*` cargo
+/// features so the whole test suite (ctree, algorithms) can be re-run
+/// with any codec as the tree's type parameter. Without a feature this
+/// is [`DeltaCodec`], the paper's "Aspen (DE)" configuration.
+#[cfg(feature = "default-codec-plain")]
+pub type DefaultCodec = PlainCodec;
+#[cfg(all(feature = "default-codec-gamma", not(feature = "default-codec-plain")))]
+pub type DefaultCodec = GammaCodec;
+#[cfg(all(
+    feature = "default-codec-interval",
+    not(any(feature = "default-codec-plain", feature = "default-codec-gamma"))
+))]
+pub type DefaultCodec = IntervalCodec;
+#[cfg(not(any(
+    feature = "default-codec-plain",
+    feature = "default-codec-gamma",
+    feature = "default-codec-interval"
+)))]
+pub type DefaultCodec = DeltaCodec;
 
 #[cfg(test)]
 mod proptests;

@@ -5,7 +5,10 @@
 //! tree, huge `b` to a single prefix chunk, and the interesting routing
 //! logic lives in between.
 
-use crate::{CTree, ChunkParams, DeltaCodec, PlainCodec, WCTree};
+use crate::{
+    CTree, Chunk, ChunkCodec, ChunkParams, DeltaCodec, GammaCodec, IntervalCodec, PlainCodec,
+    WCTree,
+};
 use proptest::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -19,6 +22,82 @@ fn elems() -> impl Strategy<Value = Vec<u32>> {
 
 fn bs() -> impl Strategy<Value = u32> {
     prop_oneof![Just(1u32), 2u32..10, 10u32..300, Just(1u32 << 16)]
+}
+
+/// Element sets exercising the codec edge cases: full-range values
+/// (max-gap `u32::MAX`), dense consecutive runs (intervalization), and
+/// ordinary sparse sets.
+fn codec_elems() -> impl Strategy<Value = Vec<u32>> {
+    let sparse = proptest::collection::vec(0u32..=u32::MAX, 0..200);
+    let runs = proptest::collection::vec(0u32..50_000, 1..8).prop_map(|starts| {
+        starts
+            .into_iter()
+            .flat_map(|s| s..s.saturating_add(40))
+            .collect::<Vec<u32>>()
+    });
+    let extremes = Just(vec![0u32, 1, 2, 3, u32::MAX - 1, u32::MAX]);
+    prop_oneof![sparse, runs, extremes].prop_map(|mut v| {
+        v.sort_unstable();
+        v.dedup();
+        v
+    })
+}
+
+/// Checks one codec against the `PlainCodec` oracle on
+/// encode/decode/search/iter/storage_bytes.
+fn assert_codec_matches_oracle<C: ChunkCodec>(xs: &[u32], probes: &[u32]) {
+    let chunk = Chunk::<C>::from_sorted(xs);
+    let oracle = Chunk::<PlainCodec>::from_sorted(xs);
+    // decode
+    assert_eq!(chunk.to_vec(), oracle.to_vec(), "{} decode", C::name());
+    // iter agrees with decode and with the oracle's iterator
+    assert!(chunk.iter().eq(oracle.iter()), "{} iter", C::name());
+    // search
+    for &q in probes {
+        assert_eq!(
+            C::search(
+                &C::encode(xs),
+                xs.len(),
+                xs.first().copied().unwrap_or(0),
+                q
+            ),
+            xs.binary_search(&q),
+            "{} search({q})",
+            C::name()
+        );
+        assert_eq!(chunk.contains(q), xs.binary_search(&q).is_ok());
+    }
+    // storage accounting is sane
+    let _ = chunk.memory_bytes();
+    chunk.check();
+}
+
+fn assert_all_codecs_match(xs: &[u32], probes: &[u32]) {
+    assert_codec_matches_oracle::<PlainCodec>(xs, probes);
+    assert_codec_matches_oracle::<DeltaCodec>(xs, probes);
+    assert_codec_matches_oracle::<GammaCodec>(xs, probes);
+    assert_codec_matches_oracle::<IntervalCodec>(xs, probes);
+}
+
+#[test]
+fn codec_equivalence_adversarial_cases() {
+    let cases: Vec<Vec<u32>> = vec![
+        vec![],                                 // empty
+        vec![0],                                // singleton at the origin
+        vec![u32::MAX],                         // singleton at max (gap 2^32)
+        (0..300).collect(),                     // all-consecutive
+        vec![0, u32::MAX],                      // max internal gap
+        (u32::MAX - 20..=u32::MAX).collect(),   // consecutive run at the top
+        vec![7, 8, 9, 10, 100, 101, 102, 1000], // run + stragglers
+    ];
+    for xs in &cases {
+        let probes: Vec<u32> = xs
+            .iter()
+            .flat_map(|&x| [x, x.wrapping_add(1), x.wrapping_sub(1)])
+            .chain([0, 1, u32::MAX])
+            .collect();
+        assert_all_codecs_match(xs, &probes);
+    }
 }
 
 proptest! {
@@ -87,6 +166,29 @@ proptest! {
         let du = CTree::<DeltaCodec>::from_sorted(&xs, p).union(&CTree::from_sorted(&ys, p));
         let pu = CTree::<PlainCodec>::from_sorted(&xs, p).union(&CTree::from_sorted(&ys, p));
         prop_assert_eq!(du.to_vec(), pu.to_vec());
+    }
+
+    #[test]
+    fn codec_equivalence_random_sets(xs in codec_elems(), probes in proptest::collection::vec(0u32..=u32::MAX, 12)) {
+        let mut probes = probes;
+        // Half the probes should hit: mix in real elements.
+        probes.extend(xs.iter().step_by(17).copied());
+        assert_all_codecs_match(&xs, &probes);
+    }
+
+    #[test]
+    fn gamma_and_interval_trees_agree_on_setops(xs in elems(), ys in elems(), b in bs()) {
+        let p = ChunkParams::with_b(b);
+        let du = CTree::<DeltaCodec>::from_sorted(&xs, p).union(&CTree::from_sorted(&ys, p));
+        let gu = CTree::<GammaCodec>::from_sorted(&xs, p).union(&CTree::from_sorted(&ys, p));
+        let iu = CTree::<IntervalCodec>::from_sorted(&xs, p).union(&CTree::from_sorted(&ys, p));
+        prop_assert_eq!(du.to_vec(), gu.to_vec());
+        prop_assert_eq!(gu.to_vec(), iu.to_vec());
+        gu.check_invariants();
+        iu.check_invariants();
+        let dd = CTree::<DeltaCodec>::from_sorted(&xs, p).difference(&CTree::from_sorted(&ys, p));
+        let id = CTree::<IntervalCodec>::from_sorted(&xs, p).difference(&CTree::from_sorted(&ys, p));
+        prop_assert_eq!(dd.to_vec(), id.to_vec());
     }
 
     #[test]

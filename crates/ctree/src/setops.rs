@@ -281,11 +281,10 @@ fn union_bc<C: ChunkCodec>(p1: &Chunk<C>, c2: &CTree<C>) -> CTree<C> {
 /// distinct head. Every element must lie above the first head of
 /// `tree`.
 fn group_by_head<C: ChunkCodec>(tree: &HeadTree<C>, chunk: &Chunk<C>) -> Vec<HeadTail<C>> {
-    let xs = chunk.to_vec();
     let mut groups: Vec<HeadTail<C>> = Vec::new();
     let mut run: Vec<u32> = Vec::new();
     let mut cur_head: Option<u32> = None;
-    for x in xs {
+    for x in chunk.iter() {
         let h = tree
             .find_le(&x)
             .expect("element below every head reached group_by_head")

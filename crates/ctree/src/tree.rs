@@ -1,6 +1,7 @@
 //! The [`CTree`] structure: construction, search, traversal, validation.
 
-use crate::chunk::{Chunk, ChunkCodec, DeltaCodec};
+use crate::chunk::{Chunk, ChunkCodec};
+use crate::DefaultCodec;
 use ptree::{CountAug, Entry, Measure, Tree};
 use std::marker::PhantomData;
 
@@ -110,7 +111,7 @@ pub type HeadTree<C> = Tree<HeadTail<C>, CountAug<ElementCount<C>>>;
 /// assert_eq!(t2.to_vec(), vec![1, 5, 7, 9, 12]);
 /// assert_eq!(t.len(), 4); // original snapshot untouched
 /// ```
-pub struct CTree<C: ChunkCodec = DeltaCodec> {
+pub struct CTree<C: ChunkCodec = DefaultCodec> {
     pub(crate) params: ChunkParams,
     pub(crate) prefix: Chunk<C>,
     pub(crate) tree: HeadTree<C>,
@@ -267,31 +268,46 @@ impl<C: ChunkCodec> CTree<C> {
     }
 
     /// Sequential in-order traversal (the paper's `Map` with a
-    /// sequential driver).
+    /// sequential driver). Streams each chunk's lazy decoder — no
+    /// per-chunk allocation.
     pub fn for_each(&self, mut f: impl FnMut(u32)) {
-        for x in self.prefix.to_vec() {
-            f(x);
-        }
+        self.prefix.for_each(&mut f);
         self.tree.for_each_seq(&mut |ht| {
             f(ht.head);
-            for x in ht.tail.to_vec() {
-                f(x);
-            }
+            ht.tail.for_each(&mut f);
         });
+    }
+
+    /// Sequential in-order traversal that stops (returning `false`) the
+    /// first time `f` returns `false`.
+    ///
+    /// Early-exit consumers (frontier checks, bounded scans) used to
+    /// materialize the whole tree with [`to_vec`](Self::to_vec); this
+    /// streams chunk decoders and abandons the walk mid-chunk.
+    pub fn for_each_until(&self, mut f: impl FnMut(u32) -> bool) -> bool {
+        if !self.prefix.for_each_until(&mut f) {
+            return false;
+        }
+        for ht in self.tree.iter() {
+            if !f(ht.head) {
+                return false;
+            }
+            if !ht.tail.for_each_until(&mut f) {
+                return false;
+            }
+        }
+        true
     }
 
     /// Parallel traversal: `f` is applied to every element, chunks in
     /// parallel across tree nodes. `O(n)` work, `O(b log n)` depth
-    /// w.h.p. (§4.2). Order of invocation is unspecified.
+    /// w.h.p. (§4.2). Order of invocation is unspecified. Chunks are
+    /// streamed, not materialized.
     pub fn par_for_each(&self, f: impl Fn(u32) + Sync) {
-        for x in self.prefix.to_vec() {
-            f(x);
-        }
+        self.prefix.for_each(&f);
         self.tree.par_for_each(|ht| {
             f(ht.head);
-            for x in ht.tail.to_vec() {
-                f(x);
-            }
+            ht.tail.for_each(&f);
         });
     }
 
@@ -375,7 +391,7 @@ impl<C: ChunkCodec> FromIterator<u32> for CTree<C> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::chunk::PlainCodec;
+    use crate::chunk::{DeltaCodec, PlainCodec};
 
     fn dt(xs: &[u32], b: u32) -> CTree<DeltaCodec> {
         CTree::build(xs.to_vec(), ChunkParams::with_b(b))
@@ -459,6 +475,25 @@ mod tests {
         t.for_each(|x| seen.push(x));
         assert_eq!(seen, t.to_vec());
         assert!(seen.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn for_each_until_early_exit() {
+        let xs: Vec<u32> = (0..5000).collect();
+        let t = dt(&xs, 64);
+        let mut seen = Vec::new();
+        let finished = t.for_each_until(|x| {
+            seen.push(x);
+            x < 137
+        });
+        assert!(!finished);
+        assert_eq!(seen, (0..=137).collect::<Vec<u32>>());
+        let mut all = Vec::new();
+        assert!(t.for_each_until(|x| {
+            all.push(x);
+            true
+        }));
+        assert_eq!(all, xs);
     }
 
     #[test]

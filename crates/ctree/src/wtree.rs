@@ -113,32 +113,45 @@ impl WChunk {
         (self.len > 0).then_some(self.last)
     }
 
+    /// Lazily decodes the pairs in id order without allocating.
+    pub fn iter(&self) -> WChunkIter<'_> {
+        WChunkIter {
+            bytes: &self.bytes,
+            pos: 0,
+            remaining: self.len(),
+            prev: None,
+        }
+    }
+
     /// Decodes all pairs.
     pub fn to_vec(&self) -> Vec<WElem> {
         let mut out = Vec::with_capacity(self.len());
-        let mut pos = 0usize;
-        let mut prev = 0u32;
-        for i in 0..self.len {
-            let (gap, used) = encoder::decode_u32(&self.bytes[pos..]);
-            pos += used;
-            let (w, used) = encoder::decode_u32(&self.bytes[pos..]);
-            pos += used;
-            let id = if i == 0 { gap } else { prev + gap };
-            prev = id;
-            out.push((id, w));
-        }
+        out.extend(self.iter());
         out
     }
 
+    /// Applies `f` to every `(id, weight)` pair in id order, streaming
+    /// the decode walk.
+    pub fn for_each(&self, mut f: impl FnMut(u32, Weight)) {
+        for (id, w) in self.iter() {
+            f(id, w);
+        }
+    }
+
     /// Weight of `id`, if present. `O(chunk size)`.
+    ///
+    /// A single streaming decode walk with early exit at the first id
+    /// `≥ id` — the old implementation materialized the chunk twice.
     pub fn get(&self, id: u32) -> Option<Weight> {
         if self.len == 0 || id < self.first || id > self.last {
             return None;
         }
-        self.to_vec()
-            .binary_search_by_key(&id, |&(i, _)| i)
-            .ok()
-            .map(|idx| self.to_vec()[idx].1)
+        for (i, w) in self.iter() {
+            if i >= id {
+                return (i == id).then_some(w);
+            }
+        }
+        None
     }
 
     /// Splits into `(pairs with id < k, pair at k, pairs with id > k)`.
@@ -224,23 +237,22 @@ impl WChunk {
         Self::from_sorted(&xs)
     }
 
-    /// Pairs of `self` whose ids are absent from `ids`.
+    /// Pairs of `self` whose ids are absent from `ids`; streams both
+    /// decode walks.
     pub fn difference_ids(&self, ids: &crate::chunk::Chunk<crate::chunk::DeltaCodec>) -> WChunk {
         if self.is_empty() || ids.is_empty() {
             return self.clone();
         }
-        let remove = ids.to_vec();
-        let mut j = 0usize;
-        let kept: Vec<WElem> = self
-            .to_vec()
-            .into_iter()
-            .filter(|&(id, _)| {
-                while j < remove.len() && remove[j] < id {
-                    j += 1;
-                }
-                j >= remove.len() || remove[j] != id
-            })
-            .collect();
+        let mut remove = ids.iter().peekable();
+        let mut kept: Vec<WElem> = Vec::with_capacity(self.len());
+        for (id, w) in self.iter() {
+            while remove.peek().is_some_and(|&r| r < id) {
+                remove.next();
+            }
+            if remove.peek() != Some(&id) {
+                kept.push((id, w));
+            }
+        }
         Self::from_sorted(&kept)
     }
 
@@ -264,6 +276,43 @@ impl WChunk {
         }
     }
 }
+
+/// Streaming decoder over a [`WChunk`]'s interleaved gap+weight codes.
+#[derive(Clone, Debug)]
+pub struct WChunkIter<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    remaining: usize,
+    prev: Option<u32>,
+}
+
+impl Iterator for WChunkIter<'_> {
+    type Item = WElem;
+
+    #[inline]
+    fn next(&mut self) -> Option<WElem> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let (gap, used) = encoder::decode_u32(&self.bytes[self.pos..]);
+        self.pos += used;
+        let (w, used) = encoder::decode_u32(&self.bytes[self.pos..]);
+        self.pos += used;
+        let id = match self.prev {
+            None => gap,
+            Some(p) => p + gap,
+        };
+        self.prev = Some(id);
+        Some((id, w))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for WChunkIter<'_> {}
 
 /// A head entry in the weighted C-tree.
 #[derive(Clone, Debug)]
@@ -423,24 +472,18 @@ impl WCTree {
 
     /// All pairs in id order.
     pub fn to_vec(&self) -> Vec<WElem> {
-        let mut out = self.prefix.to_vec();
-        self.tree.for_each_seq(&mut |ht| {
-            out.push((ht.head, ht.weight));
-            out.extend(ht.tail.to_vec());
-        });
+        let mut out = Vec::with_capacity(self.len());
+        self.for_each(|id, w| out.push((id, w)));
         out
     }
 
-    /// Applies `f` to every `(id, weight)` pair in id order.
+    /// Applies `f` to every `(id, weight)` pair in id order, streaming
+    /// each chunk's decode walk.
     pub fn for_each(&self, mut f: impl FnMut(u32, Weight)) {
-        for (id, w) in self.prefix.to_vec() {
-            f(id, w);
-        }
+        self.prefix.for_each(&mut f);
         self.tree.for_each_seq(&mut |ht| {
             f(ht.head, ht.weight);
-            for (id, w) in ht.tail.to_vec() {
-                f(id, w);
-            }
+            ht.tail.for_each(&mut f);
         });
     }
 
@@ -673,7 +716,7 @@ fn wunion_bc(
     let mut groups: Vec<WHeadTail> = Vec::new();
     let mut run: Vec<WElem> = Vec::new();
     let mut cur: Option<u32> = None;
-    for (id, w) in pr.to_vec() {
+    for (id, w) in pr.iter() {
         let h = c
             .tree
             .find_le(&id)
@@ -745,7 +788,7 @@ fn wdifference(a: &WCTree, ids: &crate::CTree<crate::DeltaCodec>) -> WCTree {
                         run.clear();
                     }
                 };
-                for id in beyond.to_vec() {
+                for id in beyond.iter() {
                     let h = out.tree.find_le(&id).expect("id beyond first head").head;
                     if Some(h) != cur {
                         flush(cur, &mut run, &mut groups);
@@ -777,13 +820,13 @@ fn wdifference(a: &WCTree, ids: &crate::CTree<crate::DeltaCodec>) -> WCTree {
 /// Lifts an id chunk into a weighted chunk with zero weights (carrier
 /// for deletion batches inside the head tree's MultiInsert).
 fn wchunk_of_ids(ids: &crate::Chunk<crate::DeltaCodec>) -> WChunk {
-    let pairs: Vec<WElem> = ids.to_vec().into_iter().map(|id| (id, 0)).collect();
+    let pairs: Vec<WElem> = ids.iter().map(|id| (id, 0)).collect();
     WChunk::from_sorted(&pairs)
 }
 
 /// Extracts the ids of a weighted chunk.
 fn id_chunk_of(w: &WChunk) -> crate::Chunk<crate::DeltaCodec> {
-    let ids: Vec<u32> = w.to_vec().into_iter().map(|(id, _)| id).collect();
+    let ids: Vec<u32> = w.iter().map(|(id, _)| id).collect();
     crate::Chunk::from_sorted(&ids)
 }
 

@@ -1,0 +1,403 @@
+//! MSB-first bit streams and instantaneous integer codes.
+//!
+//! The varint byte-code in this crate pays a whole byte for every gap;
+//! WebGraph-style codes spend *bits*. This module provides the two
+//! primitives the `ctree` chunk codecs build on:
+//!
+//! - [`BitWriter`] / [`BitReader`]: an MSB-first bit stream over a byte
+//!   buffer (the first bit written is the high bit of byte 0).
+//! - Scalar codes on top of it: **unary**, **Elias γ**, **minimal
+//!   binary**, and **Boldi–Vigna ζ_k**.
+//!
+//! γ(x), for x ≥ 1, writes N = ⌊log₂ x⌋ in unary (N zeros, then a 1)
+//! followed by the N low bits of x — short codes for small gaps, ideal
+//! for dense adjacency lists. ζ_k generalises γ with a coarser
+//! exponent: x ∈ [2^(hk), 2^((h+1)k)) writes h in unary then the offset
+//! in a minimal binary code; k tunes the code toward the gap
+//! distribution of power-law graphs (ζ₁ ≡ γ, a property the tests pin).
+
+/// Accumulates bits MSB-first into a byte buffer.
+///
+/// ```
+/// use encoder::{BitReader, BitWriter};
+/// let mut w = BitWriter::new();
+/// w.write_gamma(9);
+/// w.write_unary(3);
+/// let bytes = w.finish();
+/// let mut r = BitReader::new(&bytes);
+/// assert_eq!(r.read_gamma(), 9);
+/// assert_eq!(r.read_unary(), 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    out: Vec<u8>,
+    acc: u64,
+    nbits: u32,
+}
+
+impl BitWriter {
+    /// An empty bit stream.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bits written so far (before final padding).
+    pub fn bit_len(&self) -> usize {
+        self.out.len() * 8 + self.nbits as usize
+    }
+
+    /// Writes the low `n` bits of `v`, most significant first. `n ≤ 64`.
+    #[inline]
+    pub fn write_bits(&mut self, v: u64, n: u32) {
+        debug_assert!(n <= 64);
+        if n > 32 {
+            self.push(v >> 32, n - 32);
+            self.push(v & 0xffff_ffff, 32);
+        } else {
+            self.push(v & mask(n), n);
+        }
+    }
+
+    /// Writes a single bit (`0` or `1`).
+    #[inline]
+    pub fn write_bit(&mut self, b: u32) {
+        debug_assert!(b <= 1);
+        self.push(u64::from(b), 1);
+    }
+
+    /// Unary code: `n` zeros followed by a terminating one.
+    #[inline]
+    pub fn write_unary(&mut self, mut n: u32) {
+        while n >= 32 {
+            self.push(0, 32);
+            n -= 32;
+        }
+        self.push(1, n + 1);
+    }
+
+    /// Elias γ code of `x ≥ 1`: unary ⌊log₂ x⌋ then that many low bits.
+    #[inline]
+    pub fn write_gamma(&mut self, x: u64) {
+        debug_assert!(x >= 1, "gamma is defined for x >= 1");
+        let n = 63 - x.leading_zeros();
+        self.write_unary(n);
+        self.write_bits(x & !(1u64 << n), n);
+    }
+
+    /// Minimal binary code of `v` over the interval `[0, m)`.
+    ///
+    /// With `s = ⌈log₂ m⌉` and `t = 2^s − m`, values below `t` take
+    /// `s − 1` bits and the rest take `s` bits — a prefix-free code that
+    /// wastes nothing when `m` is not a power of two.
+    #[inline]
+    pub fn write_minimal_binary(&mut self, v: u64, m: u64) {
+        debug_assert!(v < m, "minimal binary value {v} out of range [0, {m})");
+        if m == 1 {
+            return; // zero bits: the value is forced
+        }
+        let s = 64 - (m - 1).leading_zeros();
+        let t = (1u64 << s) - m;
+        if v < t {
+            self.write_bits(v, s - 1);
+        } else {
+            self.write_bits(v + t, s);
+        }
+    }
+
+    /// Boldi–Vigna ζ_k code of `x ≥ 1` (`1 ≤ k`, `x < 2^62`).
+    ///
+    /// Writes `h` in unary for `x ∈ [2^(hk), 2^((h+1)k))`, then the
+    /// offset `x − 2^(hk)` in minimal binary over an interval of size
+    /// `2^(hk)·(2^k − 1)`. `ζ_1` coincides bit-for-bit with γ.
+    #[inline]
+    pub fn write_zeta(&mut self, x: u64, k: u32) {
+        debug_assert!(x >= 1, "zeta is defined for x >= 1");
+        debug_assert!((1..=16).contains(&k));
+        debug_assert!(x < 1u64 << 62);
+        let mut h = 0u32;
+        while (h + 1) * k <= 62 && x >= 1u64 << ((h + 1) * k) {
+            h += 1;
+        }
+        self.write_unary(h);
+        let low = 1u64 << (h * k);
+        let m = ((1u64 << k) - 1) * low;
+        self.write_minimal_binary(x - low, m);
+    }
+
+    /// Flushes the accumulator, zero-padding the final byte.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            let pad = 8 - self.nbits;
+            self.push(0, pad);
+        }
+        self.out
+    }
+
+    /// Appends `n ≤ 32` already-masked bits.
+    #[inline]
+    fn push(&mut self, v: u64, n: u32) {
+        self.acc = (self.acc << n) | v;
+        self.nbits += n;
+        while self.nbits >= 8 {
+            self.nbits -= 8;
+            self.out.push((self.acc >> self.nbits) as u8);
+        }
+    }
+}
+
+#[inline]
+fn mask(n: u32) -> u64 {
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// Reads an MSB-first bit stream produced by [`BitWriter`].
+///
+/// Keeps a 64-bit refill buffer so multi-bit reads touch bytes in
+/// bulk; the chunk codecs call this once per decoded neighbour, so the
+/// per-call cost matters.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    acc: u64,
+    nbits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    /// Starts reading from the first (most significant) bit of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self {
+            bytes,
+            pos: 0,
+            acc: 0,
+            nbits: 0,
+        }
+    }
+
+    #[inline]
+    fn refill(&mut self) {
+        while self.nbits <= 56 && self.pos < self.bytes.len() {
+            self.acc = (self.acc << 8) | u64::from(self.bytes[self.pos]);
+            self.pos += 1;
+            self.nbits += 8;
+        }
+    }
+
+    /// Reads `n ≤ 64` bits, most significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream is exhausted.
+    #[inline]
+    pub fn read_bits(&mut self, n: u32) -> u64 {
+        debug_assert!(n <= 64);
+        if n > 32 {
+            let hi = self.read_small(n - 32);
+            let lo = self.read_small(32);
+            (hi << 32) | lo
+        } else {
+            self.read_small(n)
+        }
+    }
+
+    /// Reads a single bit.
+    #[inline]
+    pub fn read_bit(&mut self) -> u32 {
+        self.read_small(1) as u32
+    }
+
+    /// Reads a unary code: the number of zeros before the next one bit.
+    #[inline]
+    pub fn read_unary(&mut self) -> u32 {
+        let mut count = 0u32;
+        loop {
+            self.refill();
+            assert!(self.nbits > 0, "truncated bit stream");
+            // Valid bits live in the low `nbits` of `acc`; shift them to
+            // the top so leading_zeros counts only real data.
+            let window = self.acc << (64 - self.nbits);
+            let lz = window.leading_zeros();
+            if lz >= self.nbits {
+                count += self.nbits;
+                self.nbits = 0;
+            } else {
+                self.nbits -= lz + 1;
+                return count + lz;
+            }
+        }
+    }
+
+    /// Reads an Elias γ code (inverse of [`BitWriter::write_gamma`]).
+    #[inline]
+    pub fn read_gamma(&mut self) -> u64 {
+        let n = self.read_unary();
+        (1u64 << n) | self.read_bits(n)
+    }
+
+    /// Reads a minimal binary code over `[0, m)`.
+    #[inline]
+    pub fn read_minimal_binary(&mut self, m: u64) -> u64 {
+        if m == 1 {
+            return 0;
+        }
+        let s = 64 - (m - 1).leading_zeros();
+        let t = (1u64 << s) - m;
+        let v = self.read_bits(s - 1);
+        if v < t {
+            v
+        } else {
+            ((v << 1) | u64::from(self.read_bit())) - t
+        }
+    }
+
+    /// Reads a ζ_k code (inverse of [`BitWriter::write_zeta`]).
+    #[inline]
+    pub fn read_zeta(&mut self, k: u32) -> u64 {
+        let h = self.read_unary();
+        let low = 1u64 << (h * k);
+        let m = ((1u64 << k) - 1) * low;
+        low + self.read_minimal_binary(m)
+    }
+
+    #[inline]
+    fn read_small(&mut self, n: u32) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        if self.nbits < n {
+            self.refill();
+            assert!(self.nbits >= n, "truncated bit stream");
+        }
+        self.nbits -= n;
+        (self.acc >> self.nbits) & mask(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bits_are_msb_first() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        let bytes = w.finish();
+        assert_eq!(bytes, vec![0b1010_0000]);
+    }
+
+    #[test]
+    fn gamma_known_codewords() {
+        // γ(1) = "1", γ(2) = "010", γ(3) = "011", γ(4) = "00100".
+        for (x, code, len) in [
+            (1u64, 0b1u64, 1u32),
+            (2, 0b010, 3),
+            (3, 0b011, 3),
+            (4, 0b00100, 5),
+        ] {
+            let mut w = BitWriter::new();
+            w.write_gamma(x);
+            assert_eq!(w.bit_len(), len as usize, "γ({x}) length");
+            let bytes = w.finish();
+            let mut r = BitReader::new(&bytes);
+            assert_eq!(r.read_bits(len), code, "γ({x}) bits");
+        }
+    }
+
+    #[test]
+    fn unary_across_refill_boundaries() {
+        let mut w = BitWriter::new();
+        for n in [0u32, 7, 63, 64, 100, 1] {
+            w.write_unary(n);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for n in [0u32, 7, 63, 64, 100, 1] {
+            assert_eq!(r.read_unary(), n);
+        }
+    }
+
+    #[test]
+    fn minimal_binary_is_prefix_free_and_exact() {
+        for m in 1u64..=48 {
+            let mut w = BitWriter::new();
+            for v in 0..m {
+                w.write_minimal_binary(v, m);
+            }
+            let bytes = w.finish();
+            let mut r = BitReader::new(&bytes);
+            for v in 0..m {
+                assert_eq!(r.read_minimal_binary(m), v, "m={m} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn zeta1_equals_gamma() {
+        for x in (1u64..200).chain([1 << 20, (1 << 32) + 1, 1 << 40]) {
+            let mut wz = BitWriter::new();
+            wz.write_zeta(x, 1);
+            let mut wg = BitWriter::new();
+            wg.write_gamma(x);
+            assert_eq!(wz.bit_len(), wg.bit_len(), "ζ₁({x}) length");
+            assert_eq!(wz.finish(), wg.finish(), "ζ₁({x}) bits");
+        }
+    }
+
+    #[test]
+    fn zeta2_unit_gap_is_two_bits() {
+        // The intervalization codec leans on ζ₂(1) = 2 bits (vs 8 for a
+        // varint byte), which is where it beats DeltaCodec on dense sets.
+        let mut w = BitWriter::new();
+        w.write_zeta(1, 2);
+        assert_eq!(w.bit_len(), 2);
+    }
+
+    #[test]
+    fn max_gap_roundtrips() {
+        // A chunk whose first value is u32::MAX encodes gap 2^32.
+        let big = 1u64 << 32;
+        let mut w = BitWriter::new();
+        w.write_gamma(big);
+        w.write_zeta(big, 2);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_gamma(), big);
+        assert_eq!(r.read_zeta(2), big);
+    }
+
+    #[test]
+    #[should_panic(expected = "truncated")]
+    fn truncated_stream_panics() {
+        let mut r = BitReader::new(&[0x00]);
+        r.read_unary();
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_mixed_codes(xs in proptest::collection::vec(1u64..=(1u64 << 33), 1..120), k in 1u32..=8) {
+            let mut w = BitWriter::new();
+            for (i, &x) in xs.iter().enumerate() {
+                match i % 3 {
+                    0 => w.write_gamma(x),
+                    1 => w.write_zeta(x, k),
+                    _ => w.write_bits(x, 34),
+                }
+            }
+            let bytes = w.finish();
+            let mut r = BitReader::new(&bytes);
+            for (i, &x) in xs.iter().enumerate() {
+                let got = match i % 3 {
+                    0 => r.read_gamma(),
+                    1 => r.read_zeta(k),
+                    _ => r.read_bits(34),
+                };
+                prop_assert_eq!(got, x);
+            }
+        }
+    }
+}

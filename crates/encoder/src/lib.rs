@@ -18,8 +18,10 @@
 //! assert_eq!(encoder::decode_sorted(&bytes, xs.len()), xs);
 //! ```
 
+mod bits;
 mod varint;
 
+pub use bits::{BitReader, BitWriter};
 pub use varint::{decode_u32, decode_u64, encode_u32, encode_u64, encoded_len_u32};
 
 /// Difference-encodes a strictly increasing slice of `u32` into a byte
