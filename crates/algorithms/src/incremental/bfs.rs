@@ -1,0 +1,352 @@
+//! Incremental single-source BFS distances over version diffs.
+
+use super::RepairStats;
+use crate::bfs::{bfs, UNREACHED};
+use aspen::{GraphDiff, GraphView};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Standing hop distances from a fixed source, repaired from
+/// [`GraphDiff`]s.
+///
+/// Distances match [`bfs`] on the current snapshot exactly. (Parent
+/// arrays are not comparable: the from-scratch CAS race picks an
+/// arbitrary valid BFS tree. This structure keeps its own valid tree —
+/// `dist[parent[v]] + 1 == dist[v]` — as repair bookkeeping.)
+///
+/// Repair strategy, after "Low-Latency Sliding Window Connectivity"'s
+/// expiry/repair split:
+///
+/// 1. **Orphan** the tree descendants of every vertex whose tree edge
+///    was removed (and of every removed vertex): only their distances
+///    can have grown. Everything outside the orphaned region keeps a
+///    certified shortest path — its tree branch survived the batch —
+///    so its distance can only *improve*, and only via added edges.
+/// 2. **Re-settle** with a unit-weight multi-source Dijkstra seeded
+///    from (a) each orphan's best non-orphan neighbor and (b) every
+///    added edge that improves its head. Relaxation cascades handle
+///    paths that weave through the orphaned region.
+pub struct DeltaBfs {
+    src: u32,
+    dist: Vec<u32>,
+    parent: Vec<u32>,
+    /// Tree children of each vertex (inverse of `parent`).
+    children: Vec<Vec<u32>>,
+}
+
+impl DeltaBfs {
+    /// Initializes from a snapshot by from-scratch recomputation.
+    ///
+    /// A source outside the id space yields an all-unreached result
+    /// (where [`bfs`] would panic); it stays empty until the id space
+    /// grows to include the source again.
+    pub fn new<G: GraphView>(graph: &G, src: u32) -> Self {
+        let n = graph.id_bound();
+        if (src as usize) >= n {
+            return DeltaBfs {
+                src,
+                dist: vec![UNREACHED; n],
+                parent: vec![UNREACHED; n],
+                children: vec![Vec::new(); n],
+            };
+        }
+        let r = bfs(graph, src);
+        Self::from_tree(src, r.parent, r.dist)
+    }
+
+    fn from_tree(src: u32, parent: Vec<u32>, dist: Vec<u32>) -> Self {
+        let mut children = vec![Vec::new(); parent.len()];
+        for (v, &p) in parent.iter().enumerate() {
+            if p != UNREACHED && p != v as u32 {
+                children[p as usize].push(v as u32);
+            }
+        }
+        DeltaBfs {
+            src,
+            dist,
+            parent,
+            children,
+        }
+    }
+
+    /// The BFS source.
+    pub fn source(&self) -> u32 {
+        self.src
+    }
+
+    /// The maintained distances (identical to [`bfs`]`(g, src).dist`).
+    pub fn dist(&self) -> &[u32] {
+        &self.dist
+    }
+
+    /// Number of vertices currently reached (source included).
+    pub fn num_reached(&self) -> usize {
+        self.dist.iter().filter(|&&d| d != UNREACHED).count()
+    }
+
+    fn full_recompute<G: GraphView>(&mut self, graph: &G, mut stats: RepairStats) -> RepairStats {
+        *self = Self::new(graph, self.src);
+        stats.full_recompute = true;
+        stats
+    }
+
+    /// Repairs the distances for the version `graph`, given the diff
+    /// from the previously-applied version to `graph`.
+    pub fn apply_diff<G: GraphView>(&mut self, diff: &GraphDiff, graph: &G) -> RepairStats {
+        let n_new = graph.id_bound();
+        let stats = RepairStats::default();
+        if (self.src as usize) >= n_new {
+            self.dist = vec![UNREACHED; n_new];
+            self.parent = vec![UNREACHED; n_new];
+            self.children = vec![Vec::new(); n_new];
+            return stats;
+        }
+        // The source just (re-)entered the id space: no usable state.
+        if (self.src as usize) >= self.dist.len() {
+            return self.full_recompute(graph, stats);
+        }
+        self.repair(diff, graph, n_new, stats)
+    }
+
+    fn repair<G: GraphView>(
+        &mut self,
+        diff: &GraphDiff,
+        graph: &G,
+        n_new: usize,
+        mut stats: RepairStats,
+    ) -> RepairStats {
+        let n_old = self.dist.len();
+        if n_new > n_old {
+            self.dist.resize(n_new, UNREACHED);
+            self.parent.resize(n_new, UNREACHED);
+            self.children.resize(n_new, Vec::new());
+        }
+
+        // --- Phase 1: orphan the invalidated subtrees. ---
+        let mut orphans: HashSet<u32> = HashSet::new();
+        let mut queue: Vec<u32> = Vec::new();
+        let suspect = |x: u32, orphans: &mut HashSet<u32>, queue: &mut Vec<u32>| {
+            if x != self.src && orphans.insert(x) {
+                queue.push(x);
+            }
+        };
+        for &(u, v) in &diff.removed_edges {
+            if (v as usize) < self.parent.len() && self.parent[v as usize] == u {
+                suspect(v, &mut orphans, &mut queue);
+            }
+        }
+        for &x in &diff.removed_vertices {
+            if (x as usize) < self.parent.len() {
+                suspect(x, &mut orphans, &mut queue);
+            }
+        }
+        while let Some(v) = queue.pop() {
+            for &c in &self.children[v as usize] {
+                if orphans.insert(c) {
+                    queue.push(c);
+                }
+            }
+        }
+        stats.region = orphans.len();
+        if stats.region > n_new / 2 {
+            return self.full_recompute(graph, stats);
+        }
+        for &o in &orphans {
+            let p = self.parent[o as usize];
+            if p != UNREACHED && p != o && !orphans.contains(&p) {
+                self.children[p as usize].retain(|&c| c != o);
+            }
+        }
+        for &o in &orphans {
+            self.dist[o as usize] = UNREACHED;
+            self.parent[o as usize] = UNREACHED;
+            self.children[o as usize].clear();
+        }
+
+        // --- Phase 2: re-settle from the repair frontier. ---
+        // Entries are (candidate dist, vertex, parent candidate).
+        let mut heap: BinaryHeap<Reverse<(u32, u32, u32)>> = BinaryHeap::new();
+        for &o in &orphans {
+            if (o as usize) >= n_new {
+                continue; // id left the space; stays unreached
+            }
+            let mut best: Option<(u32, u32)> = None;
+            graph.for_each_neighbor(o, &mut |w| {
+                if !orphans.contains(&w) && self.dist[w as usize] != UNREACHED {
+                    let d = self.dist[w as usize] + 1;
+                    if best.is_none_or(|(bd, _)| d < bd) {
+                        best = Some((d, w));
+                    }
+                }
+            });
+            if let Some((d, w)) = best {
+                heap.push(Reverse((d, o, w)));
+            }
+        }
+        for &(u, v) in &diff.added_edges {
+            let du = self.dist[u as usize];
+            if du != UNREACHED && du + 1 < self.dist[v as usize] {
+                heap.push(Reverse((du + 1, v, u)));
+            }
+        }
+        while let Some(Reverse((d, v, p))) = heap.pop() {
+            if d >= self.dist[v as usize] {
+                continue; // stale entry
+            }
+            let old_p = self.parent[v as usize];
+            if old_p != UNREACHED && old_p != v {
+                self.children[old_p as usize].retain(|&c| c != v);
+            }
+            self.dist[v as usize] = d;
+            self.parent[v as usize] = p;
+            self.children[p as usize].push(v);
+            stats.repaired += 1;
+            graph.for_each_neighbor(v, &mut |w| {
+                if d + 1 < self.dist[w as usize] {
+                    heap.push(Reverse((d + 1, w, v)));
+                }
+            });
+        }
+
+        if n_new < self.dist.len() {
+            self.dist.truncate(n_new);
+            self.parent.truncate(n_new);
+            self.children.truncate(n_new);
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aspen::{diff_graphs, CompressedEdges, Graph};
+
+    type G = Graph<CompressedEdges>;
+
+    fn sym(edges: &[(u32, u32)]) -> Vec<(u32, u32)> {
+        edges.iter().flat_map(|&(u, v)| [(u, v), (v, u)]).collect()
+    }
+
+    fn check_against_scratch(b: &DeltaBfs, g: &G) {
+        assert_eq!(b.dist(), bfs(g, b.source()).dist.as_slice());
+        // The maintained tree must stay internally consistent.
+        for v in 0..b.dist.len() as u32 {
+            let p = b.parent[v as usize];
+            if v == b.src || p == UNREACHED {
+                continue;
+            }
+            assert_eq!(
+                b.dist[v as usize],
+                b.dist[p as usize] + 1,
+                "tree broken at {v}"
+            );
+            assert!(b.children[p as usize].contains(&v));
+        }
+    }
+
+    #[test]
+    fn insert_shortens_distances() {
+        let path: Vec<(u32, u32)> = (0..9u32).map(|i| (i, i + 1)).collect();
+        let g = G::from_edges(&sym(&path), Default::default());
+        let mut b = DeltaBfs::new(&g, 0);
+        assert_eq!(b.dist()[9], 9);
+        let g2 = g.insert_edges(&sym(&[(0, 8)]));
+        let stats = b.apply_diff(&diff_graphs(&g, &g2), &g2);
+        assert!(!stats.full_recompute);
+        assert_eq!(b.dist()[9], 2);
+        check_against_scratch(&b, &g2);
+    }
+
+    #[test]
+    fn delete_tree_edge_reroutes() {
+        // A cycle: cutting one tree edge leaves the long way around.
+        let ring: Vec<(u32, u32)> = (0..8u32).map(|i| (i, (i + 1) % 8)).collect();
+        let g = G::from_edges(&sym(&ring), Default::default());
+        let mut b = DeltaBfs::new(&g, 0);
+        assert_eq!(b.dist()[1], 1);
+        let g2 = g.delete_edges(&sym(&[(0, 1)]));
+        b.apply_diff(&diff_graphs(&g, &g2), &g2);
+        assert_eq!(b.dist()[1], 7);
+        check_against_scratch(&b, &g2);
+    }
+
+    #[test]
+    fn delete_disconnects_subtree() {
+        let g = G::from_edges(&sym(&[(0, 1), (1, 2), (2, 3)]), Default::default());
+        let mut b = DeltaBfs::new(&g, 0);
+        let g2 = g.delete_edges(&sym(&[(1, 2)]));
+        let stats = b.apply_diff(&diff_graphs(&g, &g2), &g2);
+        assert_eq!(b.dist()[2], UNREACHED);
+        assert_eq!(b.dist()[3], UNREACHED);
+        assert_eq!(stats.region, 2);
+        check_against_scratch(&b, &g2);
+    }
+
+    #[test]
+    fn removed_vertex_unreaches_and_reroutes() {
+        // 0-1-2 and 0-3-2: removing 1 leaves 2 reachable via 3.
+        let g = G::from_edges(&sym(&[(0, 1), (1, 2), (0, 3), (3, 2)]), Default::default());
+        let mut b = DeltaBfs::new(&g, 0);
+        let g2 = g.delete_vertices(&[1]);
+        b.apply_diff(&diff_graphs(&g, &g2), &g2);
+        assert_eq!(b.dist()[1], UNREACHED);
+        assert_eq!(b.dist()[2], 2);
+        check_against_scratch(&b, &g2);
+    }
+
+    #[test]
+    fn batch_with_inserts_and_deletes() {
+        let path: Vec<(u32, u32)> = (0..19u32).map(|i| (i, i + 1)).collect();
+        let g = G::from_edges(&sym(&path), Default::default());
+        let mut b = DeltaBfs::new(&g, 10);
+        let g2 = g
+            .delete_edges(&sym(&[(10, 11), (3, 4)]))
+            .insert_edges(&sym(&[(0, 19), (5, 15)]));
+        b.apply_diff(&diff_graphs(&g, &g2), &g2);
+        check_against_scratch(&b, &g2);
+    }
+
+    #[test]
+    fn id_space_growth_and_shrink() {
+        let g = G::from_edges(&sym(&[(0, 1), (1, 2)]), Default::default());
+        let mut b = DeltaBfs::new(&g, 0);
+        let g2 = g.insert_edges(&sym(&[(2, 8)]));
+        b.apply_diff(&diff_graphs(&g, &g2), &g2);
+        assert_eq!(b.dist().len(), 9);
+        assert_eq!(b.dist()[8], 3);
+        check_against_scratch(&b, &g2);
+        let g3 = g2.delete_vertices(&[8]);
+        b.apply_diff(&diff_graphs(&g2, &g3), &g3);
+        assert_eq!(b.dist().len(), 3);
+        check_against_scratch(&b, &g3);
+    }
+
+    #[test]
+    fn huge_delta_falls_back_to_recompute() {
+        let path: Vec<(u32, u32)> = (0..63u32).map(|i| (i, i + 1)).collect();
+        let g = G::from_edges(&sym(&path), Default::default());
+        let mut b = DeltaBfs::new(&g, 0);
+        let g2 = g.delete_edges(&sym(&[(0, 1)])); // orphans 63 of 64
+        let stats = b.apply_diff(&diff_graphs(&g, &g2), &g2);
+        assert!(stats.full_recompute);
+        check_against_scratch(&b, &g2);
+    }
+
+    #[test]
+    fn source_outside_id_space_is_all_unreached() {
+        let g = G::from_edges(&sym(&[(0, 1)]), Default::default());
+        let b = DeltaBfs::new(&g, 40);
+        assert_eq!(b.num_reached(), 0);
+    }
+
+    #[test]
+    fn empty_diff_is_a_noop() {
+        let g = G::from_edges(&sym(&[(0, 1), (1, 2)]), Default::default());
+        let mut b = DeltaBfs::new(&g, 0);
+        let before = b.dist().to_vec();
+        let stats = b.apply_diff(&GraphDiff::default(), &g);
+        assert_eq!(stats, RepairStats::default());
+        assert_eq!(b.dist(), before.as_slice());
+    }
+}

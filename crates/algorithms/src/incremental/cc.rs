@@ -1,0 +1,422 @@
+//! Incremental connected components over version diffs.
+
+use super::RepairStats;
+use crate::cc::connected_components;
+use aspen::{GraphDiff, GraphView};
+use std::collections::{HashMap, HashSet};
+
+/// Standing connected-component labels, repaired from [`GraphDiff`]s.
+///
+/// Matches [`connected_components`] exactly: `labels[v]` is the
+/// smallest vertex id in `v`'s component over the dense `0..id_bound`
+/// space, so ids with no vertex are their own singleton components.
+///
+/// Representation: the label array plus member lists for every
+/// component of size ≥ 2 (singletons are implicit — `labels[v] == v`
+/// and no entry). Inserting an edge between two components relabels
+/// the one with the larger root; deleting edges or vertices recomputes
+/// only the member set of the components that were actually hit, via a
+/// local union–find restricted to that region. Neighbors outside the
+/// region can be skipped during that sweep: an edge that *survived*
+/// the batch connects vertices that were already in the same (hit)
+/// component, and an edge *added* by the batch is replayed by the
+/// insert phase afterwards.
+///
+/// Before paying for a region sweep, the delete phase tries the
+/// classic dynamic-connectivity shortcut: a budgeted bidirectional
+/// search proving each deleted edge's endpoints are still connected in
+/// the *new* graph. If every deleted edge reconnects (and no vertices
+/// were removed), the partition is provably unchanged — any old path
+/// that used a deleted edge reroutes through the replacement path — so
+/// the whole delete phase is a no-op. Most deletes inside a dense
+/// component reconnect within a handful of hops, which is what keeps
+/// repair cheap on delete-light batches even when the hit component is
+/// the giant one.
+pub struct DeltaCc {
+    labels: Vec<u32>,
+    /// Root id → all member ids (root included); only size ≥ 2.
+    members: HashMap<u32, Vec<u32>>,
+}
+
+impl DeltaCc {
+    /// Initializes from a snapshot by from-scratch recomputation.
+    pub fn new<G: GraphView>(graph: &G) -> Self {
+        Self::from_labels(connected_components(graph))
+    }
+
+    fn from_labels(labels: Vec<u32>) -> Self {
+        let mut members: HashMap<u32, Vec<u32>> = HashMap::new();
+        for (v, &l) in labels.iter().enumerate() {
+            members.entry(l).or_default().push(v as u32);
+        }
+        members.retain(|_, ms| ms.len() > 1);
+        DeltaCc { labels, members }
+    }
+
+    /// The maintained label array (identical to what
+    /// [`connected_components`] on the current snapshot would return).
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// Number of distinct components (singletons included).
+    pub fn num_components(&self) -> usize {
+        crate::cc::num_components(&self.labels)
+    }
+
+    fn full_recompute<G: GraphView>(&mut self, graph: &G, mut stats: RepairStats) -> RepairStats {
+        *self = Self::new(graph);
+        stats.full_recompute = true;
+        stats
+    }
+
+    /// Repairs the labels for the version `graph`, given the diff from
+    /// the previously-applied version to `graph`.
+    pub fn apply_diff<G: GraphView>(&mut self, diff: &GraphDiff, graph: &G) -> RepairStats {
+        let n_new = graph.id_bound();
+        let mut stats = RepairStats::default();
+
+        // Grow the id space first: new ids start as singletons.
+        let n_old = self.labels.len();
+        if n_new > n_old {
+            self.labels.extend(n_old as u32..n_new as u32);
+        }
+
+        // --- Delete phase: recompute the hit components locally
+        // (skipped entirely when the reconnection shortcut proves the
+        // deletions left the partition untouched). ---
+        let deletes_noop = diff.removed_vertices.is_empty()
+            && (diff.removed_edges.is_empty() || deletes_preserve_partition(diff, graph));
+        if !deletes_noop {
+            let mut roots: HashSet<u32> = HashSet::new();
+            for &(u, v) in &diff.removed_edges {
+                roots.insert(self.labels[u as usize]);
+                roots.insert(self.labels[v as usize]);
+            }
+            for &x in &diff.removed_vertices {
+                if (x as usize) < self.labels.len() {
+                    roots.insert(self.labels[x as usize]);
+                }
+            }
+            let mut region: Vec<u32> = Vec::new();
+            for r in roots {
+                match self.members.remove(&r) {
+                    Some(ms) => region.extend(ms),
+                    None => region.push(r),
+                }
+            }
+            stats.region = region.len();
+            if stats.region > n_new / 2 {
+                return self.full_recompute(graph, stats);
+            }
+
+            let removed: HashSet<u32> = diff.removed_vertices.iter().copied().collect();
+            // Vertices that remain present after this batch.
+            let live: Vec<u32> = region
+                .iter()
+                .copied()
+                .filter(|&v| !removed.contains(&v) && (v as usize) < n_new)
+                .collect();
+            let index: HashMap<u32, u32> = live
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, i as u32))
+                .collect();
+
+            // Local union–find over the live region.
+            let mut uf: Vec<u32> = (0..live.len() as u32).collect();
+            fn find(uf: &mut [u32], mut x: u32) -> u32 {
+                while uf[x as usize] != x {
+                    uf[x as usize] = uf[uf[x as usize] as usize];
+                    x = uf[x as usize];
+                }
+                x
+            }
+            for (i, &u) in live.iter().enumerate() {
+                graph.for_each_neighbor(u, &mut |w| {
+                    if let Some(&j) = index.get(&w) {
+                        let (ri, rj) = (find(&mut uf, i as u32), find(&mut uf, j));
+                        if ri != rj {
+                            uf[ri.max(rj) as usize] = ri.min(rj);
+                        }
+                    }
+                });
+            }
+            let mut classes: HashMap<u32, Vec<u32>> = HashMap::new();
+            for (i, &v) in live.iter().enumerate() {
+                classes.entry(find(&mut uf, i as u32)).or_default().push(v);
+            }
+            for (_, ms) in classes {
+                let label = ms.iter().copied().min().expect("nonempty class");
+                for &m in &ms {
+                    self.labels[m as usize] = label;
+                }
+                stats.repaired += ms.len();
+                if ms.len() > 1 {
+                    self.members.insert(label, ms);
+                }
+            }
+            // Removed vertices fall back to implicit singletons.
+            for &x in &diff.removed_vertices {
+                if (x as usize) < self.labels.len() {
+                    self.labels[x as usize] = x;
+                }
+            }
+        }
+
+        // --- Insert phase: union across every added edge. ---
+        for &(u, v) in &diff.added_edges {
+            let (lu, lv) = (self.labels[u as usize], self.labels[v as usize]);
+            if lu == lv {
+                continue;
+            }
+            // The root is the minimum member id, so the larger-rooted
+            // side is the one that must relabel.
+            let (keep, lose) = (lu.min(lv), lu.max(lv));
+            let mut losers = self.members.remove(&lose).unwrap_or_else(|| vec![lose]);
+            for &m in &losers {
+                self.labels[m as usize] = keep;
+            }
+            stats.repaired += losers.len();
+            self.members
+                .entry(keep)
+                .or_insert_with(|| vec![keep])
+                .append(&mut losers);
+        }
+
+        // Shrink last: dropped ids were removed vertices (already
+        // singletons, absent from every member list) or never existed.
+        if n_new < self.labels.len() {
+            self.members.retain(|&r, _| (r as usize) < n_new);
+            self.labels.truncate(n_new);
+        }
+        stats
+    }
+}
+
+/// True when every deleted edge's endpoints are still connected in the
+/// new graph — which proves the component partition was not changed by
+/// the deletions (merges from added edges are the insert phase's job).
+///
+/// Budgeting: the shortcut may scan at most ~`m/4` edges for the whole
+/// batch (a quarter of what one recompute pass costs), split across
+/// the deleted edges; each edge gets at least enough to meet in the
+/// middle of a dense component and at most 16K scans. Blowing a budget
+/// just means the region sweep runs — never a wrong answer.
+fn deletes_preserve_partition<G: GraphView>(diff: &GraphDiff, graph: &G) -> bool {
+    let n = graph.id_bound();
+    let total_budget = (graph.num_edges() as usize / 4).max(32_768);
+    let undirected = (diff.removed_edges.len() / 2).max(1);
+    let per_edge = (total_budget / undirected).clamp(1024, 16_384);
+    let mut spent = 0usize;
+    let mut seen: HashSet<(u32, u32)> = HashSet::new();
+    diff.removed_edges.iter().all(|&(u, v)| {
+        let key = if u < v { (u, v) } else { (v, u) };
+        if !seen.insert(key) {
+            return true;
+        }
+        if spent >= total_budget || (u as usize) >= n || (v as usize) >= n {
+            return false;
+        }
+        let (ok, scanned) = reconnected(graph, u, v, per_edge.min(total_budget - spent));
+        spent += scanned;
+        ok
+    })
+}
+
+struct Side {
+    visited: HashSet<u32>,
+    frontier: Vec<u32>,
+}
+
+impl Side {
+    fn new(start: u32) -> Self {
+        Side {
+            visited: HashSet::from([start]),
+            frontier: vec![start],
+        }
+    }
+}
+
+/// Bidirectional breadth-first search for a path between `s` and `t`,
+/// scanning at most ~`budget` edges; returns whether they met plus the
+/// number of edges actually scanned. `false` covers both provable
+/// disconnection (one side exhausted its component) and a blown budget
+/// — callers treat `false` as "do the sweep".
+fn reconnected<G: GraphView>(graph: &G, s: u32, t: u32, budget: usize) -> (bool, usize) {
+    if s == t {
+        return (true, 0);
+    }
+    let mut a = Side::new(s);
+    let mut b = Side::new(t);
+    let mut scanned = 0usize;
+    while scanned <= budget {
+        // Expand the smaller frontier; if it is empty, that side's
+        // whole component has been explored without meeting the other.
+        let expand_a = a.frontier.len() <= b.frontier.len();
+        let met = if expand_a {
+            if a.frontier.is_empty() {
+                return (false, scanned);
+            }
+            expand_level(graph, &mut a, &b.visited, &mut scanned)
+        } else {
+            if b.frontier.is_empty() {
+                return (false, scanned);
+            }
+            expand_level(graph, &mut b, &a.visited, &mut scanned)
+        };
+        if met {
+            return (true, scanned);
+        }
+    }
+    (false, scanned)
+}
+
+/// Expands one BFS level of `this`; true if it touched the other side.
+fn expand_level<G: GraphView>(
+    graph: &G,
+    this: &mut Side,
+    other_visited: &HashSet<u32>,
+    scanned: &mut usize,
+) -> bool {
+    let frontier = std::mem::take(&mut this.frontier);
+    let mut met = false;
+    for &x in &frontier {
+        graph.for_each_neighbor(x, &mut |y| {
+            *scanned += 1;
+            if met || other_visited.contains(&y) {
+                met = true;
+            } else if this.visited.insert(y) {
+                this.frontier.push(y);
+            }
+        });
+        if met {
+            break;
+        }
+    }
+    met
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aspen::{diff_graphs, CompressedEdges, Graph};
+
+    type G = Graph<CompressedEdges>;
+
+    fn sym(edges: &[(u32, u32)]) -> Vec<(u32, u32)> {
+        edges.iter().flat_map(|&(u, v)| [(u, v), (v, u)]).collect()
+    }
+
+    fn check_against_scratch(cc: &DeltaCc, g: &G) {
+        assert_eq!(cc.labels(), connected_components(g).as_slice());
+    }
+
+    #[test]
+    fn insert_unions_components() {
+        let g = G::from_edges(&sym(&[(0, 1), (3, 4)]), Default::default());
+        let mut cc = DeltaCc::new(&g);
+        assert_eq!(cc.num_components(), 3); // {0,1} {3,4} {2}
+        let g2 = g.insert_edges(&sym(&[(1, 3)]));
+        let stats = cc.apply_diff(&diff_graphs(&g, &g2), &g2);
+        assert!(!stats.full_recompute);
+        check_against_scratch(&cc, &g2);
+        assert_eq!(cc.num_components(), 2);
+    }
+
+    #[test]
+    fn delete_splits_components() {
+        let g = G::from_edges(&sym(&[(0, 1), (1, 2), (2, 3)]), Default::default());
+        let mut cc = DeltaCc::new(&g);
+        let g2 = g.delete_edges(&sym(&[(1, 2)]));
+        let stats = cc.apply_diff(&diff_graphs(&g, &g2), &g2);
+        assert_eq!(stats.region, 4); // whole hit component re-examined
+        check_against_scratch(&cc, &g2);
+        assert_eq!(cc.num_components(), 2);
+    }
+
+    #[test]
+    fn delete_inside_cycle_keeps_component() {
+        let g = G::from_edges(&sym(&[(0, 1), (1, 2), (2, 0)]), Default::default());
+        let mut cc = DeltaCc::new(&g);
+        let g2 = g.delete_edges(&sym(&[(0, 1)]));
+        cc.apply_diff(&diff_graphs(&g, &g2), &g2);
+        check_against_scratch(&cc, &g2);
+        assert_eq!(cc.num_components(), 1);
+    }
+
+    #[test]
+    fn vertex_removal_and_id_space_shrink() {
+        let g = G::from_edges(&sym(&[(0, 1), (1, 2), (2, 9)]), Default::default());
+        let mut cc = DeltaCc::new(&g);
+        assert_eq!(cc.labels().len(), 10);
+        let g2 = g.delete_vertices(&[9]);
+        cc.apply_diff(&diff_graphs(&g, &g2), &g2);
+        assert_eq!(cc.labels().len(), 3);
+        check_against_scratch(&cc, &g2);
+    }
+
+    #[test]
+    fn id_space_growth() {
+        let g = G::from_edges(&sym(&[(0, 1)]), Default::default());
+        let mut cc = DeltaCc::new(&g);
+        let g2 = g.insert_edges(&sym(&[(1, 7)]));
+        cc.apply_diff(&diff_graphs(&g, &g2), &g2);
+        check_against_scratch(&cc, &g2);
+        assert_eq!(cc.labels()[7], 0);
+    }
+
+    #[test]
+    fn reconnecting_delete_skips_the_region_sweep() {
+        // Ring of 64: any single deleted edge reconnects the long way
+        // around, so the partition is untouched and no region is swept.
+        let edges: Vec<(u32, u32)> = (0..64u32).map(|i| (i, (i + 1) % 64)).collect();
+        let g = G::from_edges(&sym(&edges), Default::default());
+        let mut cc = DeltaCc::new(&g);
+        let g2 = g.delete_edges(&sym(&[(10, 11)]));
+        let stats = cc.apply_diff(&diff_graphs(&g, &g2), &g2);
+        assert!(!stats.full_recompute);
+        assert_eq!(stats.region, 0, "shortcut should have skipped the sweep");
+        check_against_scratch(&cc, &g2);
+        assert_eq!(cc.num_components(), 1);
+    }
+
+    #[test]
+    fn disconnecting_delete_still_sweeps() {
+        // Two rings joined by one bridge: deleting the bridge splits,
+        // and the shortcut must not claim otherwise.
+        let mut edges: Vec<(u32, u32)> = (0..32u32).map(|i| (i, (i + 1) % 32)).collect();
+        edges.extend((0..32u32).map(|i| (32 + i, 32 + (i + 1) % 32)));
+        edges.push((5, 37));
+        let g = G::from_edges(&sym(&edges), Default::default());
+        let mut cc = DeltaCc::new(&g);
+        assert_eq!(cc.num_components(), 1);
+        let g2 = g.delete_edges(&sym(&[(5, 37)]));
+        let stats = cc.apply_diff(&diff_graphs(&g, &g2), &g2);
+        assert!(stats.region > 0, "split deletes need the sweep");
+        check_against_scratch(&cc, &g2);
+        assert_eq!(cc.num_components(), 2);
+    }
+
+    #[test]
+    fn huge_delta_falls_back_to_recompute() {
+        let edges: Vec<(u32, u32)> = (0..63u32).map(|i| (i, i + 1)).collect();
+        let g = G::from_edges(&sym(&edges), Default::default());
+        let mut cc = DeltaCc::new(&g);
+        // Cut the single path everywhere at once.
+        let g2 = g.delete_edges(&sym(&edges));
+        let stats = cc.apply_diff(&diff_graphs(&g, &g2), &g2);
+        assert!(stats.full_recompute);
+        check_against_scratch(&cc, &g2);
+    }
+
+    #[test]
+    fn empty_diff_is_a_noop() {
+        let g = G::from_edges(&sym(&[(0, 1), (2, 3)]), Default::default());
+        let mut cc = DeltaCc::new(&g);
+        let before = cc.labels().to_vec();
+        let stats = cc.apply_diff(&GraphDiff::default(), &g);
+        assert_eq!(stats, RepairStats::default());
+        assert_eq!(cc.labels(), before.as_slice());
+    }
+}

@@ -1,0 +1,49 @@
+//! Incremental (diff-driven) analytics: repair standing results
+//! instead of recomputing them per snapshot.
+//!
+//! The paper's purely-functional versions make the *difference* between
+//! consecutive snapshots cheap to extract (`aspen::diff_graphs`, §8's
+//! historical-analysis direction); this module consumes those
+//! [`aspen::GraphDiff`]s to maintain analytics across versions:
+//!
+//! * [`DeltaCc`] — connected-component labels, kept as a min-id
+//!   partition with explicit member lists. Edge inserts union
+//!   components in `O(smaller-side relabel)`; deletes recompute only
+//!   the components that actually lost an edge or vertex.
+//! * [`DeltaBfs`] — single-source hop distances, kept with an explicit
+//!   BFS tree. Deletes orphan the subtrees hanging off removed tree
+//!   edges; a bounded multi-source re-settle repairs exactly the
+//!   orphaned region plus whatever added edges improve.
+//!
+//! Both structures expose `apply_diff(&diff, &new_snapshot)` and
+//! guarantee bit-identical results to their from-scratch counterparts
+//! ([`crate::connected_components`], [`crate::bfs`] — distances only;
+//! BFS parents are CAS-race nondeterministic). That guarantee is
+//! enforced by the differential oracle suite in
+//! `tests/incremental_oracle.rs`, which replays randomized batched
+//! histories and compares against recomputation after every batch.
+//!
+//! When a diff touches more than half the id space the structures fall
+//! back to full recomputation (reported in [`RepairStats`]) — repair
+//! only wins while deltas are small, and the `repro incremental` bench
+//! experiment measures exactly where that crossover sits.
+
+mod bfs;
+mod cc;
+
+pub use bfs::DeltaBfs;
+pub use cc::DeltaCc;
+
+/// What one `apply_diff` call actually did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RepairStats {
+    /// The diff touched too much of the graph and the structure fell
+    /// back to from-scratch recomputation.
+    pub full_recompute: bool,
+    /// Vertices in the delete-affected region (members of components
+    /// that lost an edge for CC; orphaned tree descendants for BFS).
+    pub region: usize,
+    /// Vertices whose stored value was rewritten (relabeled members
+    /// for CC; re-settled distances for BFS).
+    pub repaired: usize,
+}

@@ -18,6 +18,7 @@
 mod bc;
 mod bfs;
 mod cc;
+pub mod incremental;
 mod kcore;
 mod local;
 mod mis;
@@ -28,6 +29,7 @@ mod triangles;
 pub use bc::{bc, BcResult};
 pub use bfs::{bfs, bfs_directed, BfsResult, UNREACHED};
 pub use cc::{connected_components, num_components};
+pub use incremental::{DeltaBfs, DeltaCc, RepairStats};
 pub use kcore::{degeneracy, kcore};
 pub use local::{local_cluster, local_cluster_with, two_hop, ClusterResult};
 pub use mis::{mis, verify_mis};

@@ -1,0 +1,246 @@
+//! Incremental repair vs from-scratch recomputation for standing
+//! queries (the `aspen-stream` standing-query machinery measured in
+//! isolation).
+//!
+//! For each (batch size, delete ratio) configuration the experiment
+//! replays a deterministic batched update stream onto the dataset
+//! graph and, after every installed version, answers connected
+//! components + single-source BFS two ways:
+//!
+//! * **incremental** — `aspen::diff_graphs` between the consecutive
+//!   versions (cheap under structural sharing) followed by
+//!   `DeltaCc::apply_diff` + `DeltaBfs::apply_diff`;
+//! * **recompute** — the §5.1 flat-snapshot path: build a
+//!   [`aspen::FlatSnapshot`] of the new version and run
+//!   [`algorithms::connected_components`] + [`algorithms::bfs`] from
+//!   scratch.
+//!
+//! Both answers are digest-compared after every batch — this is the
+//! bench-side arm of the differential-oracle strategy
+//! (`tests/incremental_oracle.rs` is the randomized arm). Reported
+//! medians show where repair wins (small deltas) and where the delete
+//! ratio pushes repair regions wide enough that recomputation takes
+//! over; docs/INCREMENTAL.md discusses the crossover.
+
+use crate::datasets::{default_b, Dataset};
+use crate::tables::Table;
+use algorithms::{DeltaBfs, DeltaCc};
+use aspen::{diff_graphs, CompressedEdges, FlatSnapshot, Graph, GraphView};
+use std::time::Instant;
+use stream::digest_values;
+
+/// Deletion ratios swept per batch size; 0.0 = insert-only batches,
+/// 0.9 = delete-heavy churn (where repair regions grow widest).
+const DELETE_RATIOS: &[f64] = &[0.0, 0.1, 0.5, 0.9];
+
+struct ConfigResult {
+    batch: usize,
+    ratio: f64,
+    diff_s: f64,
+    incremental_s: f64,
+    recompute_s: f64,
+    diff_edges: f64,
+    fallbacks: u64,
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs[xs.len() / 2]
+}
+
+/// A deterministic pseudo-random insert edge inside the id space
+/// (avoiding self-loops); duplicates of existing edges are fine — they
+/// just shrink the diff.
+fn fresh_edge(i: u64, n: u32, seed: u64) -> (u32, u32) {
+    let h = parlib::hash64_with_seed(i, seed);
+    let u = (h % u64::from(n)) as u32;
+    let v = ((h >> 32) % u64::from(n)) as u32;
+    if u == v {
+        (u, (v + 1) % n)
+    } else {
+        (u, v)
+    }
+}
+
+fn run_config(
+    g0: &Graph<CompressedEdges>,
+    deletable: &[(u32, u32)],
+    src: u32,
+    batch: usize,
+    ratio: f64,
+    rounds: usize,
+    seed: u64,
+) -> ConfigResult {
+    let n = g0.id_bound() as u32;
+    let mut cur = g0.clone();
+    let mut cc = DeltaCc::new(&cur);
+    let mut bfs = DeltaBfs::new(&cur, src);
+
+    let mut diff_times = Vec::with_capacity(rounds);
+    let mut inc_times = Vec::with_capacity(rounds);
+    let mut rec_times = Vec::with_capacity(rounds);
+    let mut diff_edges = Vec::with_capacity(rounds);
+    let mut fallbacks = 0u64;
+    let mut del_cursor = 0usize;
+    let mut ins_cursor = 0u64;
+
+    for _ in 0..rounds {
+        let n_del = ((batch as f64 * ratio).round() as usize).min(deletable.len() - del_cursor);
+        let n_ins = batch - n_del;
+        let deletes = &deletable[del_cursor..del_cursor + n_del];
+        del_cursor += n_del;
+        let inserts: Vec<(u32, u32)> = (0..n_ins as u64)
+            .map(|i| fresh_edge(ins_cursor + i, n, seed ^ 0x1A5E))
+            .collect();
+        ins_cursor += n_ins as u64;
+
+        let mut next = cur.clone();
+        if !inserts.is_empty() {
+            next = next.insert_edges(&aspen::symmetrize(&inserts));
+        }
+        if !deletes.is_empty() {
+            next = next.delete_edges(&aspen::symmetrize(deletes));
+        }
+
+        // Incremental arm: extract the diff, repair both analytics.
+        let t0 = Instant::now();
+        let diff = diff_graphs(&cur, &next);
+        let t_diff = t0.elapsed().as_secs_f64();
+        let s_cc = cc.apply_diff(&diff, &next);
+        let s_bfs = bfs.apply_diff(&diff, &next);
+        let t_inc = t0.elapsed().as_secs_f64();
+        fallbacks += u64::from(s_cc.full_recompute) + u64::from(s_bfs.full_recompute);
+
+        // Recompute arm: the fastest from-scratch path Aspen has.
+        let t1 = Instant::now();
+        let flat = FlatSnapshot::new(&next);
+        let labels = algorithms::connected_components(&flat);
+        let dist = algorithms::bfs(&flat, src).dist;
+        let t_rec = t1.elapsed().as_secs_f64();
+
+        // Differential oracle: both arms must answer identically.
+        assert_eq!(
+            digest_values(cc.labels()),
+            digest_values(&labels),
+            "incremental CC diverged from recompute (batch={batch}, ratio={ratio})"
+        );
+        assert_eq!(
+            digest_values(bfs.dist()),
+            digest_values(&dist),
+            "incremental BFS diverged from recompute (batch={batch}, ratio={ratio})"
+        );
+
+        diff_times.push(t_diff);
+        inc_times.push(t_inc);
+        rec_times.push(t_rec);
+        diff_edges.push(diff.num_edge_changes() as f64);
+        cur = next;
+    }
+
+    ConfigResult {
+        batch,
+        ratio,
+        diff_s: median(diff_times),
+        incremental_s: median(inc_times),
+        recompute_s: median(rec_times),
+        diff_edges: median(diff_edges),
+        fallbacks,
+    }
+}
+
+/// Renders the incremental-vs-recompute sweep on `d`.
+pub fn run_incremental(d: &Dataset, quick: bool) -> Table {
+    let edges = d.edges();
+    let g0 = Graph::from_edges(&edges, default_b());
+    let src = super::hub(&g0);
+    let rounds = if quick { 4 } else { 6 };
+
+    // Undirected representatives in a deterministic pseudo-random
+    // order: each config consumes a prefix as its deletion pool.
+    let mut deletable: Vec<(u32, u32)> = edges.iter().copied().filter(|&(u, v)| u < v).collect();
+    deletable.sort_unstable_by_key(|&(u, v)| {
+        parlib::hash64_with_seed(u64::from(u) << 32 | u64::from(v), d.seed ^ 0xDE1)
+    });
+
+    // Batch sizes scaled to the graph: ~0.1%, ~1% and ~5% of its
+    // undirected edges (floors keep tiny datasets meaningful).
+    let m = deletable.len();
+    let mut batches = vec![(m / 1000).max(8), (m / 100).max(64), (m / 20).max(512)];
+    batches.dedup();
+    if quick {
+        batches.truncate(2);
+    }
+
+    let mut t = Table::new(
+        &format!(
+            "incremental: standing-query repair vs recompute on {} ({} rounds/config, CC + BFS)",
+            d.name, rounds
+        ),
+        &[
+            "batch",
+            "del%",
+            "diff edges",
+            "diff med",
+            "incremental med",
+            "recompute med",
+            "speedup",
+            "fallbacks",
+        ],
+    );
+    for &batch in &batches {
+        for &ratio in DELETE_RATIOS {
+            let r = run_config(&g0, &deletable, src, batch, ratio, rounds, d.seed);
+            let speedup = r.recompute_s / r.incremental_s.max(1e-12);
+            t.row(&[
+                r.batch.to_string(),
+                format!("{:.0}%", r.ratio * 100.0),
+                format!("{:.0}", r.diff_edges),
+                crate::fmt_secs(r.diff_s),
+                crate::fmt_secs(r.incremental_s),
+                crate::fmt_secs(r.recompute_s),
+                format!("{speedup:.2}x"),
+                r.fallbacks.to_string(),
+            ]);
+            let key = format!("{}.b{}.r{:02}", d.name, r.batch, (r.ratio * 100.0) as u32);
+            t.metric(&format!("{key}.diff_edges"), r.diff_edges);
+            t.metric(&format!("{key}.diff_ns"), r.diff_s * 1e9);
+            t.metric(&format!("{key}.incremental_ns"), r.incremental_s * 1e9);
+            t.metric(&format!("{key}.recompute_ns"), r.recompute_s * 1e9);
+            t.metric(&format!("{key}.speedup"), speedup);
+            t.metric(&format!("{key}.fallbacks"), r.fallbacks as f64);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets;
+
+    #[test]
+    fn quick_sweep_agrees_with_oracle_and_reports() {
+        // run_config asserts digest equality internally, so a clean
+        // return means repair matched recompute on every batch.
+        let t = run_incremental(&datasets::tiny(), true);
+        assert!(t.num_rows() >= 4, "expected at least one batch sweep");
+        let speedups: Vec<&(String, f64)> = t
+            .metrics()
+            .iter()
+            .filter(|(k, _)| k.ends_with(".speedup"))
+            .collect();
+        assert_eq!(speedups.len(), t.num_rows());
+        assert!(speedups.iter().all(|(_, v)| *v > 0.0));
+    }
+
+    #[test]
+    fn fresh_edges_stay_in_bounds() {
+        for i in 0..1000 {
+            let (u, v) = fresh_edge(i, 64, 9);
+            assert!(u < 64 && v < 64 && u != v);
+        }
+    }
+}

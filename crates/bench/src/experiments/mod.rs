@@ -7,12 +7,14 @@
 
 mod algos;
 mod concurrent;
+mod incremental;
 mod memory;
 mod scaling;
 mod updates;
 
 pub use algos::{run_table11, run_table12, run_table13, run_table14_15, run_table3_4, run_table6};
 pub use concurrent::run_stream_engine;
+pub use incremental::run_incremental;
 pub use memory::{run_memory, run_table1, run_table2, run_table5, run_table9};
 pub use scaling::run_scaling;
 pub use updates::{run_figure5, run_table10, run_table7, run_table8};

@@ -21,6 +21,7 @@
 //!   table14   Ligra+ vs Aspen, all algorithms (covers tables 14 and 15)
 //!   memory    chunk-codec frontier: bytes/edge + decode ns/edge per codec
 //!   stream    concurrent ingestion engine: updates + queries (aspen-stream)
+//!   incremental  standing-query repair vs from-scratch recompute
 //!   scaling   batch inserts + BFS/CC at 1/2/4/8 pool workers
 //!   all       everything above, in order
 //!
@@ -225,6 +226,9 @@ fn main() {
     }
     if run("stream") {
         emit(exp::run_stream_engine(&sets));
+    }
+    if run("incremental") {
+        emit(exp::run_incremental(&sweep_target, cli.quick));
     }
     if run("scaling") {
         emit(exp::run_scaling(&sweep_target, cli.quick));

@@ -1,15 +1,21 @@
 //! Diffing graph versions.
 //!
-//! Because versions are purely functional, comparing two of them is a
-//! tree `Difference` in each direction — subtrees shared between the
-//! versions (by `Arc` identity after unchanged updates, or by equal
-//! content) contribute only `O(log n)`-boundary work through the
-//! join-based recursion. This is the kind of historical-analysis
-//! primitive §8 points at ("functional data structures are
-//! particularly well-suited for this scenario").
+//! Because versions are purely functional, consecutive snapshots share
+//! every subtree an update did not touch — by `Arc` pointer identity,
+//! not merely by content. The diff below exploits that directly: it
+//! recurses over the two vertex trees and prunes any pair of subtrees
+//! with the same root pointer without visiting a single vertex, and
+//! skips the per-vertex set differences whenever the two edge sets
+//! share their backing allocation. For a batch touching `Δ` vertices
+//! the work is `O(Δ·(log n + out))` rather than the `O(n)` walk a
+//! naive merge of the two vertex lists would cost. This is the
+//! historical-analysis primitive §8 points at ("functional data
+//! structures are particularly well-suited for this scenario"), and
+//! the driver behind the incremental standing queries in
+//! `aspen-stream`.
 
 use crate::edges::{EdgeSet, VertexId};
-use crate::graph::Graph;
+use crate::graph::{Graph, VertexEntry, VertexTree};
 
 /// The edge-level difference between two graph versions.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -32,69 +38,121 @@ impl GraphDiff {
             && self.added_vertices.is_empty()
             && self.removed_vertices.is_empty()
     }
+
+    /// Total number of edge changes (both directions counted, matching
+    /// the symmetrized representation).
+    pub fn num_edge_changes(&self) -> usize {
+        self.added_edges.len() + self.removed_edges.len()
+    }
+}
+
+/// How much work [`diff_graphs_with_stats`] actually did — evidence
+/// that the structural-sharing fast paths fire.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DiffStats {
+    /// Subtree pairs pruned by root-pointer identity. Every vertex
+    /// beneath such a pair was skipped without being visited.
+    pub shared_subtrees_skipped: u64,
+    /// Vertices present in both versions whose edge sets shared their
+    /// backing allocation, skipping the set differences outright.
+    pub shared_edge_sets_skipped: u64,
+    /// Vertices present in both versions whose edge sets were actually
+    /// compared (two persistent set differences each).
+    pub vertices_compared: u64,
 }
 
 /// Computes the exact difference between two versions of a graph.
 ///
-/// `O(n + Δ·log n)`-ish in practice: vertices whose edge sets are
-/// untouched compare by length + set difference on persistent trees,
-/// which is cheap when versions share structure.
+/// `O(Δ·(log n + degree))` when the versions share structure (the
+/// normal case for consecutive snapshots): pointer-identical subtrees
+/// and edge sets are pruned without inspection.
 pub fn diff_graphs<E: EdgeSet>(before: &Graph<E>, after: &Graph<E>) -> GraphDiff {
+    diff_graphs_with_stats(before, after).0
+}
+
+/// [`diff_graphs`], additionally reporting how much of the walk was
+/// short-circuited by structural sharing.
+pub fn diff_graphs_with_stats<E: EdgeSet>(
+    before: &Graph<E>,
+    after: &Graph<E>,
+) -> (GraphDiff, DiffStats) {
     let mut out = GraphDiff::default();
-    // Merge the two sorted vertex id sequences.
-    let b_ids = before.vertex_ids();
-    let a_ids = after.vertex_ids();
-    let (mut i, mut j) = (0usize, 0usize);
-    while i < b_ids.len() || j < a_ids.len() {
-        match (b_ids.get(i), a_ids.get(j)) {
-            (Some(&bv), Some(&av)) if bv == av => {
-                let be = &before.find_vertex(bv).expect("listed id").edges;
-                let ae = &after.find_vertex(av).expect("listed id").edges;
-                for v in ae.difference(be).to_vec() {
-                    out.added_edges.push((av, v));
-                }
-                for v in be.difference(ae).to_vec() {
-                    out.removed_edges.push((bv, v));
-                }
-                i += 1;
-                j += 1;
-            }
-            (Some(&bv), Some(&av)) if bv < av => {
-                out.removed_vertices.push(bv);
-                let be = &before.find_vertex(bv).expect("listed id").edges;
-                for v in be.to_vec() {
-                    out.removed_edges.push((bv, v));
-                }
-                i += 1;
-            }
-            (Some(_), Some(&av)) => {
-                out.added_vertices.push(av);
-                let ae = &after.find_vertex(av).expect("listed id").edges;
-                for v in ae.to_vec() {
-                    out.added_edges.push((av, v));
-                }
-                j += 1;
-            }
-            (Some(&bv), None) => {
-                out.removed_vertices.push(bv);
-                let be = &before.find_vertex(bv).expect("listed id").edges;
-                for v in be.to_vec() {
-                    out.removed_edges.push((bv, v));
-                }
-                i += 1;
-            }
-            (None, Some(&av)) => {
-                out.added_vertices.push(av);
-                let ae = &after.find_vertex(av).expect("listed id").edges;
-                for v in ae.to_vec() {
-                    out.added_edges.push((av, v));
-                }
-                j += 1;
-            }
-            (None, None) => unreachable!("loop guard"),
+    let mut stats = DiffStats::default();
+    diff_trees(
+        before.vertex_tree(),
+        after.vertex_tree(),
+        &mut out,
+        &mut stats,
+    );
+    (out, stats)
+}
+
+/// Recursive vertex-tree diff. Emits vertices (and their edges) in
+/// increasing key order into `out`.
+fn diff_trees<E: EdgeSet>(
+    before: &VertexTree<E>,
+    after: &VertexTree<E>,
+    out: &mut GraphDiff,
+    stats: &mut DiffStats,
+) {
+    if before.ptr_eq(after) {
+        if !before.is_empty() {
+            stats.shared_subtrees_skipped += 1;
         }
+        return;
     }
-    out
+    if before.is_empty() {
+        after.for_each_seq(&mut |ent| {
+            emit_vertex(ent, &mut out.added_vertices, &mut out.added_edges)
+        });
+        return;
+    }
+    if after.is_empty() {
+        before.for_each_seq(&mut |ent| {
+            emit_vertex(ent, &mut out.removed_vertices, &mut out.removed_edges)
+        });
+        return;
+    }
+    let (b_left, b_ent, b_right) = before.expose().expect("nonempty");
+    let (a_left, a_ent, a_right) = after.split(&b_ent.id);
+    diff_trees(&b_left, &a_left, out, stats);
+    match a_ent {
+        Some(a_ent) => diff_vertex(b_ent, &a_ent, out, stats),
+        None => emit_vertex(b_ent, &mut out.removed_vertices, &mut out.removed_edges),
+    }
+    diff_trees(&b_right, &a_right, out, stats);
+}
+
+/// Records a vertex present in only one version, with all its edges.
+fn emit_vertex<E: EdgeSet>(
+    ent: &VertexEntry<E>,
+    vertices: &mut Vec<VertexId>,
+    edges: &mut Vec<(VertexId, VertexId)>,
+) {
+    vertices.push(ent.id);
+    ent.edges.for_each(&mut |v| edges.push((ent.id, v)));
+}
+
+/// Diffs the edge sets of a vertex present in both versions.
+fn diff_vertex<E: EdgeSet>(
+    before: &VertexEntry<E>,
+    after: &VertexEntry<E>,
+    out: &mut GraphDiff,
+    stats: &mut DiffStats,
+) {
+    if before.edges.shares_representation(&after.edges) {
+        stats.shared_edge_sets_skipped += 1;
+        return;
+    }
+    stats.vertices_compared += 1;
+    after
+        .edges
+        .difference(&before.edges)
+        .for_each(&mut |v| out.added_edges.push((after.id, v)));
+    before
+        .edges
+        .difference(&after.edges)
+        .for_each(&mut |v| out.removed_edges.push((before.id, v)));
 }
 
 #[cfg(test)]
@@ -113,6 +171,40 @@ mod tests {
         let g = G::from_edges(&sym(&[(0, 1), (1, 2)]), Default::default());
         let d = diff_graphs(&g, &g.clone());
         assert!(d.is_empty());
+    }
+
+    #[test]
+    fn self_diff_skips_every_vertex() {
+        let g = G::from_edges(&sym(&[(0, 1), (1, 2), (2, 3)]), Default::default());
+        let (d, stats) = diff_graphs_with_stats(&g, &g.clone());
+        assert!(d.is_empty());
+        // The clone shares its root pointer: one prune, zero visits.
+        assert_eq!(stats.shared_subtrees_skipped, 1);
+        assert_eq!(stats.vertices_compared, 0);
+        assert_eq!(stats.shared_edge_sets_skipped, 0);
+    }
+
+    #[test]
+    fn small_update_shares_most_subtrees() {
+        // 256 vertices in a path; one batch touches only two of them.
+        let path: Vec<(u32, u32)> = (0..255u32).map(|i| (i, i + 1)).collect();
+        let g = G::from_edges(&sym(&path), Default::default());
+        let g2 = g.insert_edges(&sym(&[(0, 200)]));
+        let (d, stats) = diff_graphs_with_stats(&g, &g2);
+        assert_eq!(d.added_edges, vec![(0, 200), (200, 0)]);
+        assert!(d.removed_edges.is_empty());
+        // Only the vertices on the two root-to-leaf update paths can
+        // differ; everything else must be pruned by pointer identity
+        // rather than compared one by one.
+        let n = g.num_vertices() as u64;
+        assert!(
+            stats.vertices_compared + stats.shared_edge_sets_skipped < n / 4,
+            "visited {} + {} of {} vertices",
+            stats.vertices_compared,
+            stats.shared_edge_sets_skipped,
+            n
+        );
+        assert!(stats.shared_subtrees_skipped > 0);
     }
 
     #[test]

@@ -64,6 +64,16 @@ pub trait EdgeSet: Clone + Send + Sync + 'static {
     /// Persistent difference (used by `DeleteEdges`).
     fn difference(&self, other: &Self) -> Self;
 
+    /// Whether the two sets share their backing allocation, proving
+    /// equality without touching an element. Versions produced by batch
+    /// updates share untouched edge sets by `Arc` pointer, so
+    /// `diff_graphs` uses this to skip unchanged vertices outright.
+    /// `false` proves nothing; the conservative default never claims
+    /// sharing.
+    fn shares_representation(&self, _other: &Self) -> bool {
+        false
+    }
+
     /// Heap bytes attributable to this edge set.
     fn memory_bytes(&self) -> usize;
 
@@ -122,6 +132,10 @@ impl EdgeSet for UncompressedEdges {
         UncompressedEdges {
             tree: self.tree.difference(&other.tree),
         }
+    }
+
+    fn shares_representation(&self, other: &Self) -> bool {
+        self.tree.ptr_eq(&other.tree)
     }
 
     fn memory_bytes(&self) -> usize {
@@ -211,6 +225,10 @@ impl<C: ChunkCodec> EdgeSet for CTreeEdges<C> {
         CTreeEdges {
             tree: self.tree.difference(&other.tree),
         }
+    }
+
+    fn shares_representation(&self, other: &Self) -> bool {
+        self.tree.ptr_eq(&other.tree)
     }
 
     fn memory_bytes(&self) -> usize {

@@ -61,7 +61,7 @@ mod versioned;
 mod view;
 mod weighted;
 
-pub use diff::{diff_graphs, GraphDiff};
+pub use diff::{diff_graphs, diff_graphs_with_stats, DiffStats, GraphDiff};
 pub use edgemap::{edge_map, edge_map_directed, vertex_map, Direction};
 pub use edges::{
     CTreeEdges, CompressedEdges, EdgeSet, GammaEdges, IntervalEdges, PlainEdges, UncompressedEdges,

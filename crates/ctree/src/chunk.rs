@@ -109,6 +109,17 @@ pub trait ChunkCodec: Clone + Send + Sync + 'static {
     /// Heap bytes used by the payload.
     fn storage_bytes(storage: &Self::Storage) -> usize;
 
+    /// Whether two payloads are the same allocation. `true` proves the
+    /// encoded contents are identical without decoding anything (the
+    /// structural-sharing fast path version diffing relies on); `false`
+    /// proves nothing — equal payloads encoded separately are distinct
+    /// allocations. All provided codecs store `Arc` slices and answer
+    /// with pointer identity; the conservative default is `false`.
+    #[inline]
+    fn storage_ptr_eq(_a: &Self::Storage, _b: &Self::Storage) -> bool {
+        false
+    }
+
     /// Human-readable codec name for reports.
     fn name() -> &'static str;
 }
@@ -157,6 +168,11 @@ impl ChunkCodec for PlainCodec {
         storage.len() * std::mem::size_of::<u32>()
     }
 
+    #[inline]
+    fn storage_ptr_eq(a: &Arc<[u32]>, b: &Arc<[u32]>) -> bool {
+        Arc::ptr_eq(a, b)
+    }
+
     fn name() -> &'static str {
         "plain"
     }
@@ -183,6 +199,11 @@ impl ChunkCodec for DeltaCodec {
     #[inline]
     fn storage_bytes(storage: &Arc<[u8]>) -> usize {
         storage.len()
+    }
+
+    #[inline]
+    fn storage_ptr_eq(a: &Arc<[u8]>, b: &Arc<[u8]>) -> bool {
+        Arc::ptr_eq(a, b)
     }
 
     fn name() -> &'static str {
@@ -233,6 +254,11 @@ impl ChunkCodec for GammaCodec {
     #[inline]
     fn storage_bytes(storage: &Arc<[u8]>) -> usize {
         storage.len()
+    }
+
+    #[inline]
+    fn storage_ptr_eq(a: &Arc<[u8]>, b: &Arc<[u8]>) -> bool {
+        Arc::ptr_eq(a, b)
     }
 
     fn name() -> &'static str {
@@ -373,6 +399,11 @@ impl ChunkCodec for IntervalCodec {
     #[inline]
     fn storage_bytes(storage: &Arc<[u8]>) -> usize {
         storage.len()
+    }
+
+    #[inline]
+    fn storage_ptr_eq(a: &Arc<[u8]>, b: &Arc<[u8]>) -> bool {
+        Arc::ptr_eq(a, b)
     }
 
     fn name() -> &'static str {
@@ -517,6 +548,18 @@ impl<C: ChunkCodec> Chunk<C> {
             last: 0,
             data: C::encode(&[]),
         }
+    }
+
+    /// Whether the two chunks provably hold the same elements without
+    /// decoding either: matching bounds plus a shared storage
+    /// allocation (or both empty). `false` proves nothing — equal
+    /// chunks encoded separately never share storage.
+    #[inline]
+    pub fn ptr_eq(&self, other: &Self) -> bool {
+        self.len == other.len
+            && self.first == other.first
+            && self.last == other.last
+            && (self.len == 0 || C::storage_ptr_eq(&self.data, &other.data))
     }
 
     /// Builds a chunk from a strictly increasing slice.

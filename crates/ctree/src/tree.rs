@@ -233,6 +233,16 @@ impl<C: ChunkCodec> CTree<C> {
         self.prefix.is_empty() && self.tree.is_empty()
     }
 
+    /// Whether the two C-trees share both their prefix storage and
+    /// their head-tree root (`Arc` identity). A `true` answer proves
+    /// the sets are equal without decoding a single chunk — the
+    /// structural-sharing fast path version diffing relies on. `false`
+    /// proves nothing: equal trees built independently share nothing.
+    #[inline]
+    pub fn ptr_eq(&self, other: &Self) -> bool {
+        self.prefix.ptr_eq(&other.prefix) && self.tree.ptr_eq(&other.tree)
+    }
+
     /// Membership test — the paper's `Find` (§4): a head-tree search
     /// plus one chunk scan; `O(b + log n)` expected work.
     pub fn contains(&self, x: u32) -> bool {

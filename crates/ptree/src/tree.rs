@@ -96,6 +96,22 @@ impl<E: Entry, A: Augment<E>> Tree<E, A> {
         size(&self.root)
     }
 
+    /// Whether the two handles share their root node (`Arc` identity).
+    ///
+    /// A `true` answer proves the trees are equal without looking at a
+    /// single entry — the foundation of structural-sharing fast paths
+    /// such as `aspen`'s version diffing, where subtrees untouched by
+    /// an update are pointer-identical across versions. `false` means
+    /// nothing: equal trees built independently share no structure.
+    #[inline]
+    pub fn ptr_eq(&self, other: &Self) -> bool {
+        match (&self.root, &other.root) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
     /// Whether the tree has no entries.
     #[inline]
     pub fn is_empty(&self) -> bool {

@@ -3,10 +3,11 @@
 use crate::config::{BatchPolicy, EngineConfig};
 use crate::handle::{Envelope, IngestHandle};
 use crate::query::{QueryExecutor, QuerySpec};
+use crate::standing::{StandingAnalytic, StandingHandle, StandingQueryState, StandingSet};
 use crate::stats::{EngineStats, StatsReport};
-use crate::writer::{writer_loop, ConsistencyTracker};
+use crate::writer::{writer_loop, ConsistencyTracker, WriterShared};
 use aspen::{EdgeSet, VersionedGraph};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::sync_channel;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -17,6 +18,7 @@ pub struct StreamEngineBuilder<E: EdgeSet> {
     policy: BatchPolicy,
     config: EngineConfig,
     queries: Vec<QuerySpec<E>>,
+    standing: Vec<Box<dyn StandingAnalytic<E>>>,
     query_threads: usize,
     track_consistency: bool,
 }
@@ -47,6 +49,18 @@ impl<E: EdgeSet> StreamEngineBuilder<E> {
     /// see [`crate::analytics`] for the built-ins.
     pub fn register_query(mut self, query: QuerySpec<E>) -> Self {
         self.queries.push(query);
+        self
+    }
+
+    /// Registers a **standing query**: an analytic whose result the
+    /// writer loop *repairs* after every installed batch — driven by
+    /// the [`aspen::GraphDiff`] between consecutive versions — instead
+    /// of being recomputed from scratch by query threads. Read the
+    /// latest result through [`StreamEngine::standing`]; see
+    /// [`crate::standing`] for the built-ins and the publication
+    /// discipline.
+    pub fn register_standing(mut self, analytic: impl StandingAnalytic<E> + 'static) -> Self {
+        self.standing.push(Box::new(analytic));
         self
     }
 
@@ -90,15 +104,50 @@ impl<E: EdgeSet> StreamEngineBuilder<E> {
             )
         });
 
+        // Standing queries initialize on the caller's thread (from the
+        // engine's starting snapshot) so their version-0 results are
+        // readable before `start` even returns.
+        let installed_seq = Arc::new(AtomicU64::new(0));
+        let mut standing_handles = Vec::with_capacity(self.standing.len());
+        let standing_set = if self.standing.is_empty() {
+            None
+        } else {
+            let initial = self.vg.acquire();
+            let init_one = |analytic| {
+                let (state, handle) = StandingQueryState::init(analytic, &initial);
+                standing_handles.push(handle);
+                state
+            };
+            let queries = match &pool {
+                Some(p) => p.install(|| self.standing.into_iter().map(init_one).collect()),
+                None => self.standing.into_iter().map(init_one).collect(),
+            };
+            Some(StandingSet {
+                prev: initial,
+                queries,
+            })
+        };
+
         let writer = {
             let vg = self.vg.clone();
             let stats = stats.clone();
             let tracker = tracker.clone();
             let policy = self.policy;
             let pool = pool.clone();
+            let installed_seq = installed_seq.clone();
             std::thread::Builder::new()
                 .name("aspen-stream-writer".into())
-                .spawn(move || writer_loop(vg, rx, policy, stats, tracker, pool))
+                .spawn(move || {
+                    let shared = WriterShared {
+                        vg,
+                        stats,
+                        tracker,
+                        pool,
+                        installed_seq,
+                        standing: standing_set,
+                    };
+                    writer_loop(shared, rx, policy)
+                })
                 .expect("spawn writer thread")
         };
 
@@ -132,6 +181,8 @@ impl<E: EdgeSet> StreamEngineBuilder<E> {
             query_threads,
             stop_queries,
             stats,
+            installed_seq,
+            standing_handles,
         }
     }
 }
@@ -150,6 +201,8 @@ pub struct StreamEngine<E: EdgeSet> {
     query_threads: Vec<JoinHandle<()>>,
     stop_queries: Arc<AtomicBool>,
     stats: Arc<EngineStats>,
+    installed_seq: Arc<AtomicU64>,
+    standing_handles: Vec<StandingHandle>,
 }
 
 impl<E: EdgeSet> StreamEngine<E> {
@@ -160,6 +213,7 @@ impl<E: EdgeSet> StreamEngine<E> {
             policy: BatchPolicy::default(),
             config: EngineConfig::default(),
             queries: Vec::new(),
+            standing: Vec::new(),
             query_threads: 1,
             track_consistency: false,
         }
@@ -179,6 +233,29 @@ impl<E: EdgeSet> StreamEngine<E> {
     /// threads).
     pub fn stats(&self) -> &Arc<EngineStats> {
         &self.stats
+    }
+
+    /// Version sequence number of the most recently installed batch
+    /// (0 = the initial snapshot, +1 per batch). Any standing result
+    /// readable *now* has `version <= installed_version()` — the
+    /// torn-repair-freedom invariant.
+    pub fn installed_version(&self) -> u64 {
+        self.installed_seq.load(Ordering::Acquire)
+    }
+
+    /// Reader handle for the standing query named `name` (as given by
+    /// its [`StandingAnalytic::name`]), if one was registered.
+    pub fn standing(&self, name: &str) -> Option<StandingHandle> {
+        self.standing_handles
+            .iter()
+            .find(|h| h.name() == name)
+            .cloned()
+    }
+
+    /// Reader handles for every registered standing query, in
+    /// registration order.
+    pub fn standing_handles(&self) -> &[StandingHandle] {
+        &self.standing_handles
     }
 
     /// Shuts down: drains and joins the writer (blocks until every
@@ -256,6 +333,42 @@ mod tests {
         assert_eq!(report.updates_applied, 300);
         assert_eq!(report.consistency_violations, 0);
         assert!(vg.acquire().contains_edge(32, 0));
+    }
+
+    #[test]
+    fn standing_query_repairs_across_ingestion() {
+        let engine = engine_over_ring(16);
+        let builder_engine = {
+            // Rebuild with a standing CC query (engine_over_ring has none).
+            let vg = engine.graph().clone();
+            drop(engine);
+            StreamEngine::builder(vg)
+                .register_standing(crate::standing::connected_components())
+                .register_standing(crate::standing::bfs_from(0))
+                .start()
+        };
+        let cc = builder_engine.standing("cc").expect("cc registered");
+        let bfs = builder_engine.standing("bfs").expect("bfs registered");
+        assert!(builder_engine.standing("nope").is_none());
+        assert_eq!(builder_engine.standing_handles().len(), 2);
+        // Version-0 results are readable before any ingestion.
+        assert_eq!(cc.read().version, 0);
+        assert_eq!(bfs.read().values[0], 0);
+        let h = builder_engine.handle();
+        for i in 0..200u32 {
+            h.push(Update::Insert(i % 16, 16 + i)).unwrap();
+        }
+        h.push(Update::Delete(0, 1)).unwrap();
+        drop(h);
+        let vg = builder_engine.graph().clone();
+        let report = builder_engine.finish();
+        assert!(report.standing_repairs >= 2, "writer never repaired");
+        let g = vg.acquire();
+        let r = cc.read();
+        assert_eq!(*r.values, algorithms::connected_components(&*g));
+        // After drain, the final result reflects the last installed batch.
+        assert_eq!(r.version, report.batches_applied);
+        assert_eq!(*bfs.read().values, algorithms::bfs(&*g, 0).dist);
     }
 
     #[test]

@@ -19,6 +19,11 @@
 //!   components, PageRank, or anything custom) run on `acquire`d
 //!   snapshots concurrently with ingestion; readers never block the
 //!   writer and vice versa.
+//! * **[`standing`] queries** — analytics the writer maintains
+//!   *incrementally*: after each batch install it diffs the consecutive
+//!   versions ([`aspen::diff_graphs`], cheap under structural sharing)
+//!   and repairs the result in place instead of recomputing, publishing
+//!   immutable [`StandingResult`]s that readers fetch in `O(1)`.
 //! * **[`EngineStats`]** — per-batch apply latency, end-to-end update
 //!   latency (enqueue → visible in an installed version), and query
 //!   latency, all as log-bucketed histograms with percentile reporting.
@@ -57,6 +62,7 @@ mod config;
 mod engine;
 mod handle;
 mod query;
+pub mod standing;
 mod stats;
 mod writer;
 
@@ -64,6 +70,7 @@ pub use config::{BatchPolicy, EngineConfig};
 pub use engine::{StreamEngine, StreamEngineBuilder};
 pub use handle::{IngestError, IngestHandle, TryIngestError};
 pub use query::{analytics, QueryExecutor, QueryFn, QuerySpec};
+pub use standing::{digest_values, StandingAnalytic, StandingHandle, StandingResult};
 pub use stats::{
     EngineSnapshot, EngineStats, HistogramSnapshot, LatencyHistogram, LatencySummary, StatsReport,
 };

@@ -1,0 +1,317 @@
+//! Standing queries: analytics maintained **incrementally** by the
+//! writer loop instead of recomputed per snapshot by query threads.
+//!
+//! A [`StandingAnalytic`] initializes from the engine's starting
+//! snapshot and is thereafter *repaired* after every batch install,
+//! driven by the [`aspen::GraphDiff`] between the consecutive versions
+//! (cheap to extract thanks to structural sharing). Results are
+//! published as immutable [`StandingResult`]s behind an `O(1)`
+//! pointer-swap slot — readers clone an `Arc` under a never-held-long
+//! mutex, exactly the publication discipline
+//! [`aspen::VersionedGraph::acquire`] uses — so readers never block
+//! the writer and never observe a partially repaired result.
+//!
+//! Torn-repair freedom: the writer bumps the engine's installed-version
+//! counter *before* publishing the results repaired for that version,
+//! so a reader that sees a result for version `v` is guaranteed the
+//! counter already reads at least `v`
+//! ([`StreamEngine::installed_version`]). The test suite asserts this
+//! invariant under concurrent producers and readers.
+//!
+//! Because incremental repair is the classic source of silent
+//! wrong-answer bugs, every analytic also exposes its from-scratch
+//! [`oracle`](StandingAnalytic::oracle), and the differential harness
+//! in `tests/incremental_oracle.rs` replays randomized histories
+//! comparing repair against recomputation after every batch.
+//!
+//! [`StreamEngine::installed_version`]: crate::StreamEngine::installed_version
+
+use algorithms::incremental::{DeltaBfs, DeltaCc, RepairStats};
+use aspen::{EdgeSet, Graph, GraphDiff, GraphView};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// An analytic the writer can maintain across versions.
+///
+/// Implementations own whatever auxiliary state repair needs (spanning
+/// forests, BFS trees, …). `repair` must produce values identical to
+/// re-running `init` on `graph` — the differential harness enforces it.
+pub trait StandingAnalytic<E: EdgeSet>: Send {
+    /// Short name; the lookup key for [`StandingHandle`]s.
+    fn name(&self) -> &'static str;
+
+    /// Computes the result from scratch on `graph` and adopts it as
+    /// the maintained state.
+    fn init(&mut self, graph: &Graph<E>) -> Arc<Vec<u32>>;
+
+    /// Repairs the maintained result for `graph`, given the diff from
+    /// the previously applied version to `graph`.
+    fn repair(&mut self, diff: &GraphDiff, graph: &Graph<E>) -> (Arc<Vec<u32>>, RepairStats);
+
+    /// The from-scratch reference answer on `graph` (pure; does not
+    /// touch maintained state). Differential tests compare `repair`
+    /// output against this after every batch.
+    fn oracle(&self, graph: &Graph<E>) -> Vec<u32>;
+}
+
+/// One published standing-query result (immutable once published).
+#[derive(Clone, Debug)]
+pub struct StandingResult {
+    /// Engine version sequence number this result reflects: 0 is the
+    /// initial snapshot, +1 per installed batch. Never exceeds
+    /// [`StreamEngine::installed_version`] at the time of any read.
+    ///
+    /// [`StreamEngine::installed_version`]: crate::StreamEngine::installed_version
+    pub version: u64,
+    /// The analytic's value array (CC labels, BFS distances, …).
+    pub values: Arc<Vec<u32>>,
+    /// FNV-1a digest of `values`, for cheap cross-checking.
+    pub digest: u64,
+    /// Whether this result came from incremental repair (`false` for
+    /// the initial result and for full-recompute fallbacks).
+    pub repaired_incrementally: bool,
+    /// Repair effort details for the batch that produced this result.
+    pub stats: RepairStats,
+}
+
+/// FNV-1a over the little-endian bytes of `values`.
+pub fn digest_values(values: &[u32]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325_u64;
+    for &v in values {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// The publication slot: readers clone the current `Arc` under a
+/// pointer-copy critical section (same discipline as
+/// [`aspen::VersionedGraph::acquire`]).
+pub(crate) struct Slot {
+    result: Mutex<Arc<StandingResult>>,
+}
+
+impl Slot {
+    fn new(initial: StandingResult) -> Self {
+        Slot {
+            result: Mutex::new(Arc::new(initial)),
+        }
+    }
+
+    fn publish(&self, result: StandingResult) {
+        *self.result.lock() = Arc::new(result);
+    }
+
+    fn read(&self) -> Arc<StandingResult> {
+        self.result.lock().clone()
+    }
+}
+
+/// A cloneable reader handle onto one standing query's latest result.
+#[derive(Clone)]
+pub struct StandingHandle {
+    pub(crate) name: &'static str,
+    pub(crate) slot: Arc<Slot>,
+}
+
+impl StandingHandle {
+    /// The query's name (as given by its [`StandingAnalytic::name`]).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The latest published result; `O(1)`, never blocks the writer
+    /// for longer than a pointer copy.
+    pub fn read(&self) -> Arc<StandingResult> {
+        self.slot.read()
+    }
+}
+
+/// The writer-side registry: every registered analytic plus its slot.
+pub(crate) struct StandingQueryState<E: EdgeSet> {
+    pub(crate) analytic: Box<dyn StandingAnalytic<E>>,
+    pub(crate) slot: Arc<Slot>,
+}
+
+impl<E: EdgeSet> StandingQueryState<E> {
+    /// Initializes the analytic on `graph` and returns the state plus
+    /// a reader handle, with the version-0 result already published.
+    pub(crate) fn init(
+        mut analytic: Box<dyn StandingAnalytic<E>>,
+        graph: &Graph<E>,
+    ) -> (Self, StandingHandle) {
+        let values = analytic.init(graph);
+        let digest = digest_values(&values);
+        let slot = Arc::new(Slot::new(StandingResult {
+            version: 0,
+            values,
+            digest,
+            repaired_incrementally: false,
+            stats: RepairStats::default(),
+        }));
+        let handle = StandingHandle {
+            name: analytic.name(),
+            slot: slot.clone(),
+        };
+        (StandingQueryState { analytic, slot }, handle)
+    }
+
+    /// Repairs for version `version` of `graph` and publishes.
+    pub(crate) fn repair(
+        &mut self,
+        version: u64,
+        diff: &GraphDiff,
+        graph: &Graph<E>,
+    ) -> RepairStats {
+        let (values, stats) = self.analytic.repair(diff, graph);
+        let digest = digest_values(&values);
+        self.slot.publish(StandingResult {
+            version,
+            values,
+            digest,
+            repaired_incrementally: !stats.full_recompute,
+            stats,
+        });
+        stats
+    }
+}
+
+/// Everything the writer loop carries to maintain standing queries:
+/// the previously applied version (diff base) and the registry.
+pub(crate) struct StandingSet<E: EdgeSet> {
+    pub(crate) prev: aspen::Version<E>,
+    pub(crate) queries: Vec<StandingQueryState<E>>,
+}
+
+/// Standing connected components ([`algorithms::incremental::DeltaCc`]
+/// under the hood); values are min-id component labels.
+pub struct StandingCc {
+    cc: Option<DeltaCc>,
+}
+
+/// Builds the standing connected-components analytic.
+pub fn connected_components() -> StandingCc {
+    StandingCc { cc: None }
+}
+
+impl<E: EdgeSet> StandingAnalytic<E> for StandingCc {
+    fn name(&self) -> &'static str {
+        "cc"
+    }
+
+    fn init(&mut self, graph: &Graph<E>) -> Arc<Vec<u32>> {
+        let cc = DeltaCc::new(graph);
+        let values = Arc::new(cc.labels().to_vec());
+        self.cc = Some(cc);
+        values
+    }
+
+    fn repair(&mut self, diff: &GraphDiff, graph: &Graph<E>) -> (Arc<Vec<u32>>, RepairStats) {
+        let cc = self.cc.as_mut().expect("repair before init");
+        let stats = cc.apply_diff(diff, graph);
+        (Arc::new(cc.labels().to_vec()), stats)
+    }
+
+    fn oracle(&self, graph: &Graph<E>) -> Vec<u32> {
+        algorithms::connected_components(graph)
+    }
+}
+
+/// Standing single-source BFS distances
+/// ([`algorithms::incremental::DeltaBfs`] under the hood); values are
+/// hop distances with `u32::MAX` for unreached.
+pub struct StandingBfs {
+    src: u32,
+    bfs: Option<DeltaBfs>,
+}
+
+/// Builds the standing BFS analytic rooted at `src`.
+pub fn bfs_from(src: u32) -> StandingBfs {
+    StandingBfs { src, bfs: None }
+}
+
+impl<E: EdgeSet> StandingAnalytic<E> for StandingBfs {
+    fn name(&self) -> &'static str {
+        "bfs"
+    }
+
+    fn init(&mut self, graph: &Graph<E>) -> Arc<Vec<u32>> {
+        let bfs = DeltaBfs::new(graph, self.src);
+        let values = Arc::new(bfs.dist().to_vec());
+        self.bfs = Some(bfs);
+        values
+    }
+
+    fn repair(&mut self, diff: &GraphDiff, graph: &Graph<E>) -> (Arc<Vec<u32>>, RepairStats) {
+        let bfs = self.bfs.as_mut().expect("repair before init");
+        let stats = bfs.apply_diff(diff, graph);
+        (Arc::new(bfs.dist().to_vec()), stats)
+    }
+
+    fn oracle(&self, graph: &Graph<E>) -> Vec<u32> {
+        if (self.src as usize) >= graph.id_bound() {
+            return vec![u32::MAX; graph.id_bound()];
+        }
+        algorithms::bfs(graph, self.src).dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aspen::{diff_graphs, CompressedEdges, Graph};
+
+    type G = Graph<CompressedEdges>;
+
+    fn sym(edges: &[(u32, u32)]) -> Vec<(u32, u32)> {
+        edges.iter().flat_map(|&(u, v)| [(u, v), (v, u)]).collect()
+    }
+
+    #[test]
+    fn standing_cc_matches_oracle_across_repairs() {
+        let g = G::from_edges(&sym(&[(0, 1), (2, 3)]), Default::default());
+        let mut q: Box<dyn StandingAnalytic<CompressedEdges>> = Box::new(connected_components());
+        let init = q.init(&g);
+        assert_eq!(*init, q.oracle(&g));
+        let g2 = g
+            .insert_edges(&sym(&[(1, 2)]))
+            .delete_edges(&sym(&[(0, 1)]));
+        let (vals, _) = q.repair(&diff_graphs(&g, &g2), &g2);
+        assert_eq!(*vals, q.oracle(&g2));
+    }
+
+    #[test]
+    fn standing_bfs_matches_oracle_across_repairs() {
+        let g = G::from_edges(&sym(&[(0, 1), (1, 2), (2, 3)]), Default::default());
+        let mut q: Box<dyn StandingAnalytic<CompressedEdges>> = Box::new(bfs_from(0));
+        let init = q.init(&g);
+        assert_eq!(*init, q.oracle(&g));
+        let g2 = g
+            .delete_edges(&sym(&[(1, 2)]))
+            .insert_edges(&sym(&[(0, 3)]));
+        let (vals, _) = q.repair(&diff_graphs(&g, &g2), &g2);
+        assert_eq!(*vals, q.oracle(&g2));
+    }
+
+    #[test]
+    fn slot_publishes_monotone_versions() {
+        let g = G::from_edges(&sym(&[(0, 1)]), Default::default());
+        let (mut state, handle) =
+            StandingQueryState::<CompressedEdges>::init(Box::new(connected_components()), &g);
+        assert_eq!(handle.read().version, 0);
+        let g2 = g.insert_edges(&sym(&[(1, 2)]));
+        state.repair(1, &diff_graphs(&g, &g2), &g2);
+        let r = handle.read();
+        assert_eq!(r.version, 1);
+        assert!(r.repaired_incrementally);
+        assert_eq!(r.digest, digest_values(&r.values));
+    }
+
+    #[test]
+    fn digest_is_order_sensitive() {
+        assert_ne!(digest_values(&[1, 2]), digest_values(&[2, 1]));
+        assert_ne!(digest_values(&[]), digest_values(&[0]));
+    }
+}

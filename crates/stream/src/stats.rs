@@ -51,6 +51,20 @@ pub struct EngineStats {
     pub deletes_applied: Arc<Counter>,
     /// Query executions completed across all query threads.
     pub queries_run: Arc<Counter>,
+    /// Latency of repairing one standing query for one installed
+    /// version (incremental repair, or the full-recompute fallback).
+    pub standing_repair: Arc<LatencyHistogram>,
+    /// Latency of extracting the version diff the standing repairs
+    /// consume (one diff per batch, shared by every standing query).
+    pub standing_diff: Arc<LatencyHistogram>,
+    /// Standing-query repairs performed (one per query per batch).
+    pub standing_repairs: Arc<Counter>,
+    /// Repairs that fell back to from-scratch recomputation because
+    /// the diff touched too much of the graph.
+    pub standing_full_recomputes: Arc<Counter>,
+    /// Total directed edge changes carried by the diffs the standing
+    /// repairs consumed.
+    pub standing_diff_edges: Arc<Counter>,
     /// Snapshots a query thread observed whose edge count did not match
     /// any installed version — **must stay zero**; a nonzero value
     /// means snapshot isolation is broken.
@@ -82,6 +96,11 @@ impl EngineStats {
             inserts_applied: registry.counter("stream.inserts_applied"),
             deletes_applied: registry.counter("stream.deletes_applied"),
             queries_run: registry.counter("stream.queries_run"),
+            standing_repair: registry.histogram("stream.standing.repair"),
+            standing_diff: registry.histogram("stream.standing.diff"),
+            standing_repairs: registry.counter("stream.standing.repairs"),
+            standing_full_recomputes: registry.counter("stream.standing.full_recomputes"),
+            standing_diff_edges: registry.counter("stream.standing.diff_edges"),
             consistency_violations: registry.counter("stream.consistency_violations"),
             registry,
         }
@@ -105,10 +124,15 @@ impl EngineStats {
             inserts_applied: self.inserts_applied.get(),
             deletes_applied: self.deletes_applied.get(),
             queries_run: self.queries_run.get(),
+            standing_repairs: self.standing_repairs.get(),
+            standing_full_recomputes: self.standing_full_recomputes.get(),
+            standing_diff_edges: self.standing_diff_edges.get(),
             consistency_violations: self.consistency_violations.get(),
             batch_apply: self.batch_apply.snapshot(),
             update_e2e: self.update_e2e.snapshot(),
             query: self.query.snapshot(),
+            standing_repair: self.standing_repair.snapshot(),
+            standing_diff: self.standing_diff.snapshot(),
         }
     }
 
@@ -129,10 +153,15 @@ pub struct EngineSnapshot {
     pub inserts_applied: u64,
     pub deletes_applied: u64,
     pub queries_run: u64,
+    pub standing_repairs: u64,
+    pub standing_full_recomputes: u64,
+    pub standing_diff_edges: u64,
     pub consistency_violations: u64,
     pub batch_apply: HistogramSnapshot,
     pub update_e2e: HistogramSnapshot,
     pub query: HistogramSnapshot,
+    pub standing_repair: HistogramSnapshot,
+    pub standing_diff: HistogramSnapshot,
 }
 
 impl EngineSnapshot {
@@ -144,10 +173,15 @@ impl EngineSnapshot {
             inserts_applied: self.inserts_applied,
             deletes_applied: self.deletes_applied,
             queries_run: self.queries_run,
+            standing_repairs: self.standing_repairs,
+            standing_full_recomputes: self.standing_full_recomputes,
+            standing_diff_edges: self.standing_diff_edges,
             consistency_violations: self.consistency_violations,
             batch_apply: self.batch_apply.summarize(),
             update_e2e: self.update_e2e.summarize(),
             query: self.query.summarize(),
+            standing_repair: self.standing_repair.summarize(),
+            standing_diff: self.standing_diff.summarize(),
         }
     }
 
@@ -162,6 +196,15 @@ impl EngineSnapshot {
             inserts_applied: self.inserts_applied.saturating_sub(earlier.inserts_applied),
             deletes_applied: self.deletes_applied.saturating_sub(earlier.deletes_applied),
             queries_run: self.queries_run.saturating_sub(earlier.queries_run),
+            standing_repairs: self
+                .standing_repairs
+                .saturating_sub(earlier.standing_repairs),
+            standing_full_recomputes: self
+                .standing_full_recomputes
+                .saturating_sub(earlier.standing_full_recomputes),
+            standing_diff_edges: self
+                .standing_diff_edges
+                .saturating_sub(earlier.standing_diff_edges),
             consistency_violations: self
                 .consistency_violations
                 .saturating_sub(earlier.consistency_violations),
@@ -171,6 +214,14 @@ impl EngineSnapshot {
                 .summarize(),
             update_e2e: self.update_e2e.delta_since(&earlier.update_e2e).summarize(),
             query: self.query.delta_since(&earlier.query).summarize(),
+            standing_repair: self
+                .standing_repair
+                .delta_since(&earlier.standing_repair)
+                .summarize(),
+            standing_diff: self
+                .standing_diff
+                .delta_since(&earlier.standing_diff)
+                .summarize(),
         }
     }
 }
@@ -185,10 +236,15 @@ pub struct StatsReport {
     pub inserts_applied: u64,
     pub deletes_applied: u64,
     pub queries_run: u64,
+    pub standing_repairs: u64,
+    pub standing_full_recomputes: u64,
+    pub standing_diff_edges: u64,
     pub consistency_violations: u64,
     pub batch_apply: LatencySummary,
     pub update_e2e: LatencySummary,
     pub query: LatencySummary,
+    pub standing_repair: LatencySummary,
+    pub standing_diff: LatencySummary,
 }
 
 impl StatsReport {
@@ -216,6 +272,14 @@ impl std::fmt::Display for StatsReport {
         writeln!(f, "batch apply : {}", self.batch_apply)?;
         writeln!(f, "update e2e  : {}", self.update_e2e)?;
         writeln!(f, "query       : {}", self.query)?;
+        if self.standing_repairs > 0 {
+            writeln!(f, "standing    : {}", self.standing_repair)?;
+            writeln!(
+                f,
+                "standing rep: {} ({} full recomputes, {} diff edges)",
+                self.standing_repairs, self.standing_full_recomputes, self.standing_diff_edges
+            )?;
+        }
         write!(f, "queries run : {}", self.queries_run)?;
         if self.consistency_violations > 0 {
             write!(

@@ -3,11 +3,12 @@
 
 use crate::config::BatchPolicy;
 use crate::handle::Envelope;
+use crate::standing::StandingSet;
 use crate::stats::EngineStats;
 use aspen::{EdgeSet, VersionedGraph};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError};
 use std::sync::Arc;
 use std::time::Instant;
@@ -107,6 +108,19 @@ fn coalesce(batch: &[Envelope]) -> NetBatch {
     net
 }
 
+/// Everything the engine hands its dedicated writer thread: the graph
+/// and the state the writer shares with readers (stats, the audit
+/// tracker, the installed-version counter) plus writer-private state
+/// (the compute pool and the standing-query set).
+pub(crate) struct WriterShared<E: EdgeSet> {
+    pub vg: Arc<VersionedGraph<E>>,
+    pub stats: Arc<EngineStats>,
+    pub tracker: Option<Arc<ConsistencyTracker>>,
+    pub pool: Option<Arc<rayon::ThreadPool>>,
+    pub installed_seq: Arc<AtomicU64>,
+    pub standing: Option<StandingSet<E>>,
+}
+
 /// Drains `rx` until every sender is gone, flushing under `policy`.
 /// This is the body of the engine's dedicated writer thread.
 ///
@@ -118,13 +132,18 @@ fn coalesce(batch: &[Envelope]) -> NetBatch {
 /// thread-local override from the builder's caller would not reach
 /// it.
 pub(crate) fn writer_loop<E: EdgeSet>(
-    vg: Arc<VersionedGraph<E>>,
+    shared: WriterShared<E>,
     rx: Receiver<Envelope>,
     policy: BatchPolicy,
-    stats: Arc<EngineStats>,
-    tracker: Option<Arc<ConsistencyTracker>>,
-    pool: Option<Arc<rayon::ThreadPool>>,
 ) {
+    let WriterShared {
+        vg,
+        stats,
+        tracker,
+        pool,
+        installed_seq,
+        mut standing,
+    } = shared;
     let mut batch: Vec<Envelope> = Vec::with_capacity(policy.max_batch);
     loop {
         // Block for the first update of the next batch.
@@ -152,8 +171,24 @@ pub(crate) fn writer_loop<E: EdgeSet>(
             }
         }
         match &pool {
-            Some(p) => p.install(|| flush(&vg, &batch, &stats, tracker.as_deref())),
-            None => flush(&vg, &batch, &stats, tracker.as_deref()),
+            Some(p) => p.install(|| {
+                flush(
+                    &vg,
+                    &batch,
+                    &stats,
+                    tracker.as_deref(),
+                    &installed_seq,
+                    standing.as_mut(),
+                )
+            }),
+            None => flush(
+                &vg,
+                &batch,
+                &stats,
+                tracker.as_deref(),
+                &installed_seq,
+                standing.as_mut(),
+            ),
         }
         batch.clear();
         if disconnected {
@@ -162,13 +197,15 @@ pub(crate) fn writer_loop<E: EdgeSet>(
     }
 }
 
-/// Applies one batch as a single atomic version install and settles
-/// its statistics.
+/// Applies one batch as a single atomic version install, repairs any
+/// standing queries for the new version, and settles statistics.
 fn flush<E: EdgeSet>(
     vg: &VersionedGraph<E>,
     batch: &[Envelope],
     stats: &EngineStats,
     tracker: Option<&ConsistencyTracker>,
+    installed_seq: &AtomicU64,
+    standing: Option<&mut StandingSet<E>>,
 ) {
     if batch.is_empty() {
         return;
@@ -203,6 +240,36 @@ fn flush<E: EdgeSet>(
             next
         })
     };
+
+    // Bump the installed-version counter **before** publishing any
+    // standing result for this version: a reader that sees a standing
+    // result for version N is then guaranteed to read a counter ≥ N
+    // (no torn repair — results never get ahead of the install).
+    let version = installed_seq.fetch_add(1, Ordering::AcqRel) + 1;
+    if let Some(standing) = standing {
+        let _s = obs::trace::span_cat("batch.standing", "stream");
+        // The writer is the only thread installing versions, so this
+        // acquire returns exactly the version installed above.
+        let new = vg.acquire();
+        let t_diff = Instant::now();
+        let diff = aspen::diff_graphs(&standing.prev, &new);
+        stats.standing_diff.record(t_diff.elapsed());
+        stats
+            .standing_diff_edges
+            .fetch_add(diff.num_edge_changes() as u64, Ordering::Relaxed);
+        for q in &mut standing.queries {
+            let t0 = Instant::now();
+            let repair = q.repair(version, &diff, &new);
+            stats.standing_repair.record(t0.elapsed());
+            stats.standing_repairs.fetch_add(1, Ordering::Relaxed);
+            if repair.full_recompute {
+                stats
+                    .standing_full_recomputes
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        standing.prev = new;
+    }
 
     // The whole batch became visible at the install; settle
     // end-to-end latencies for every enqueued update it carried.

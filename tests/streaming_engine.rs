@@ -143,6 +143,96 @@ fn bounded_channel_backpressure_loses_nothing() {
     assert_eq!(report.update_e2e.count, 2_000);
 }
 
+/// Torn-repair freedom for standing queries: a reader that observes a
+/// standing result for version `v` must find the engine's installed
+/// version already at `v` or later — repaired results may lag the
+/// writer but can never get ahead of an install — and per-handle
+/// result versions never go backwards. Exercised under concurrent
+/// producers and spinning readers, then the final published results
+/// are checked against from-scratch recomputation.
+#[test]
+fn standing_results_never_outrun_installed_versions() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let (vg, updates) = workload(4_000);
+    let engine = StreamEngine::builder(vg.clone())
+        .policy(BatchPolicy {
+            max_batch: 128,
+            max_linger: Duration::from_micros(200),
+            channel_capacity: 1024,
+        })
+        .register_standing(stream::standing::connected_components())
+        .register_standing(stream::standing::bfs_from(0))
+        .start();
+
+    let handles = engine.standing_handles().to_vec();
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        for _ in 0..2 {
+            s.spawn(|| {
+                let mut last = vec![0u64; handles.len()];
+                let mut reads = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    for (i, h) in handles.iter().enumerate() {
+                        // Read the result FIRST, the counter second:
+                        // the invariant is that the result can only
+                        // lag the counter, never lead it.
+                        let r = h.read();
+                        let installed = engine.installed_version();
+                        assert!(
+                            r.version <= installed,
+                            "torn repair on {}: result v{} but installed v{}",
+                            h.name(),
+                            r.version,
+                            installed
+                        );
+                        assert!(
+                            r.version >= last[i],
+                            "{} result went backwards: v{} after v{}",
+                            h.name(),
+                            r.version,
+                            last[i]
+                        );
+                        last[i] = r.version;
+                        reads += 1;
+                    }
+                }
+                assert!(reads > 0, "reader never completed a round");
+            });
+        }
+        let mid = updates.len() / 2;
+        let producers: Vec<_> = [&updates[..mid], &updates[mid..]]
+            .into_iter()
+            .map(|half| {
+                let h = engine.handle();
+                let half = half.to_vec();
+                s.spawn(move || h.push_all(&half).expect("engine closed early"))
+            })
+            .collect();
+        for p in producers {
+            p.join().expect("producer panicked");
+        }
+        // Let the writer drain its last lingering batches while the
+        // readers keep hammering the invariant, then release them.
+        std::thread::sleep(Duration::from_millis(50));
+        stop.store(true, Ordering::Release);
+    });
+
+    let report = engine.finish();
+    assert!(report.standing_repairs > 0, "writer never repaired");
+    assert!(report.batches_applied > 0);
+
+    // After the drain the final published results reflect the last
+    // installed version exactly, and match from-scratch recomputation.
+    let g = vg.acquire();
+    let cc = handles[0].read();
+    assert_eq!(cc.version, report.batches_applied);
+    assert_eq!(*cc.values, algorithms::connected_components(&*g));
+    let bfs = handles[1].read();
+    assert_eq!(bfs.version, report.batches_applied);
+    assert_eq!(*bfs.values, algorithms::bfs(&*g, 0).dist);
+}
+
 /// A max-linger flush must make a lone update visible without waiting
 /// for a full batch.
 #[test]
