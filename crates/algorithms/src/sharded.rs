@@ -1,0 +1,307 @@
+//! Fan-out/merge algorithms over a sharded graph: one [`GraphView`]
+//! per shard, vertex ownership decided by an [`aspen::ShardRouter`].
+//!
+//! The sharding convention (see `aspen::ShardRouter`) stores the
+//! undirected edge `{u, v}` as arc `(u, v)` in `shard_of(u)` and arc
+//! `(v, u)` in `shard_of(v)` — every neighbor scan of a vertex is
+//! local to its owner shard. The algorithms here exploit that:
+//!
+//! * [`bfs_sharded`] — level-synchronous BFS with a per-round
+//!   **frontier exchange**: each round partitions the frontier by
+//!   owner, every shard expands its own vertices in parallel against a
+//!   shared atomic parent array, and the newly claimed vertices are
+//!   merged into the next round's frontier.
+//! * [`cc_sharded`] — per-shard union-find over intra-shard arcs
+//!   (parallel across shards), then a global union-find merge over the
+//!   per-shard spanning pairs and the **boundary arcs** that cross
+//!   shards, normalized to min-id labels.
+//!
+//! Results match the unsharded [`bfs`](crate::bfs) /
+//! [`connected_components`](crate::connected_components) exactly
+//! (distances and label arrays; BFS parents may differ within a level,
+//! as between any two valid BFS trees).
+
+use crate::bfs::{BfsResult, UNREACHED};
+use aspen::{GraphView, ShardRouter, VertexId};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Global id bound of a sharded graph: the max over shards. Every
+/// vertex with an incident edge is a *source* in its owner shard
+/// (mirroring), so no shard-local bound can miss a live vertex.
+fn global_id_bound<G: GraphView>(shards: &[G]) -> usize {
+    shards.iter().map(|s| s.id_bound()).max().unwrap_or(0)
+}
+
+/// BFS from `src` across `shards`, matching [`bfs`](crate::bfs) on the
+/// logically-equal unsharded graph: identical `dist` array, identical
+/// round count, and a valid (not necessarily identical) parent tree.
+///
+/// # Panics
+///
+/// Panics if `src` is outside the global id space, like the unsharded
+/// BFS.
+pub fn bfs_sharded<G: GraphView>(shards: &[G], router: &ShardRouter, src: VertexId) -> BfsResult {
+    assert_eq!(
+        shards.len(),
+        router.num_shards(),
+        "router shape must match the shard list"
+    );
+    let n = global_id_bound(shards);
+    assert!((src as usize) < n, "source {src} outside id space {n}");
+    let parent: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHED)).collect();
+    parent[src as usize].store(src, Ordering::Relaxed);
+    let mut dist = vec![UNREACHED; n];
+    dist[src as usize] = 0;
+
+    let mut frontier = vec![src];
+    let mut level = 0u32;
+    let mut rounds = 0usize;
+    while !frontier.is_empty() {
+        rounds += 1;
+        level += 1;
+        // Frontier exchange: hand each frontier vertex to its owner —
+        // the only shard holding its adjacency list.
+        let mut by_shard: Vec<Vec<u32>> = vec![Vec::new(); shards.len()];
+        for &v in &frontier {
+            by_shard[router.shard_of(v)].push(v);
+        }
+        // Each shard expands its slice of the frontier; the shared
+        // CAS parent array arbitrates vertices reachable from several
+        // shards in the same round, so each is claimed exactly once.
+        let claimed: Vec<Vec<u32>> = shards
+            .par_iter()
+            .zip(by_shard)
+            .map(|(shard, mine)| {
+                let bound = shard.id_bound();
+                let mut next = Vec::new();
+                for v in mine {
+                    if (v as usize) >= bound {
+                        continue; // no arcs in the owner shard
+                    }
+                    shard.for_each_neighbor(v, &mut |w| {
+                        if parent[w as usize]
+                            .compare_exchange(UNREACHED, v, Ordering::SeqCst, Ordering::SeqCst)
+                            .is_ok()
+                        {
+                            next.push(w);
+                        }
+                    });
+                }
+                next
+            })
+            .collect();
+        frontier = claimed.into_iter().flatten().collect();
+        for &v in &frontier {
+            dist[v as usize] = level;
+        }
+    }
+    BfsResult {
+        parent: parent.into_iter().map(AtomicU32::into_inner).collect(),
+        dist,
+        rounds,
+    }
+}
+
+/// Sequential union-find with path halving; roots are always the
+/// minimum id of their component (unions link the larger root under
+/// the smaller), so `find(v)` after all unions *is* the min-id label.
+struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let grand = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grand;
+            x = grand;
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra.max(rb) as usize] = ra.min(rb);
+        }
+    }
+}
+
+/// What one shard contributes to the global CC merge: spanning pairs
+/// `(v, local_label(v))` connecting each of its vertices to its local
+/// component representative, plus the boundary arcs leaving the shard.
+struct ShardCc {
+    spanning: Vec<(u32, u32)>,
+    boundary: Vec<(u32, u32)>,
+}
+
+/// Connected components across `shards`, matching
+/// [`connected_components`](crate::connected_components) on the
+/// logically-equal unsharded graph exactly: `label[v]` is the smallest
+/// vertex id in `v`'s component.
+pub fn cc_sharded<G: GraphView>(shards: &[G], router: &ShardRouter) -> Vec<u32> {
+    assert_eq!(
+        shards.len(),
+        router.num_shards(),
+        "router shape must match the shard list"
+    );
+    let n = global_id_bound(shards);
+    // Phase 1 (parallel over shards): collapse intra-shard structure
+    // with a local union-find; boundary arcs are deferred to the merge.
+    let locals: Vec<ShardCc> = shards
+        .par_iter()
+        .enumerate()
+        .map(|(k, shard)| {
+            let mut uf = UnionFind::new(n);
+            let mut touched = Vec::new();
+            let mut boundary = Vec::new();
+            for v in 0..shard.id_bound() as u32 {
+                if router.shard_of(v) != k {
+                    continue; // mirrored targets only; not owned here
+                }
+                let mut any = false;
+                shard.for_each_neighbor(v, &mut |w| {
+                    any = true;
+                    if router.shard_of(w) == k {
+                        uf.union(v, w);
+                    } else {
+                        boundary.push((v, w));
+                    }
+                });
+                if any {
+                    touched.push(v);
+                }
+            }
+            let spanning = touched.into_iter().map(|v| (v, uf.find(v))).collect();
+            ShardCc { spanning, boundary }
+        })
+        .collect();
+    // Phase 2: one global union-find over the (much smaller) spanning
+    // pairs and boundary arcs. Every cross-shard edge appears twice
+    // (once per endpoint's shard) — the second union is a no-op.
+    let mut uf = UnionFind::new(n);
+    for local in &locals {
+        for &(v, l) in &local.spanning {
+            uf.union(v, l);
+        }
+        for &(u, w) in &local.boundary {
+            uf.union(u, w);
+        }
+    }
+    (0..n as u32).map(|v| uf.find(v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bfs, connected_components};
+    use aspen::{CompressedEdges, Graph};
+
+    type G = Graph<CompressedEdges>;
+
+    /// Builds the unsharded symmetric graph and its sharded mirror
+    /// under `router` from one undirected edge list.
+    fn build(undirected: &[(u32, u32)], router: &ShardRouter) -> (G, Vec<G>) {
+        let sym: Vec<(u32, u32)> = undirected
+            .iter()
+            .flat_map(|&(u, v)| [(u, v), (v, u)])
+            .collect();
+        let whole = G::from_edges(&sym, Default::default());
+        let mut per_shard: Vec<Vec<(u32, u32)>> = vec![Vec::new(); router.num_shards()];
+        for &(u, v) in &sym {
+            per_shard[router.shard_of(u)].push((u, v));
+        }
+        let shards = per_shard
+            .into_iter()
+            .map(|arcs| G::from_edges(&arcs, Default::default()))
+            .collect();
+        (whole, shards)
+    }
+
+    fn test_graph() -> Vec<(u32, u32)> {
+        // Two components: a 20-ring with chords, and a path 30..=37.
+        let mut e: Vec<(u32, u32)> = (0..20u32).map(|i| (i, (i + 1) % 20)).collect();
+        e.extend((0..10u32).map(|i| (i, i + 10)));
+        e.extend((30..37u32).map(|i| (i, i + 1)));
+        e
+    }
+
+    #[test]
+    fn bfs_matches_unsharded_for_every_router() {
+        let edges = test_graph();
+        for router in [
+            ShardRouter::hash(1),
+            ShardRouter::hash(3),
+            ShardRouter::hash(4),
+            ShardRouter::range(4, 38),
+        ] {
+            let (whole, shards) = build(&edges, &router);
+            for src in [0u32, 7, 30, 37] {
+                let want = bfs(&whole, src);
+                let got = bfs_sharded(&shards, &router, src);
+                assert_eq!(got.dist, want.dist, "router {router:?} src {src}");
+                assert_eq!(got.rounds, want.rounds, "router {router:?} src {src}");
+                // Parents may differ but must form an equivalent tree.
+                for v in 0..got.parent.len() {
+                    let p = got.parent[v];
+                    if p == UNREACHED {
+                        assert_eq!(want.parent[v], UNREACHED);
+                    } else if v as u32 != p {
+                        assert_eq!(got.dist[v], got.dist[p as usize] + 1);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cc_matches_unsharded_for_every_router() {
+        let edges = test_graph();
+        for router in [
+            ShardRouter::hash(1),
+            ShardRouter::hash(2),
+            ShardRouter::hash(4),
+            ShardRouter::range(3, 38),
+        ] {
+            let (whole, shards) = build(&edges, &router);
+            let want = connected_components(&whole);
+            let got = cc_sharded(&shards, &router);
+            assert_eq!(got, want, "router {router:?}");
+        }
+    }
+
+    #[test]
+    fn isolated_ids_label_themselves() {
+        // Edge (0, 9) leaves ids 1..9 isolated in the 0..10 space.
+        let router = ShardRouter::hash(2);
+        let (whole, shards) = build(&[(0, 9)], &router);
+        let want = connected_components(&whole);
+        let got = cc_sharded(&shards, &router);
+        assert_eq!(got, want);
+        assert_eq!(got[3], 3);
+        assert_eq!(got[9], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside id space")]
+    fn sharded_source_bounds_checked() {
+        let router = ShardRouter::hash(2);
+        let (_, shards) = build(&[(0, 1)], &router);
+        let _ = bfs_sharded(&shards, &router, 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "router shape")]
+    fn shard_count_mismatch_rejected() {
+        let router = ShardRouter::hash(2);
+        let (_, shards) = build(&[(0, 1)], &ShardRouter::hash(3));
+        let _ = cc_sharded(&shards, &router);
+    }
+}

@@ -16,7 +16,7 @@ pub use algos::{run_table11, run_table12, run_table13, run_table14_15, run_table
 pub use concurrent::run_stream_engine;
 pub use incremental::run_incremental;
 pub use memory::{run_memory, run_table1, run_table2, run_table5, run_table9};
-pub use scaling::run_scaling;
+pub use scaling::{run_scaling, run_scaling_shards};
 pub use updates::{run_figure5, run_table10, run_table7, run_table8};
 
 use crate::datasets::{default_b, Dataset};

@@ -22,7 +22,8 @@
 //!   memory    chunk-codec frontier: bytes/edge + decode ns/edge per codec
 //!   stream    concurrent ingestion engine: updates + queries (aspen-stream)
 //!   incremental  standing-query repair vs from-scratch recompute
-//!   scaling   batch inserts + BFS/CC at 1/2/4/8 pool workers
+//!   scaling   batch inserts + BFS/CC at 1/2/4/8 pool workers, plus the
+//!             sharded engine at 1/2/4/8 shards vs the unsharded baseline
 //!   all       everything above, in order
 //!
 //! flags:
@@ -232,6 +233,7 @@ fn main() {
     }
     if run("scaling") {
         emit(exp::run_scaling(&sweep_target, cli.quick));
+        emit(exp::run_scaling_shards(&sweep_target, cli.quick));
     }
 
     if let Some(path) = &cli.json_path {

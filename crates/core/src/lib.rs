@@ -56,6 +56,7 @@ mod edgemap;
 mod edges;
 mod flat;
 mod graph;
+mod shard;
 mod subset;
 mod versioned;
 mod view;
@@ -69,6 +70,7 @@ pub use edges::{
 };
 pub use flat::FlatSnapshot;
 pub use graph::{EdgeMeasure, Graph, VertexEntry, VertexTree};
+pub use shard::{ShardRouter, VersionVector};
 pub use subset::VertexSubset;
 pub use versioned::{symmetrize, ApplyTiming, Version, VersionedGraph};
 pub use view::GraphView;

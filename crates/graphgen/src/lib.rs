@@ -17,4 +17,6 @@ mod stream;
 pub use er::{er_edges, er_symmetric_edges};
 pub use io::AdjacencyGraph;
 pub use rmat::{Rmat, RmatParams};
-pub use stream::{build_update_stream, StreamSetup, Update};
+pub use stream::{
+    build_update_stream, partition_arcs, partition_updates, route_update, StreamSetup, Update,
+};

@@ -116,6 +116,70 @@ pub fn build_update_stream(
     }
 }
 
+/// Routes one undirected update to its owning shards as **oriented
+/// arcs** — the sharded-engine mirroring convention.
+///
+/// The undirected edge `{u, v}` is stored as the arc `(u, v)` in the
+/// shard owning `u` and the arc `(v, u)` in the shard owning `v`, so
+/// every neighbor scan stays shard-local. This function is that rule,
+/// written once: it returns both `(shard, arc-update)` pairs (the same
+/// shard twice when one shard owns both endpoints — it must then apply
+/// both arcs). `owner` is the routing function, normally
+/// `|v| router.shard_of(v)` for an `aspen::ShardRouter`.
+pub fn route_update(update: Update, owner: impl Fn(u32) -> usize) -> [(usize, Update); 2] {
+    let (u, v) = update.endpoints();
+    let make = |a, b| {
+        if update.is_insert() {
+            Update::Insert(a, b)
+        } else {
+            Update::Delete(a, b)
+        }
+    };
+    [(owner(u), make(u, v)), (owner(v), make(v, u))]
+}
+
+/// Splits an undirected update stream into per-shard **arc-update**
+/// sub-streams under [`route_update`]'s mirroring rule, preserving
+/// arrival order within each shard.
+///
+/// Benches, tests, and the sharded engine all split through this one
+/// implementation, so a routing disagreement between producer-side
+/// splitting and the engine's own ingest front end cannot exist.
+pub fn partition_updates(
+    updates: &[Update],
+    shards: usize,
+    owner: impl Fn(u32) -> usize,
+) -> Vec<Vec<Update>> {
+    assert!(shards > 0, "need at least one shard");
+    let mut out: Vec<Vec<Update>> = (0..shards).map(|_| Vec::new()).collect();
+    for &u in updates {
+        for (shard, arc) in route_update(u, &owner) {
+            assert!(shard < shards, "owner function returned shard {shard}");
+            out[shard].push(arc);
+        }
+    }
+    out
+}
+
+/// Splits a symmetric directed edge list into per-shard arc lists:
+/// arc `(u, v)` goes to the shard owning its **source** `u`. Used to
+/// build per-shard initial graphs that together represent the same
+/// undirected graph as the unsharded edge list.
+pub fn partition_arcs(
+    edges: &[(u32, u32)],
+    shards: usize,
+    owner: impl Fn(u32) -> usize,
+) -> Vec<Vec<(u32, u32)>> {
+    assert!(shards > 0, "need at least one shard");
+    let mut out: Vec<Vec<(u32, u32)>> = (0..shards).map(|_| Vec::new()).collect();
+    for &(u, v) in edges {
+        let shard = owner(u);
+        assert!(shard < shards, "owner function returned shard {shard}");
+        out[shard].push((u, v));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,6 +278,61 @@ mod tests {
         let a = build_update_stream(&edges, 500, 7);
         let b = build_update_stream(&edges, 500, 7);
         assert_eq!(a.initial_edges, b.initial_edges);
+    }
+
+    #[test]
+    fn route_update_orients_arcs_to_owners() {
+        let owner = |v: u32| (v % 3) as usize;
+        let [(s0, a0), (s1, a1)] = route_update(Update::Insert(4, 8), owner);
+        assert_eq!((s0, a0), (1, Update::Insert(4, 8)));
+        assert_eq!((s1, a1), (2, Update::Insert(8, 4)));
+        // Deletes keep their operation through routing.
+        let [(_, d0), (_, d1)] = route_update(Update::Delete(4, 8), owner);
+        assert_eq!(d0, Update::Delete(4, 8));
+        assert_eq!(d1, Update::Delete(8, 4));
+        // Co-owned endpoints: the same shard receives both arcs.
+        let [(sa, aa), (sb, ab)] = route_update(Update::Insert(3, 6), owner);
+        assert_eq!((sa, sb), (0, 0));
+        assert_eq!((aa, ab), (Update::Insert(3, 6), Update::Insert(6, 3)));
+    }
+
+    #[test]
+    fn partition_updates_mirrors_and_preserves_order() {
+        let owner = |v: u32| (v % 2) as usize;
+        let stream = vec![
+            Update::Insert(0, 1), // cross: shard0 gets (0,1), shard1 gets (1,0)
+            Update::Insert(2, 4), // local to shard0: both arcs
+            Update::Delete(0, 1), // cross again
+        ];
+        let parts = partition_updates(&stream, 2, owner);
+        assert_eq!(
+            parts[0],
+            vec![
+                Update::Insert(0, 1),
+                Update::Insert(2, 4),
+                Update::Insert(4, 2),
+                Update::Delete(0, 1),
+            ]
+        );
+        assert_eq!(parts[1], vec![Update::Insert(1, 0), Update::Delete(1, 0)]);
+        // Every update contributes exactly two arcs.
+        let total: usize = parts.iter().map(Vec::len).sum();
+        assert_eq!(total, stream.len() * 2);
+    }
+
+    #[test]
+    fn partition_arcs_routes_by_source() {
+        let owner = |v: u32| (v % 2) as usize;
+        let edges = vec![(0u32, 1u32), (1, 0), (2, 3), (3, 2)];
+        let parts = partition_arcs(&edges, 2, owner);
+        assert_eq!(parts[0], vec![(0, 1), (2, 3)]);
+        assert_eq!(parts[1], vec![(1, 0), (3, 2)]);
+    }
+
+    #[test]
+    fn single_shard_partition_gets_both_arcs() {
+        let parts = partition_updates(&[Update::Insert(5, 9)], 1, |_| 0);
+        assert_eq!(parts[0], vec![Update::Insert(5, 9), Update::Insert(9, 5)]);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Engine assembly: builder, thread lifecycle, shutdown.
 
 use crate::config::{BatchPolicy, EngineConfig};
-use crate::handle::{Envelope, IngestHandle};
+use crate::handle::{IngestHandle, Msg};
 use crate::query::{QueryExecutor, QuerySpec};
 use crate::standing::{StandingAnalytic, StandingHandle, StandingQueryState, StandingSet};
 use crate::stats::{EngineStats, StatsReport};
@@ -21,6 +21,8 @@ pub struct StreamEngineBuilder<E: EdgeSet> {
     standing: Vec<Box<dyn StandingAnalytic<E>>>,
     query_threads: usize,
     track_consistency: bool,
+    directed_arcs: bool,
+    stats: Option<Arc<EngineStats>>,
 }
 
 impl<E: EdgeSet> StreamEngineBuilder<E> {
@@ -81,13 +83,33 @@ impl<E: EdgeSet> StreamEngineBuilder<E> {
         self
     }
 
+    /// Treats every pushed update as a **directed arc** applied as-is:
+    /// the writer neither symmetrizes nor coalesces opposite
+    /// orientations together. This is how the sharded engine runs its
+    /// per-shard engines — each undirected edge's two arcs live in the
+    /// two endpoint owners' shards, so symmetrizing locally would
+    /// fabricate arcs the shard does not own.
+    pub fn directed_arcs(mut self, on: bool) -> Self {
+        self.directed_arcs = on;
+        self
+    }
+
+    /// Uses a caller-constructed stats block instead of a fresh one —
+    /// the sharded engine pre-creates per-shard stats so it can attach
+    /// them to an obs registry under `stream.shard<K>.*` names before
+    /// the shards start.
+    pub fn with_stats(mut self, stats: Arc<EngineStats>) -> Self {
+        self.stats = Some(stats);
+        self
+    }
+
     /// Validates the configuration, spawns the writer loop and query
     /// threads, and returns the running engine.
     pub fn start(self) -> StreamEngine<E> {
         self.policy.validate();
         self.config.validate();
-        let (tx, rx) = sync_channel::<Envelope>(self.policy.channel_capacity);
-        let stats = Arc::new(EngineStats::new());
+        let (tx, rx) = sync_channel::<Msg>(self.policy.channel_capacity);
+        let stats = self.stats.unwrap_or_else(|| Arc::new(EngineStats::new()));
         let tracker = self
             .track_consistency
             .then(|| Arc::new(ConsistencyTracker::new(self.vg.acquire().num_edges())));
@@ -135,6 +157,7 @@ impl<E: EdgeSet> StreamEngineBuilder<E> {
             let policy = self.policy;
             let pool = pool.clone();
             let installed_seq = installed_seq.clone();
+            let directed = self.directed_arcs;
             std::thread::Builder::new()
                 .name("aspen-stream-writer".into())
                 .spawn(move || {
@@ -145,6 +168,7 @@ impl<E: EdgeSet> StreamEngineBuilder<E> {
                         pool,
                         installed_seq,
                         standing: standing_set,
+                        directed,
                     };
                     writer_loop(shared, rx, policy)
                 })
@@ -216,6 +240,8 @@ impl<E: EdgeSet> StreamEngine<E> {
             standing: Vec::new(),
             query_threads: 1,
             track_consistency: false,
+            directed_arcs: false,
+            stats: None,
         }
     }
 
@@ -241,6 +267,12 @@ impl<E: EdgeSet> StreamEngine<E> {
     /// torn-repair-freedom invariant.
     pub fn installed_version(&self) -> u64 {
         self.installed_seq.load(Ordering::Acquire)
+    }
+
+    /// The shared installed-version counter itself; the sharded engine
+    /// reads per-shard counters when assembling version vectors.
+    pub(crate) fn installed_counter(&self) -> Arc<AtomicU64> {
+        self.installed_seq.clone()
     }
 
     /// Reader handle for the standing query named `name` (as given by

@@ -3,6 +3,7 @@
 
 use graphgen::Update;
 use std::sync::mpsc::{SyncSender, TrySendError};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// An update plus the instant a producer enqueued it; the writer loop
@@ -12,6 +13,32 @@ use std::time::Instant;
 pub(crate) struct Envelope {
     pub update: Update,
     pub enqueued: Instant,
+}
+
+/// An epoch barrier: when the writer loop dequeues one, every update
+/// enqueued before it (FIFO channel) has been applied, so the writer
+/// flushes whatever batch it is holding and then fires `ack` with the
+/// barrier's epoch. The sharded engine's ingest front end uses
+/// barriers to align per-shard version chains on epoch boundaries;
+/// the `ack` closure captures whatever the coordinator needs (the
+/// shard id, the shard's `VersionedGraph` to acquire the post-epoch
+/// version from, the cut collector).
+pub(crate) struct Barrier {
+    pub epoch: u64,
+    pub ack: Arc<dyn Fn(u64) + Send + Sync>,
+}
+
+impl Barrier {
+    /// Invokes the acknowledgement callback with this barrier's epoch.
+    pub fn fire(&self) {
+        (self.ack)(self.epoch);
+    }
+}
+
+/// What flows through the ingest channel: updates, or epoch barriers.
+pub(crate) enum Msg {
+    Update(Envelope),
+    Barrier(Barrier),
 }
 
 /// The ingestion channel is closed: the engine shut down before the
@@ -59,7 +86,17 @@ impl std::error::Error for TryIngestError {}
 /// been dropped; hold a handle only as long as you intend to produce.
 #[derive(Clone)]
 pub struct IngestHandle {
-    pub(crate) tx: SyncSender<Envelope>,
+    pub(crate) tx: SyncSender<Msg>,
+}
+
+/// Extracts the update an errored send carried (barrier sends report a
+/// placeholder; they never fail in practice because the engine keeps
+/// the receiver alive while barriers are in flight).
+fn rejected(msg: Msg) -> Update {
+    match msg {
+        Msg::Update(env) => env.update,
+        Msg::Barrier(_) => Update::Insert(0, 0),
+    }
 }
 
 impl IngestHandle {
@@ -67,25 +104,41 @@ impl IngestHandle {
     ///
     /// The update's end-to-end latency clock starts now.
     pub fn push(&self, update: Update) -> Result<(), IngestError> {
+        self.push_envelope(Envelope {
+            update,
+            enqueued: Instant::now(),
+        })
+    }
+
+    /// Enqueues an update with a caller-provided enqueue instant — the
+    /// sharded front end forwards producer envelopes through here so
+    /// end-to-end latency is measured from the *original* producer
+    /// push, not from the routing hop.
+    pub(crate) fn push_envelope(&self, env: Envelope) -> Result<(), IngestError> {
         self.tx
-            .send(Envelope {
-                update,
-                enqueued: Instant::now(),
-            })
-            .map_err(|e| IngestError(e.0.update))
+            .send(Msg::Update(env))
+            .map_err(|e| IngestError(rejected(e.0)))
+    }
+
+    /// Enqueues an epoch barrier (see [`Barrier`]); blocking, like
+    /// [`push`](Self::push).
+    pub(crate) fn push_barrier(&self, barrier: Barrier) -> Result<(), IngestError> {
+        self.tx
+            .send(Msg::Barrier(barrier))
+            .map_err(|e| IngestError(rejected(e.0)))
     }
 
     /// Non-blocking push: fails fast when the channel is full instead
     /// of exerting backpressure on the caller.
     pub fn try_push(&self, update: Update) -> Result<(), TryIngestError> {
         self.tx
-            .try_send(Envelope {
+            .try_send(Msg::Update(Envelope {
                 update,
                 enqueued: Instant::now(),
-            })
+            }))
             .map_err(|e| match e {
-                TrySendError::Full(env) => TryIngestError::Full(env.update),
-                TrySendError::Disconnected(env) => TryIngestError::Closed(env.update),
+                TrySendError::Full(msg) => TryIngestError::Full(rejected(msg)),
+                TrySendError::Disconnected(msg) => TryIngestError::Closed(rejected(msg)),
             })
     }
 
@@ -108,8 +161,28 @@ mod tests {
         let (tx, rx) = sync_channel(4);
         let h = IngestHandle { tx };
         h.push(Update::Insert(1, 2)).unwrap();
-        let env = rx.recv().unwrap();
-        assert_eq!(env.update, Update::Insert(1, 2));
+        match rx.recv().unwrap() {
+            Msg::Update(env) => assert_eq!(env.update, Update::Insert(1, 2)),
+            Msg::Barrier(_) => panic!("expected an update"),
+        }
+    }
+
+    #[test]
+    fn barrier_fires_with_its_epoch() {
+        let (tx, rx) = sync_channel(4);
+        let h = IngestHandle { tx };
+        let seen = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let seen2 = seen.clone();
+        h.push_barrier(Barrier {
+            epoch: 7,
+            ack: std::sync::Arc::new(move |e| seen2.store(e, std::sync::atomic::Ordering::SeqCst)),
+        })
+        .unwrap();
+        match rx.recv().unwrap() {
+            Msg::Barrier(b) => b.fire(),
+            Msg::Update(_) => panic!("expected a barrier"),
+        }
+        assert_eq!(seen.load(std::sync::atomic::Ordering::SeqCst), 7);
     }
 
     #[test]

@@ -62,6 +62,7 @@ mod config;
 mod engine;
 mod handle;
 mod query;
+pub mod sharded;
 pub mod standing;
 mod stats;
 mod writer;
@@ -70,6 +71,9 @@ pub use config::{BatchPolicy, EngineConfig};
 pub use engine::{StreamEngine, StreamEngineBuilder};
 pub use handle::{IngestError, IngestHandle, TryIngestError};
 pub use query::{analytics, QueryExecutor, QueryFn, QuerySpec};
+pub use sharded::{
+    ShardedCut, ShardedEngine, ShardedEngineBuilder, ShardedIngestHandle, ShardedReport,
+};
 pub use standing::{digest_values, StandingAnalytic, StandingHandle, StandingResult};
 pub use stats::{
     EngineSnapshot, EngineStats, HistogramSnapshot, LatencyHistogram, LatencySummary, StatsReport,

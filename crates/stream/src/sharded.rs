@@ -1,0 +1,837 @@
+//! The sharded multi-writer engine: N independent [`StreamEngine`]s,
+//! one per vertex-space shard, behind a single ingest front end and a
+//! consistent-cut query surface.
+//!
+//! # Why
+//!
+//! One [`aspen::VersionedGraph`] means one writer loop: every batch
+//! serializes through a single root install. Partitioning the vertex
+//! space across shards gives each partition its own writer loop,
+//! version chain, and batch pipeline — inserts touching different
+//! shards proceed concurrently end to end.
+//!
+//! # Topology
+//!
+//! An [`aspen::ShardRouter`] owns the partitioning decision. The
+//! undirected edge `{u, v}` is stored as the directed arc `(u, v)` in
+//! `shard_of(u)` and the mirror arc `(v, u)` in `shard_of(v)`
+//! (per-shard engines run in [`directed-arc mode`]), so any vertex's
+//! full adjacency list lives in its owner shard and neighbor scans
+//! never cross shards. Summing per-shard directed edge counts yields
+//! the global count with no double counting.
+//!
+//! [`directed-arc mode`]: crate::StreamEngineBuilder::directed_arcs
+//!
+//! # Consistency: epoch barriers and version vectors
+//!
+//! Concurrent shard writers flush on their own schedules, so "acquire
+//! every shard's latest version" can observe a **mirror-torn** state:
+//! arc `(u, v)` applied in `shard_of(u)` but `(v, u)` not yet applied
+//! in `shard_of(v)`. The front end prevents this by construction:
+//!
+//! 1. A single **router thread** drains the producer channel into
+//!    **epochs** under the engine's [`BatchPolicy`], splitting each
+//!    update into its two arcs and forwarding them to the owner
+//!    shards' channels (both arcs routed in the same epoch).
+//! 2. After routing an epoch it pushes a barrier message onto **every**
+//!    shard channel. Shard channels are FIFO and each shard has
+//!    exactly one writer, so by the time a shard's writer reaches the
+//!    barrier it has installed every update of that epoch (and none of
+//!    a later one) — it flushes its pending batch and acks with its
+//!    post-epoch version.
+//! 3. When all shards have acked epoch `e`, the collector publishes a
+//!    [`ShardedCut`]: the per-shard snapshots plus the
+//!    [`VersionVector`] labeling them. Successive cuts' vectors are
+//!    totally ordered ([`VersionVector::dominates`]).
+//!
+//! Queries [`pin`](ShardedEngine::pin) the latest cut and run either
+//! through the [`GraphView`] impl (any existing algorithm, unchanged)
+//! or through the sharded-native fan-out/merge paths
+//! ([`algorithms::bfs_sharded`], [`algorithms::cc_sharded`]).
+
+use crate::config::BatchPolicy;
+use crate::handle::{Barrier, Envelope, IngestError, TryIngestError};
+use crate::stats::{EngineStats, StatsReport};
+use crate::StreamEngine;
+use aspen::{
+    EdgeSet, Graph, GraphView, ShardRouter, Version, VersionVector, VersionedGraph, VertexId,
+};
+use graphgen::{partition_arcs, route_update, Update};
+use obs::{Counter, Gauge, Registry};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// A consistent cut across every shard: one immutable snapshot per
+/// shard, all aligned on the same ingest epoch, labeled by the
+/// [`VersionVector`] of per-shard installed versions.
+///
+/// Implements [`GraphView`] by routing every vertex access to the
+/// owner shard, so any unsharded algorithm runs on a cut unchanged;
+/// [`bfs`](Self::bfs) and [`connected_components`](Self::connected_components)
+/// run the sharded-native fan-out/merge versions instead.
+pub struct ShardedCut<E: EdgeSet> {
+    router: ShardRouter,
+    epoch: u64,
+    vector: VersionVector,
+    shards: Vec<Version<E>>,
+}
+
+impl<E: EdgeSet> ShardedCut<E> {
+    /// The ingest epoch this cut closed (0 = the initial state).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Per-shard installed-version numbers at this cut.
+    pub fn vector(&self) -> &VersionVector {
+        &self.vector
+    }
+
+    /// The router that partitioned this cut's vertex space.
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Shard `k`'s snapshot.
+    pub fn local(&self, k: usize) -> &Version<E> {
+        &self.shards[k]
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_refs(&self) -> Vec<&Graph<E>> {
+        self.shards.iter().map(|s| s.as_ref()).collect()
+    }
+
+    /// Fan-out/merge BFS from `src` (frontier exchange per round);
+    /// distances match the unsharded [`algorithms::bfs`] exactly.
+    pub fn bfs(&self, src: VertexId) -> algorithms::BfsResult {
+        algorithms::bfs_sharded(&self.shard_refs(), &self.router, src)
+    }
+
+    /// Fan-out/merge connected components (per-shard union-find, then
+    /// a boundary merge); labels match the unsharded
+    /// [`algorithms::connected_components`] exactly.
+    pub fn connected_components(&self) -> Vec<u32> {
+        algorithms::cc_sharded(&self.shard_refs(), &self.router)
+    }
+
+    /// Audits the mirror invariant: every arc `(u, v)` in `u`'s owner
+    /// shard must have its mirror `(v, u)` in `v`'s owner shard.
+    /// Returns the number of violations (0 on any published cut — a
+    /// nonzero count means the epoch-barrier protocol broke).
+    pub fn check_mirror_consistency(&self) -> usize {
+        let mut violations = 0usize;
+        for (k, shard) in self.shards.iter().enumerate() {
+            for v in 0..shard.id_bound() as u32 {
+                if self.router.shard_of(v) != k {
+                    continue;
+                }
+                shard.for_each_neighbor(v, &mut |w| {
+                    let owner = &self.shards[self.router.shard_of(w)];
+                    if !owner.contains_edge(w, v) {
+                        violations += 1;
+                    }
+                });
+            }
+        }
+        violations
+    }
+}
+
+impl<E: EdgeSet> GraphView for ShardedCut<E> {
+    fn id_bound(&self) -> usize {
+        // Mirroring makes every edge endpoint a source in its owner
+        // shard, so the max over shard-local bounds is the global one.
+        self.shards.iter().map(|s| s.id_bound()).max().unwrap_or(0)
+    }
+
+    fn num_edges(&self) -> u64 {
+        self.shards.iter().map(|s| s.num_edges()).sum()
+    }
+
+    fn degree(&self, v: VertexId) -> usize {
+        let shard = &self.shards[self.router.shard_of(v)];
+        if (v as usize) < shard.id_bound() {
+            shard.degree(v)
+        } else {
+            0
+        }
+    }
+
+    fn for_each_neighbor(&self, v: VertexId, f: &mut dyn FnMut(VertexId)) {
+        let shard = &self.shards[self.router.shard_of(v)];
+        if (v as usize) < shard.id_bound() {
+            shard.for_each_neighbor(v, f);
+        }
+    }
+
+    fn for_each_neighbor_until(&self, v: VertexId, f: &mut dyn FnMut(VertexId) -> bool) -> bool {
+        let shard = &self.shards[self.router.shard_of(v)];
+        if (v as usize) < shard.id_bound() {
+            shard.for_each_neighbor_until(v, f)
+        } else {
+            true
+        }
+    }
+}
+
+/// Tracks barrier acknowledgements and publishes each epoch's cut once
+/// every shard has reported.
+struct CutCollector<E: EdgeSet> {
+    state: Mutex<CollectorState<E>>,
+    published: Mutex<Arc<ShardedCut<E>>>,
+    cut_epoch: Arc<Gauge>,
+}
+
+struct CollectorState<E: EdgeSet> {
+    /// Per-epoch partial cuts, keyed by epoch; entries complete (and
+    /// leave the map) in epoch order because each shard acks epochs in
+    /// order.
+    pending: BTreeMap<u64, PendingCut<E>>,
+    last_published: u64,
+}
+
+struct PendingCut<E: EdgeSet> {
+    versions: Vec<Option<(u64, Version<E>)>>,
+    remaining: usize,
+}
+
+impl<E: EdgeSet> CutCollector<E> {
+    fn new(initial: Arc<ShardedCut<E>>, cut_epoch: Arc<Gauge>) -> Self {
+        CutCollector {
+            state: Mutex::new(CollectorState {
+                pending: BTreeMap::new(),
+                last_published: 0,
+            }),
+            published: Mutex::new(initial),
+            cut_epoch,
+        }
+    }
+
+    /// Shard `k` acks `epoch` with its post-epoch version number and
+    /// snapshot. Called from the shard writer thread.
+    fn report(
+        &self,
+        router: ShardRouter,
+        shards: usize,
+        epoch: u64,
+        k: usize,
+        version: u64,
+        snapshot: Version<E>,
+    ) {
+        let complete = {
+            let mut state = self.state.lock();
+            let entry = state.pending.entry(epoch).or_insert_with(|| PendingCut {
+                versions: (0..shards).map(|_| None).collect(),
+                remaining: shards,
+            });
+            debug_assert!(entry.versions[k].is_none(), "double ack from shard {k}");
+            entry.versions[k] = Some((version, snapshot));
+            entry.remaining -= 1;
+            if entry.remaining == 0 {
+                let entry = state.pending.remove(&epoch).expect("entry just filled");
+                if epoch > state.last_published {
+                    state.last_published = epoch;
+                    Some(entry)
+                } else {
+                    None
+                }
+            } else {
+                None
+            }
+        };
+        if let Some(entry) = complete {
+            let mut versions = Vec::with_capacity(shards);
+            let mut snapshots = Vec::with_capacity(shards);
+            for slot in entry.versions {
+                let (version, snapshot) = slot.expect("complete cut has every shard");
+                versions.push(version);
+                snapshots.push(snapshot);
+            }
+            let cut = Arc::new(ShardedCut {
+                router,
+                epoch,
+                vector: VersionVector::from_versions(versions),
+                shards: snapshots,
+            });
+            self.cut_epoch.set(epoch as i64);
+            *self.published.lock() = cut;
+        }
+    }
+
+    fn pin(&self) -> Arc<ShardedCut<E>> {
+        self.published.lock().clone()
+    }
+}
+
+/// Coordinator-level counters, registered as `stream.sharded.*` in the
+/// engine's registry alongside every shard's `stream.shard<K>.*`.
+struct ShardedMetrics {
+    epochs: Arc<Counter>,
+    updates_routed: Arc<Counter>,
+    cross_shard_updates: Arc<Counter>,
+    cut_epoch: Arc<Gauge>,
+}
+
+impl ShardedMetrics {
+    fn on_registry(registry: &Registry) -> Self {
+        ShardedMetrics {
+            epochs: registry.counter("stream.sharded.epochs"),
+            updates_routed: registry.counter("stream.sharded.updates_routed"),
+            cross_shard_updates: registry.counter("stream.sharded.cross_shard_updates"),
+            cut_epoch: registry.gauge("stream.sharded.cut_epoch"),
+        }
+    }
+}
+
+/// Configures and launches a [`ShardedEngine`].
+pub struct ShardedEngineBuilder<E: EdgeSet> {
+    router: ShardRouter,
+    initial_arcs: Vec<(u32, u32)>,
+    policy: BatchPolicy,
+    cfg: E::Config,
+    shard_threads: Option<usize>,
+    registry: Option<Arc<Registry>>,
+}
+
+impl<E: EdgeSet> ShardedEngineBuilder<E> {
+    /// Seeds the engine with a **symmetric** directed arc list (both
+    /// orientations present, as [`aspen::symmetrize`] produces); each
+    /// arc is stored in its source's owner shard.
+    pub fn initial_arcs(mut self, arcs: &[(u32, u32)]) -> Self {
+        self.initial_arcs = arcs.to_vec();
+        self
+    }
+
+    /// Batching policy, used both by the front end's epoch formation
+    /// and by every shard writer (default: [`BatchPolicy::default`]).
+    pub fn policy(mut self, policy: BatchPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Edge-set construction parameters (chunk size for C-trees).
+    pub fn edge_config(mut self, cfg: E::Config) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Dedicated compute pool size for **each** shard's batch applies
+    /// (default: shards share the global pool).
+    pub fn shard_threads(mut self, n: usize) -> Self {
+        self.shard_threads = Some(n);
+        self
+    }
+
+    /// Registers all metrics into an existing registry (default: a
+    /// fresh private one). Shard `k`'s engine metrics appear under
+    /// `stream.shard<k>.*`, coordinator metrics under `stream.sharded.*`.
+    pub fn registry(mut self, registry: Arc<Registry>) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Builds the per-shard graphs, starts every shard engine and the
+    /// router thread, and publishes the epoch-0 cut.
+    pub fn start(self) -> ShardedEngine<E> {
+        self.policy.validate();
+        let router = self.router;
+        let shards = router.num_shards();
+        let registry = self.registry.unwrap_or_else(|| Arc::new(Registry::new()));
+        let metrics = ShardedMetrics::on_registry(&registry);
+
+        // Per-shard engines over the partitioned initial arcs, each in
+        // directed-arc mode with stats prefixed by its shard index.
+        let initial = partition_arcs(&self.initial_arcs, shards, |v| router.shard_of(v));
+        let mut engines = Vec::with_capacity(shards);
+        let mut graphs = Vec::with_capacity(shards);
+        let mut initial_cut = Vec::with_capacity(shards);
+        for (k, arcs) in initial.into_iter().enumerate() {
+            let vg = Arc::new(VersionedGraph::new(Graph::from_edges(&arcs, self.cfg)));
+            let stats = Arc::new(EngineStats::on_registry_with_prefix(
+                registry.clone(),
+                &format!("stream.shard{k}."),
+            ));
+            let mut builder = StreamEngine::builder(vg.clone())
+                .policy(self.policy)
+                .directed_arcs(true)
+                .with_stats(stats);
+            if let Some(n) = self.shard_threads {
+                builder = builder.num_threads(n);
+            }
+            initial_cut.push(vg.acquire());
+            graphs.push(vg);
+            engines.push(builder.start());
+        }
+
+        let collector = Arc::new(CutCollector::new(
+            Arc::new(ShardedCut {
+                router,
+                epoch: 0,
+                vector: VersionVector::new(shards),
+                shards: initial_cut,
+            }),
+            metrics.cut_epoch.clone(),
+        ));
+
+        // One ack closure per shard, fired by that shard's writer when
+        // it passes a barrier. The writer is the shard's only
+        // installer and fires synchronously between messages, so the
+        // acquired snapshot is exactly the post-epoch state.
+        let acks: Vec<Arc<dyn Fn(u64) + Send + Sync>> = (0..shards)
+            .map(|k| {
+                let collector = collector.clone();
+                let vg = graphs[k].clone();
+                let installed = engines[k].installed_counter();
+                Arc::new(move |epoch: u64| {
+                    let version = installed.load(Ordering::Acquire);
+                    collector.report(router, shards, epoch, k, version, vg.acquire());
+                }) as Arc<dyn Fn(u64) + Send + Sync>
+            })
+            .collect();
+
+        let (tx, rx) = sync_channel::<Envelope>(self.policy.channel_capacity);
+        let router_thread = {
+            let shard_handles: Vec<_> = engines.iter().map(|e| e.handle()).collect();
+            let policy = self.policy;
+            let epochs = metrics.epochs.clone();
+            let updates_routed = metrics.updates_routed.clone();
+            let cross_shard = metrics.cross_shard_updates.clone();
+            std::thread::Builder::new()
+                .name("aspen-shard-router".into())
+                .spawn(move || {
+                    router_loop(RouterShared {
+                        router,
+                        shard_handles,
+                        acks,
+                        epochs,
+                        updates_routed,
+                        cross_shard,
+                        rx,
+                        policy,
+                    })
+                })
+                .expect("spawn shard router thread")
+        };
+
+        ShardedEngine {
+            router,
+            engines,
+            graphs,
+            handle: ShardedIngestHandle { tx },
+            router_thread,
+            collector,
+            registry,
+        }
+    }
+}
+
+/// Everything the router thread owns.
+struct RouterShared {
+    router: ShardRouter,
+    shard_handles: Vec<crate::IngestHandle>,
+    acks: Vec<Arc<dyn Fn(u64) + Send + Sync>>,
+    epochs: Arc<Counter>,
+    updates_routed: Arc<Counter>,
+    cross_shard: Arc<Counter>,
+    rx: Receiver<Envelope>,
+    policy: BatchPolicy,
+}
+
+/// The router thread's body: drain producer envelopes into epochs
+/// under the batch policy, forward each update's two arcs to the owner
+/// shards, close every epoch with a barrier on every shard channel.
+fn router_loop(shared: RouterShared) {
+    let RouterShared {
+        router,
+        shard_handles,
+        acks,
+        epochs,
+        updates_routed,
+        cross_shard,
+        rx,
+        policy,
+    } = shared;
+    let mut epoch = 0u64;
+    let mut batch: Vec<Envelope> = Vec::with_capacity(policy.max_batch);
+    loop {
+        match rx.recv() {
+            Ok(env) => batch.push(env),
+            Err(_) => return, // producers gone, everything routed
+        }
+        let deadline = batch[0].enqueued + policy.max_linger;
+        let mut disconnected = false;
+        while batch.len() < policy.max_batch {
+            let left = deadline.saturating_duration_since(Instant::now());
+            match rx.recv_timeout(left) {
+                Ok(env) => batch.push(env),
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => {
+                    disconnected = true;
+                    break;
+                }
+            }
+        }
+        // Route the epoch: both arcs of each update go out before the
+        // epoch closes, so no cut can observe a half-routed edge.
+        for env in batch.drain(..) {
+            let (u, v) = env.update.endpoints();
+            if router.is_cross_shard(u, v) {
+                cross_shard.inc();
+            }
+            for (k, arc) in route_update(env.update, |x| router.shard_of(x)) {
+                // Preserve the producer's enqueue instant so shard
+                // engines attribute true end-to-end latency.
+                let _ = shard_handles[k].push_envelope(Envelope {
+                    update: arc,
+                    enqueued: env.enqueued,
+                });
+            }
+            updates_routed.inc();
+        }
+        epoch += 1;
+        epochs.inc();
+        for (k, handle) in shard_handles.iter().enumerate() {
+            let _ = handle.push_barrier(Barrier {
+                epoch,
+                ack: acks[k].clone(),
+            });
+        }
+        if disconnected {
+            return;
+        }
+    }
+}
+
+/// Producer handle into the sharded engine's front end. Clone freely;
+/// pushes block when the front-end channel is full (backpressure).
+#[derive(Clone)]
+pub struct ShardedIngestHandle {
+    tx: SyncSender<Envelope>,
+}
+
+impl ShardedIngestHandle {
+    /// Enqueues one update, blocking while the channel is full.
+    pub fn push(&self, update: Update) -> Result<(), IngestError> {
+        self.tx
+            .send(Envelope {
+                update,
+                enqueued: Instant::now(),
+            })
+            .map_err(|e| IngestError(e.0.update))
+    }
+
+    /// Non-blocking push.
+    pub fn try_push(&self, update: Update) -> Result<(), TryIngestError> {
+        self.tx
+            .try_send(Envelope {
+                update,
+                enqueued: Instant::now(),
+            })
+            .map_err(|e| match e {
+                TrySendError::Full(env) => TryIngestError::Full(env.update),
+                TrySendError::Disconnected(env) => TryIngestError::Closed(env.update),
+            })
+    }
+
+    /// Pushes a whole slice in order, blocking as needed.
+    pub fn push_all(&self, updates: &[Update]) -> Result<(), IngestError> {
+        for &u in updates {
+            self.push(u)?;
+        }
+        Ok(())
+    }
+}
+
+/// End-of-run summary of a sharded engine: per-shard reports plus the
+/// final consistent cut.
+pub struct ShardedReport<E: EdgeSet> {
+    /// Shard `k`'s engine report.
+    pub shards: Vec<StatsReport>,
+    /// The cut closing the final epoch (equals the fully-drained state).
+    pub final_cut: Arc<ShardedCut<E>>,
+    /// Ingest epochs formed by the router thread.
+    pub epochs: u64,
+    /// Updates routed through the front end.
+    pub updates_routed: u64,
+    /// Routed updates whose endpoints live in different shards.
+    pub cross_shard_updates: u64,
+}
+
+impl<E: EdgeSet> ShardedReport<E> {
+    /// Sum of per-shard applied update counts (arcs; two per routed
+    /// update).
+    pub fn arcs_applied(&self) -> u64 {
+        self.shards.iter().map(|r| r.updates_applied).sum()
+    }
+}
+
+/// A running sharded engine. Lifecycle mirrors [`StreamEngine`]:
+/// builder → start → clone [`handle`](Self::handle)s into producers →
+/// producers drop their handles → [`finish`](Self::finish).
+pub struct ShardedEngine<E: EdgeSet> {
+    router: ShardRouter,
+    engines: Vec<StreamEngine<E>>,
+    graphs: Vec<Arc<VersionedGraph<E>>>,
+    handle: ShardedIngestHandle,
+    router_thread: JoinHandle<()>,
+    collector: Arc<CutCollector<E>>,
+    registry: Arc<Registry>,
+}
+
+impl<E: EdgeSet> ShardedEngine<E> {
+    /// Starts configuring a sharded engine over `router`'s partitions.
+    pub fn builder(router: ShardRouter) -> ShardedEngineBuilder<E> {
+        ShardedEngineBuilder {
+            router,
+            initial_arcs: Vec::new(),
+            policy: BatchPolicy::default(),
+            cfg: E::Config::default(),
+            shard_threads: None,
+            registry: None,
+        }
+    }
+
+    /// A new producer handle into the front end.
+    pub fn handle(&self) -> ShardedIngestHandle {
+        self.handle.clone()
+    }
+
+    /// The router partitioning this engine's vertex space.
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// The latest published consistent cut. O(1); the cut is immutable
+    /// and shared, so hold it as long as the query needs.
+    pub fn pin(&self) -> Arc<ShardedCut<E>> {
+        self.collector.pin()
+    }
+
+    /// Shard `k`'s underlying versioned graph (its latest version may
+    /// be *ahead* of the latest cut; use [`pin`](Self::pin) for
+    /// cross-shard-consistent reads).
+    pub fn shard_graph(&self, k: usize) -> &Arc<VersionedGraph<E>> {
+        &self.graphs[k]
+    }
+
+    /// The registry holding `stream.shard<K>.*` and `stream.sharded.*`
+    /// metrics.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Shuts down: waits for producers to drop their handles, drains
+    /// and joins the router thread and every shard engine, and returns
+    /// the final reports plus the fully-drained cut.
+    pub fn finish(self) -> ShardedReport<E> {
+        drop(self.handle);
+        self.router_thread.join().expect("router thread panicked");
+        // The router's shard handles died with it; each shard engine's
+        // finish drops its own handle, disconnecting the shard channel
+        // after the final barrier, so the last epoch's cut is published
+        // before the writer exits.
+        let shards: Vec<StatsReport> = self.engines.into_iter().map(|e| e.finish()).collect();
+        let snap = self.registry.snapshot();
+        ShardedReport {
+            shards,
+            final_cut: self.collector.pin(),
+            epochs: snap.counter("stream.sharded.epochs").unwrap_or(0),
+            updates_routed: snap.counter("stream.sharded.updates_routed").unwrap_or(0),
+            cross_shard_updates: snap
+                .counter("stream.sharded.cross_shard_updates")
+                .unwrap_or(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aspen::CompressedEdges;
+
+    type Sharded = ShardedEngine<CompressedEdges>;
+
+    fn ring_arcs(n: u32) -> Vec<(u32, u32)> {
+        (0..n)
+            .flat_map(|i| [(i, (i + 1) % n), ((i + 1) % n, i)])
+            .collect()
+    }
+
+    /// The unsharded oracle: same initial edges, updates applied
+    /// sequentially.
+    fn oracle(initial: &[(u32, u32)], updates: &[Update]) -> Graph<CompressedEdges> {
+        let vg: VersionedGraph<CompressedEdges> =
+            VersionedGraph::new(Graph::from_edges(initial, Default::default()));
+        for &u in updates {
+            match u {
+                Update::Insert(a, b) => vg.insert_edges_undirected(&[(a, b)]),
+                Update::Delete(a, b) => {
+                    vg.update_with_timed(|g| g.delete_edges(&aspen::symmetrize(&[(a, b)])));
+                }
+            }
+        }
+        Arc::try_unwrap(vg.acquire()).unwrap_or_else(|arc| (*arc).clone())
+    }
+
+    fn drive(
+        router: ShardRouter,
+        initial: &[(u32, u32)],
+        updates: &[Update],
+    ) -> ShardedReport<CompressedEdges> {
+        let engine = Sharded::builder(router).initial_arcs(initial).start();
+        let h = engine.handle();
+        h.push_all(updates).unwrap();
+        drop(h);
+        engine.finish()
+    }
+
+    #[test]
+    fn sharded_ingest_matches_unsharded_oracle() {
+        let initial = ring_arcs(16);
+        let updates: Vec<Update> = (0..200u32)
+            .map(|i| {
+                if i % 5 == 4 {
+                    Update::Delete(i % 16, (i + 1) % 16)
+                } else {
+                    Update::Insert(i % 16, 16 + i)
+                }
+            })
+            .collect();
+        let want = oracle(&initial, &updates);
+        for router in [
+            ShardRouter::hash(1),
+            ShardRouter::hash(2),
+            ShardRouter::hash(4),
+        ] {
+            let report = drive(router, &initial, &updates);
+            let cut = &report.final_cut;
+            assert_eq!(cut.check_mirror_consistency(), 0, "router {router:?}");
+            assert_eq!(cut.num_edges(), want.num_edges(), "router {router:?}");
+            assert_eq!(
+                cut.connected_components(),
+                algorithms::connected_components(&want),
+                "router {router:?}"
+            );
+            assert_eq!(
+                cut.bfs(0).dist,
+                algorithms::bfs(&want, 0).dist,
+                "router {router:?}"
+            );
+            assert_eq!(report.updates_routed, updates.len() as u64);
+            // Every routed update lands as two arcs somewhere.
+            assert_eq!(report.arcs_applied(), 2 * updates.len() as u64);
+            assert!(report.epochs >= 1);
+        }
+    }
+
+    #[test]
+    fn cut_graphview_runs_unsharded_algorithms() {
+        let initial = ring_arcs(12);
+        let report = drive(ShardRouter::hash(3), &initial, &[]);
+        let cut = &report.final_cut;
+        // Through the GraphView impl, the standard algorithms see the
+        // logical graph.
+        let r = algorithms::bfs(&**cut, 0);
+        assert_eq!(r.num_reached(), 12);
+        assert_eq!(
+            algorithms::num_components(&algorithms::connected_components(&**cut)),
+            1
+        );
+        assert_eq!(cut.id_bound(), 12);
+        assert_eq!(cut.num_edges(), 24);
+        assert_eq!(cut.degree(5), 2);
+        let mut n = cut.neighbors(5);
+        n.sort_unstable();
+        assert_eq!(n, vec![4, 6]);
+    }
+
+    #[test]
+    fn cuts_are_epoch_labeled_and_monotone() {
+        let engine = Sharded::builder(ShardRouter::hash(2))
+            .initial_arcs(&ring_arcs(8))
+            .start();
+        let epoch0 = engine.pin();
+        assert_eq!(epoch0.epoch(), 0);
+        assert_eq!(epoch0.vector().as_slice(), &[0, 0]);
+        let h = engine.handle();
+        for i in 0..50u32 {
+            h.push(Update::Insert(i % 8, 8 + i)).unwrap();
+        }
+        drop(h);
+        let report = engine.finish();
+        let last = &report.final_cut;
+        assert!(last.epoch() >= 1);
+        assert!(last.vector().dominates(epoch0.vector()));
+        assert_eq!(last.vector().len(), 2);
+        // The pinned epoch-0 cut still shows only the ring.
+        assert_eq!(epoch0.num_edges(), 16);
+        assert_eq!(last.num_edges(), 16 + 100);
+    }
+
+    #[test]
+    fn per_shard_metrics_share_the_registry() {
+        let registry = Arc::new(Registry::new());
+        let engine = Sharded::builder(ShardRouter::hash(2))
+            .initial_arcs(&ring_arcs(8))
+            .registry(registry.clone())
+            .start();
+        let h = engine.handle();
+        for i in 0..40u32 {
+            h.push(Update::Insert(i % 8, 100 + i)).unwrap();
+        }
+        drop(h);
+        let report = engine.finish();
+        let snap = registry.snapshot();
+        let s0 = snap.counter("stream.shard0.updates_applied").unwrap_or(0);
+        let s1 = snap.counter("stream.shard1.updates_applied").unwrap_or(0);
+        assert_eq!(s0 + s1, 80, "40 updates = 80 arcs across the shards");
+        assert!(s0 > 0 && s1 > 0, "hash routing spreads arcs: {s0}/{s1}");
+        assert_eq!(
+            snap.counter("stream.sharded.updates_routed"),
+            Some(40),
+            "coordinator metrics registered alongside"
+        );
+        // The cross-shard counter must match the router's own verdict.
+        let router = ShardRouter::hash(2);
+        let want_cross = (0..40u32)
+            .filter(|i| router.is_cross_shard(i % 8, 100 + i))
+            .count() as u64;
+        assert_eq!(report.cross_shard_updates, want_cross);
+    }
+
+    #[test]
+    fn empty_engine_finishes_clean() {
+        let report = drive(ShardRouter::hash(4), &[], &[]);
+        assert_eq!(report.final_cut.num_edges(), 0);
+        assert_eq!(report.final_cut.id_bound(), 0);
+        assert_eq!(report.epochs, 0);
+        assert_eq!(report.updates_routed, 0);
+    }
+
+    #[test]
+    fn deletes_of_missing_edges_are_harmless() {
+        let report = drive(
+            ShardRouter::hash(2),
+            &ring_arcs(4),
+            &[Update::Delete(0, 3), Update::Delete(100, 200)],
+        );
+        // (0,3) is a ring edge; (100,200) never existed.
+        assert_eq!(report.final_cut.num_edges(), 8 - 2);
+        assert_eq!(report.final_cut.check_mirror_consistency(), 0);
+    }
+}

@@ -69,6 +69,10 @@ pub struct EngineStats {
     /// any installed version — **must stay zero**; a nonzero value
     /// means snapshot isolation is broken.
     pub consistency_violations: Arc<Counter>,
+    /// Query rounds that reused a cached flat snapshot instead of
+    /// rebuilding one (the installed version had not changed since the
+    /// last round that flattened it).
+    pub flat_reuse: Arc<Counter>,
 }
 
 impl Default for EngineStats {
@@ -84,24 +88,36 @@ impl EngineStats {
     }
 
     /// Stats registered into an existing registry (e.g. a process-wide
-    /// one a `/stats` endpoint serves). Metric names are fixed, so two
-    /// engines must not share one registry.
+    /// one a `/stats` endpoint serves) under the default `stream.`
+    /// prefix. Metric names are fixed, so two engines must not share
+    /// one registry — unless each uses a distinct prefix via
+    /// [`on_registry_with_prefix`](Self::on_registry_with_prefix).
     pub fn on_registry(registry: Arc<Registry>) -> Self {
+        Self::on_registry_with_prefix(registry, "stream.")
+    }
+
+    /// Stats registered under an arbitrary name prefix (e.g.
+    /// `stream.shard0.`), letting several engines share one registry —
+    /// the sharded engine registers every shard's stats alongside its
+    /// own coordinator metrics this way.
+    pub fn on_registry_with_prefix(registry: Arc<Registry>, prefix: &str) -> Self {
+        let name = |suffix: &str| format!("{prefix}{suffix}");
         EngineStats {
-            batch_apply: registry.histogram("stream.batch_apply"),
-            update_e2e: registry.histogram("stream.update_e2e"),
-            query: registry.histogram("stream.query"),
-            batches_applied: registry.counter("stream.batches_applied"),
-            updates_applied: registry.counter("stream.updates_applied"),
-            inserts_applied: registry.counter("stream.inserts_applied"),
-            deletes_applied: registry.counter("stream.deletes_applied"),
-            queries_run: registry.counter("stream.queries_run"),
-            standing_repair: registry.histogram("stream.standing.repair"),
-            standing_diff: registry.histogram("stream.standing.diff"),
-            standing_repairs: registry.counter("stream.standing.repairs"),
-            standing_full_recomputes: registry.counter("stream.standing.full_recomputes"),
-            standing_diff_edges: registry.counter("stream.standing.diff_edges"),
-            consistency_violations: registry.counter("stream.consistency_violations"),
+            batch_apply: registry.histogram(&name("batch_apply")),
+            update_e2e: registry.histogram(&name("update_e2e")),
+            query: registry.histogram(&name("query")),
+            batches_applied: registry.counter(&name("batches_applied")),
+            updates_applied: registry.counter(&name("updates_applied")),
+            inserts_applied: registry.counter(&name("inserts_applied")),
+            deletes_applied: registry.counter(&name("deletes_applied")),
+            queries_run: registry.counter(&name("queries_run")),
+            standing_repair: registry.histogram(&name("standing.repair")),
+            standing_diff: registry.histogram(&name("standing.diff")),
+            standing_repairs: registry.counter(&name("standing.repairs")),
+            standing_full_recomputes: registry.counter(&name("standing.full_recomputes")),
+            standing_diff_edges: registry.counter(&name("standing.diff_edges")),
+            consistency_violations: registry.counter(&name("consistency_violations")),
+            flat_reuse: registry.counter(&name("query.flat_reuse")),
             registry,
         }
     }
@@ -128,6 +144,7 @@ impl EngineStats {
             standing_full_recomputes: self.standing_full_recomputes.get(),
             standing_diff_edges: self.standing_diff_edges.get(),
             consistency_violations: self.consistency_violations.get(),
+            flat_reuse: self.flat_reuse.get(),
             batch_apply: self.batch_apply.snapshot(),
             update_e2e: self.update_e2e.snapshot(),
             query: self.query.snapshot(),
@@ -157,6 +174,7 @@ pub struct EngineSnapshot {
     pub standing_full_recomputes: u64,
     pub standing_diff_edges: u64,
     pub consistency_violations: u64,
+    pub flat_reuse: u64,
     pub batch_apply: HistogramSnapshot,
     pub update_e2e: HistogramSnapshot,
     pub query: HistogramSnapshot,
@@ -177,6 +195,7 @@ impl EngineSnapshot {
             standing_full_recomputes: self.standing_full_recomputes,
             standing_diff_edges: self.standing_diff_edges,
             consistency_violations: self.consistency_violations,
+            flat_reuse: self.flat_reuse,
             batch_apply: self.batch_apply.summarize(),
             update_e2e: self.update_e2e.summarize(),
             query: self.query.summarize(),
@@ -208,6 +227,7 @@ impl EngineSnapshot {
             consistency_violations: self
                 .consistency_violations
                 .saturating_sub(earlier.consistency_violations),
+            flat_reuse: self.flat_reuse.saturating_sub(earlier.flat_reuse),
             batch_apply: self
                 .batch_apply
                 .delta_since(&earlier.batch_apply)
@@ -240,6 +260,7 @@ pub struct StatsReport {
     pub standing_full_recomputes: u64,
     pub standing_diff_edges: u64,
     pub consistency_violations: u64,
+    pub flat_reuse: u64,
     pub batch_apply: LatencySummary,
     pub update_e2e: LatencySummary,
     pub query: LatencySummary,
@@ -281,6 +302,9 @@ impl std::fmt::Display for StatsReport {
             )?;
         }
         write!(f, "queries run : {}", self.queries_run)?;
+        if self.flat_reuse > 0 {
+            write!(f, " ({} flat-snapshot reuses)", self.flat_reuse)?;
+        }
         if self.consistency_violations > 0 {
             write!(
                 f,
@@ -409,6 +433,22 @@ mod tests {
         // Cumulative report is unaffected.
         assert_eq!(second.report().updates_applied, 15);
         assert_eq!(second.report().update_e2e.count, 4);
+    }
+
+    #[test]
+    fn prefixed_stats_share_a_registry() {
+        let registry = std::sync::Arc::new(obs::Registry::new());
+        let a = EngineStats::on_registry_with_prefix(registry.clone(), "stream.shard0.");
+        let b = EngineStats::on_registry_with_prefix(registry.clone(), "stream.shard1.");
+        a.batches_applied.add(2);
+        b.batches_applied.add(5);
+        a.flat_reuse.inc();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("stream.shard0.batches_applied"), Some(2));
+        assert_eq!(snap.counter("stream.shard1.batches_applied"), Some(5));
+        assert_eq!(snap.counter("stream.shard0.query.flat_reuse"), Some(1));
+        assert_eq!(a.report().batches_applied, 2);
+        assert_eq!(b.report().flat_reuse, 0);
     }
 
     #[test]

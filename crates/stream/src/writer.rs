@@ -2,7 +2,7 @@
 //! and applies them with the paper's functional batch updates.
 
 use crate::config::BatchPolicy;
-use crate::handle::Envelope;
+use crate::handle::{Barrier, Envelope, Msg};
 use crate::standing::StandingSet;
 use crate::stats::EngineStats;
 use aspen::{EdgeSet, VersionedGraph};
@@ -85,13 +85,15 @@ struct NetBatch {
     deletes: Vec<(u32, u32)>,
 }
 
-fn coalesce(batch: &[Envelope]) -> NetBatch {
-    // Normalized key (min, max) so both orientations of an undirected
-    // edge coalesce; value is "last op was insert".
+fn coalesce(batch: &[Envelope], directed: bool) -> NetBatch {
+    // Undirected mode normalizes the key to (min, max) so both
+    // orientations of an edge coalesce; directed-arc mode (shard
+    // writers, where the mirror arc lives in another shard's engine)
+    // keys on the ordered pair. Value is "last op was insert".
     let mut last: HashMap<(u32, u32), bool> = HashMap::with_capacity(batch.len());
     for env in batch {
         let (u, v) = env.update.endpoints();
-        let key = if u <= v { (u, v) } else { (v, u) };
+        let key = if directed || u <= v { (u, v) } else { (v, u) };
         last.insert(key, env.update.is_insert());
     }
     let mut net = NetBatch {
@@ -119,6 +121,11 @@ pub(crate) struct WriterShared<E: EdgeSet> {
     pub pool: Option<Arc<rayon::ThreadPool>>,
     pub installed_seq: Arc<AtomicU64>,
     pub standing: Option<StandingSet<E>>,
+    /// Directed-arc mode: updates are oriented arcs that are applied
+    /// as-is (no symmetrization, ordered coalescing keys). Shard
+    /// engines run in this mode — the mirror arc of each undirected
+    /// edge is routed to the other endpoint's shard.
+    pub directed: bool,
 }
 
 /// Drains `rx` until every sender is gone, flushing under `policy`.
@@ -133,7 +140,7 @@ pub(crate) struct WriterShared<E: EdgeSet> {
 /// it.
 pub(crate) fn writer_loop<E: EdgeSet>(
     shared: WriterShared<E>,
-    rx: Receiver<Envelope>,
+    rx: Receiver<Msg>,
     policy: BatchPolicy,
 ) {
     let WriterShared {
@@ -143,12 +150,19 @@ pub(crate) fn writer_loop<E: EdgeSet>(
         pool,
         installed_seq,
         mut standing,
+        directed,
     } = shared;
     let mut batch: Vec<Envelope> = Vec::with_capacity(policy.max_batch);
     loop {
-        // Block for the first update of the next batch.
+        // Block for the first message of the next batch. A barrier with
+        // nothing buffered acks immediately: every earlier update was
+        // already flushed.
         match rx.recv() {
-            Ok(env) => batch.push(env),
+            Ok(Msg::Update(env)) => batch.push(env),
+            Ok(Msg::Barrier(b)) => {
+                b.fire();
+                continue;
+            }
             Err(_) => return, // all producers gone, nothing buffered
         }
         // Fill until max_batch or until the oldest buffered update has
@@ -156,13 +170,19 @@ pub(crate) fn writer_loop<E: EdgeSet>(
         // anchored at the oldest update's *enqueue* time (not at this
         // recv), so the policy's visibility bound holds even when the
         // update already aged in the channel while a previous batch
-        // was being applied.
+        // was being applied. A barrier ends the fill early: it must not
+        // ack until the updates buffered ahead of it are installed.
         let deadline = batch[0].enqueued + policy.max_linger;
         let mut disconnected = false;
+        let mut pending_barrier: Option<Barrier> = None;
         while batch.len() < policy.max_batch {
             let left = deadline.saturating_duration_since(Instant::now());
             match rx.recv_timeout(left) {
-                Ok(env) => batch.push(env),
+                Ok(Msg::Update(env)) => batch.push(env),
+                Ok(Msg::Barrier(b)) => {
+                    pending_barrier = Some(b);
+                    break;
+                }
                 Err(RecvTimeoutError::Timeout) => break,
                 Err(RecvTimeoutError::Disconnected) => {
                     disconnected = true;
@@ -179,6 +199,7 @@ pub(crate) fn writer_loop<E: EdgeSet>(
                     tracker.as_deref(),
                     &installed_seq,
                     standing.as_mut(),
+                    directed,
                 )
             }),
             None => flush(
@@ -188,9 +209,15 @@ pub(crate) fn writer_loop<E: EdgeSet>(
                 tracker.as_deref(),
                 &installed_seq,
                 standing.as_mut(),
+                directed,
             ),
         }
         batch.clear();
+        if let Some(b) = pending_barrier {
+            // Fire only after the flush: the ack's version capture must
+            // observe every update enqueued before the barrier.
+            b.fire();
+        }
         if disconnected {
             return;
         }
@@ -206,6 +233,7 @@ fn flush<E: EdgeSet>(
     tracker: Option<&ConsistencyTracker>,
     installed_seq: &AtomicU64,
     standing: Option<&mut StandingSet<E>>,
+    directed: bool,
 ) {
     if batch.is_empty() {
         return;
@@ -218,18 +246,26 @@ fn flush<E: EdgeSet>(
     let _flush = obs::trace::span_cat("batch.flush", "stream");
     let net = {
         let _s = obs::trace::span_cat("batch.coalesce", "stream");
-        coalesce(batch)
+        coalesce(batch, directed)
     };
     let timing = {
         let _s = obs::trace::span_cat("batch.apply", "stream");
         vg.update_with_timed(|g| {
             let mut next = None;
             if !net.inserts.is_empty() {
-                next = Some(g.insert_edges(&aspen::symmetrize(&net.inserts)));
+                next = Some(if directed {
+                    g.insert_edges(&net.inserts)
+                } else {
+                    g.insert_edges(&aspen::symmetrize(&net.inserts))
+                });
             }
             if !net.deletes.is_empty() {
                 let base = next.as_ref().unwrap_or(g);
-                next = Some(base.delete_edges(&aspen::symmetrize(&net.deletes)));
+                next = Some(if directed {
+                    base.delete_edges(&net.deletes)
+                } else {
+                    base.delete_edges(&aspen::symmetrize(&net.deletes))
+                });
             }
             let next = next.expect("nonempty batch nets to at least one op");
             if let Some(t) = tracker {
@@ -312,7 +348,7 @@ mod tests {
             env(Update::Delete(1, 0)), // other orientation of (0, 1)
             env(Update::Insert(3, 4)),
         ];
-        let net = coalesce(&batch);
+        let net = coalesce(&batch, false);
         let mut ins = net.inserts.clone();
         ins.sort_unstable();
         assert_eq!(ins, vec![(1, 2), (3, 4)]);
@@ -326,9 +362,23 @@ mod tests {
             env(Update::Insert(5, 6)),
             env(Update::Insert(6, 5)),
         ];
-        let net = coalesce(&batch);
+        let net = coalesce(&batch, false);
         assert_eq!(net.inserts, vec![(5, 6)]);
         assert!(net.deletes.is_empty());
+    }
+
+    #[test]
+    fn coalesce_directed_keeps_orientations_distinct() {
+        // In directed-arc mode (5, 6) and (6, 5) are different arcs: a
+        // delete of one must not cancel an insert of the other.
+        let batch = vec![
+            env(Update::Insert(5, 6)),
+            env(Update::Delete(6, 5)),
+            env(Update::Insert(5, 6)), // repeat still dedupes
+        ];
+        let net = coalesce(&batch, true);
+        assert_eq!(net.inserts, vec![(5, 6)]);
+        assert_eq!(net.deletes, vec![(6, 5)]);
     }
 
     #[test]
