@@ -1,0 +1,223 @@
+//! Durability cost and recovery measurement: what each fsync policy
+//! charges per acked update, and how long crash recovery takes to
+//! rebuild the graph from the log — with and without checkpoints
+//! bounding the replay. Every durable run is recovered and
+//! digest-compared against the live engine's final state, so a passing
+//! run is also an end-to-end audit of the WAL → recovery pipeline.
+
+use crate::datasets::Dataset;
+use crate::tables::Table;
+use aspen::{ChunkParams, CompressedEdges, EdgeSet, Graph, VersionedGraph};
+use graphgen::build_update_stream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use stream::wal::recover;
+use stream::{BatchPolicy, DurabilityConfig, FsyncPolicy, StatsReport, StreamEngine};
+
+/// One fsync configuration of the sweep.
+struct Policy {
+    name: &'static str,
+    fsync: Option<FsyncPolicy>,
+    checkpoint_every: Option<u64>,
+}
+
+const POLICIES: &[Policy] = &[
+    Policy {
+        name: "none",
+        fsync: None,
+        checkpoint_every: None,
+    },
+    Policy {
+        name: "always",
+        fsync: Some(FsyncPolicy::Always),
+        checkpoint_every: None,
+    },
+    Policy {
+        name: "everyn8",
+        fsync: Some(FsyncPolicy::EveryN(8)),
+        checkpoint_every: None,
+    },
+    Policy {
+        name: "interval1ms",
+        fsync: Some(FsyncPolicy::Interval(Duration::from_millis(1))),
+        checkpoint_every: None,
+    },
+    // Batches are coalesced, so even long streams install few
+    // versions; checkpoint often enough that every run exercises the
+    // checkpoint-bounded replay path.
+    Policy {
+        name: "checkpoint",
+        fsync: Some(FsyncPolicy::EveryN(8)),
+        checkpoint_every: Some(4),
+    },
+];
+
+/// Order-independent digest of a graph's directed edge set.
+fn digest(g: &Graph<CompressedEdges>) -> u64 {
+    let mut acc = 0u64;
+    for v in g.vertex_ids() {
+        for n in g.find_vertex(v).unwrap().edges.to_vec() {
+            let mut h = 0xcbf2_9ce4_8422_2325u64 ^ ((v as u64) << 32 | n as u64);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+            h ^= h >> 29;
+            acc = acc.wrapping_add(h.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        }
+    }
+    acc
+}
+
+struct PolicyRun {
+    report: StatsReport,
+    wall: Duration,
+    /// `None` for the no-WAL baseline.
+    recovery: Option<RecoveryRun>,
+}
+
+struct RecoveryRun {
+    wall: Duration,
+    frames_replayed: u64,
+    checkpoint_seq: u64,
+    digest_ok: bool,
+}
+
+fn run_one(updates: &[graphgen::Update], policy: &Policy, dir: &str) -> PolicyRun {
+    let vg: Arc<VersionedGraph<CompressedEdges>> =
+        Arc::new(VersionedGraph::new(Graph::new(ChunkParams::default())));
+    let mut builder = StreamEngine::builder(Arc::clone(&vg)).policy(BatchPolicy {
+        max_batch: 256,
+        max_linger: Duration::from_micros(500),
+        channel_capacity: 4096,
+    });
+    if let Some(fsync) = policy.fsync {
+        let _ = std::fs::remove_dir_all(dir);
+        let mut cfg = DurabilityConfig::new(dir).fsync(fsync);
+        if let Some(n) = policy.checkpoint_every {
+            cfg = cfg.checkpoint_every(n);
+        }
+        builder = builder.durability(cfg);
+    }
+    let engine = builder.start();
+
+    let wall = Instant::now();
+    let h = engine.handle();
+    h.push_all(updates).expect("engine closed early");
+    drop(h);
+    let report = engine.close();
+    let wall = wall.elapsed();
+
+    let recovery = policy.fsync.map(|fsync| {
+        let cfg = DurabilityConfig::new(dir).fsync(fsync);
+        let t0 = Instant::now();
+        let r = recover::<CompressedEdges>(&cfg, ChunkParams::default(), false)
+            .expect("recovery failed");
+        let rec_wall = t0.elapsed();
+        let live = vg.acquire();
+        let ok = r.seq == report.batches_applied && digest(&r.graph) == digest(&live);
+        let _ = std::fs::remove_dir_all(dir);
+        RecoveryRun {
+            wall: rec_wall,
+            frames_replayed: r.report.frames_replayed,
+            checkpoint_seq: r.report.checkpoint_seq,
+            digest_ok: ok,
+        }
+    });
+    PolicyRun {
+        report,
+        wall,
+        recovery,
+    }
+}
+
+/// Renders the fsync-policy sweep on `d`: ack latency and fsync count
+/// per policy, then recovery wall time and replay size per durable
+/// policy (digest-checked against the live engine).
+pub fn run_durability(d: &Dataset, quick: bool) -> Table {
+    let edges = d.edges();
+    let sample = if quick { 2_000 } else { 20_000 };
+    let sample = sample.min((edges.len() / 2).max(100));
+    let setup = build_update_stream(&edges, sample, d.seed ^ 0xD0BE);
+
+    let mut t = Table::new(
+        "durability: ack latency + crash recovery by fsync policy (empty start, 1 producer)",
+        &[
+            "policy",
+            "updates",
+            "e2e p50",
+            "e2e p99",
+            "fsync p50",
+            "fsyncs",
+            "frames",
+            "updates/s",
+            "recovery",
+            "replayed",
+            "digest",
+        ],
+    );
+    let tmp_root = std::env::temp_dir().join(format!("aspen-durability-{}", std::process::id()));
+    let tmp_root = tmp_root.to_string_lossy().into_owned();
+    for p in POLICIES {
+        let dir = format!("{tmp_root}/{}", p.name);
+        let run = run_one(&setup.updates, p, &dir);
+        let r = &run.report;
+        let rate = r.updates_applied as f64 / run.wall.as_secs_f64();
+        let (rec_cell, replay_cell, digest_cell) = match &run.recovery {
+            Some(rec) => (
+                crate::fmt_secs(rec.wall.as_secs_f64()),
+                format!("{} frames", rec.frames_replayed),
+                if rec.digest_ok { "ok" } else { "MISMATCH" }.to_owned(),
+            ),
+            None => ("-".to_owned(), "-".to_owned(), "-".to_owned()),
+        };
+        t.row(&[
+            p.name.to_owned(),
+            r.updates_applied.to_string(),
+            crate::fmt_secs(r.update_e2e.p50.as_secs_f64()),
+            crate::fmt_secs(r.update_e2e.p99.as_secs_f64()),
+            crate::fmt_secs(r.wal_fsync.p50.as_secs_f64()),
+            r.wal_fsyncs.to_string(),
+            r.wal_frames.to_string(),
+            crate::fmt_rate(rate),
+            rec_cell,
+            replay_cell,
+            digest_cell,
+        ]);
+
+        let key = |m: &str| format!("{}.{}.{m}", d.name, p.name);
+        t.metric(&key("ack_p50_us"), r.update_e2e.p50.as_secs_f64() * 1e6);
+        t.metric(&key("ack_p99_us"), r.update_e2e.p99.as_secs_f64() * 1e6);
+        t.metric(&key("updates_per_s"), rate);
+        t.metric(&key("fsyncs"), r.wal_fsyncs as f64);
+        t.metric(&key("frames"), r.wal_frames as f64);
+        t.metric(&key("wal_bytes"), r.wal_bytes as f64);
+        if let Some(rec) = &run.recovery {
+            t.metric(&key("recovery_ms"), rec.wall.as_secs_f64() * 1e3);
+            t.metric(&key("frames_replayed"), rec.frames_replayed as f64);
+            t.metric(&key("checkpoint_seq"), rec.checkpoint_seq as f64);
+            t.metric(&key("digest_ok"), if rec.digest_ok { 1.0 } else { 0.0 });
+            assert!(
+                rec.digest_ok,
+                "recovery diverged from the live engine under policy {}",
+                p.name
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&tmp_root);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets;
+
+    #[test]
+    fn tiny_sweep_recovers_with_matching_digests() {
+        let t = run_durability(&datasets::tiny(), true);
+        let get = |k: &str| t.metrics().iter().find(|(n, _)| n == k).map(|&(_, v)| v);
+        for p in ["always", "everyn8", "interval1ms", "checkpoint"] {
+            let key = format!("tiny.{p}.digest_ok");
+            assert_eq!(get(&key), Some(1.0), "{key}");
+        }
+        assert!(get("tiny.checkpoint.checkpoint_seq").unwrap_or(0.0) > 0.0);
+    }
+}

@@ -7,6 +7,7 @@
 
 mod algos;
 mod concurrent;
+mod durability;
 mod incremental;
 mod memory;
 mod scaling;
@@ -14,6 +15,7 @@ mod updates;
 
 pub use algos::{run_table11, run_table12, run_table13, run_table14_15, run_table3_4, run_table6};
 pub use concurrent::run_stream_engine;
+pub use durability::run_durability;
 pub use incremental::run_incremental;
 pub use memory::{run_memory, run_table1, run_table2, run_table5, run_table9};
 pub use scaling::{run_scaling, run_scaling_shards};

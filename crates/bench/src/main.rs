@@ -22,6 +22,8 @@
 //!   memory    chunk-codec frontier: bytes/edge + decode ns/edge per codec
 //!   stream    concurrent ingestion engine: updates + queries (aspen-stream)
 //!   incremental  standing-query repair vs from-scratch recompute
+//!   durability   WAL fsync-policy ack-latency sweep + crash recovery
+//!             (every durable run is recovered and digest-audited)
 //!   scaling   batch inserts + BFS/CC at 1/2/4/8 pool workers, plus the
 //!             sharded engine at 1/2/4/8 shards vs the unsharded baseline
 //!   all       everything above, in order
@@ -230,6 +232,9 @@ fn main() {
     }
     if run("incremental") {
         emit(exp::run_incremental(&sweep_target, cli.quick));
+    }
+    if run("durability") {
+        emit(exp::run_durability(&sweep_target, cli.quick));
     }
     if run("scaling") {
         emit(exp::run_scaling(&sweep_target, cli.quick));

@@ -79,6 +79,20 @@ pub trait EdgeSet: Clone + Send + Sync + 'static {
 
     /// Short name for benchmark reports.
     fn repr_name() -> &'static str;
+
+    /// Serializes the construction parameters into `out` (checkpoint
+    /// headers record them so recovery rebuilds edge sets with the
+    /// same chunking). Representations without parameters write
+    /// nothing — the default.
+    fn encode_config(_cfg: &Self::Config, _out: &mut Vec<u8>) {}
+
+    /// Decodes parameters written by
+    /// [`encode_config`](Self::encode_config); `None` on truncated or
+    /// malformed input. The default reads nothing and returns the
+    /// default configuration.
+    fn decode_config(_r: &mut crate::snapshot::ByteReader<'_>) -> Option<Self::Config> {
+        Some(Self::Config::default())
+    }
 }
 
 /// One purely-functional tree node per neighbor — the paper's
@@ -242,6 +256,20 @@ impl<C: ChunkCodec> EdgeSet for CTreeEdges<C> {
             "interval" => "ctree-interval",
             _ => "ctree-plain",
         }
+    }
+
+    fn encode_config(cfg: &ChunkParams, out: &mut Vec<u8>) {
+        crate::snapshot::put_u32(cfg.b, out);
+        crate::snapshot::put_u64(cfg.seed, out);
+    }
+
+    fn decode_config(r: &mut crate::snapshot::ByteReader<'_>) -> Option<ChunkParams> {
+        let b = r.u32v()?;
+        let seed = r.u64v()?;
+        if b == 0 {
+            return None; // with_b would panic; reject corrupt input
+        }
+        Some(ChunkParams { b, seed })
     }
 }
 

@@ -108,6 +108,10 @@ impl<E: EdgeSet> Graph<E> {
         &self.vertices
     }
 
+    pub(crate) fn from_parts(vertices: VertexTree<E>, cfg: E::Config) -> Self {
+        Graph { vertices, cfg }
+    }
+
     /// Builds a graph from a directed edge list (the paper's
     /// `BuildGraph`). Duplicate edges collapse; vertices are the union
     /// of all endpoints, so every mentioned vertex exists even with

@@ -57,6 +57,7 @@ mod edges;
 mod flat;
 mod graph;
 mod shard;
+mod snapshot;
 mod subset;
 mod versioned;
 mod view;
@@ -71,6 +72,7 @@ pub use edges::{
 pub use flat::FlatSnapshot;
 pub use graph::{EdgeMeasure, Graph, VertexEntry, VertexTree};
 pub use shard::{ShardRouter, VersionVector};
+pub use snapshot::{put_u32, put_u64, read_snapshot, ByteReader, SnapshotError, SnapshotWriter};
 pub use subset::VertexSubset;
 pub use versioned::{symmetrize, ApplyTiming, Version, VersionedGraph};
 pub use view::GraphView;

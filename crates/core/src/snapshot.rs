@@ -1,0 +1,576 @@
+//! Checkpoint serialization of graphs, preserving structural sharing.
+//!
+//! A [`Graph`] is a purely-functional vertex treap whose versions share
+//! all untouched subtrees by `Arc` pointer (§6 of the paper — that is
+//! what makes snapshots cheap). A checkpoint written node-by-node per
+//! version would forfeit exactly that property on disk: `k` versions
+//! differing by `O(k log n)` spine nodes would cost `k` full copies.
+//!
+//! [`SnapshotWriter`] instead serializes the vertex tree as a **node
+//! DAG**: every distinct tree node (identified by its allocation, via
+//! [`ptree::Tree::root_id`]) is written exactly once, in children-first
+//! order, and assigned a stable id; parents and later versions refer to
+//! shared subtrees by id. [`read_snapshot`] rebuilds bottom-up through
+//! [`ptree::Tree::join`] — the serialized topology is a valid treap
+//! (deterministic priorities make treap shape canonical), so every join
+//! takes the `O(1)` fast path and reconstructs the exact node, sharing
+//! child `Arc`s. Structural sharing therefore survives the round trip
+//! **in memory** as well as on disk: subtrees shared between serialized
+//! versions come back as shared allocations.
+//!
+//! The format is a raw payload with no checksum — framing, CRCs, and
+//! torn-write handling belong to the storage layer (the stream crate's
+//! WAL wraps checkpoints in CRC-validated files). The reader is still
+//! fully defensive: malformed input yields [`SnapshotError`], never a
+//! panic or a structurally invalid graph.
+//!
+//! # Example
+//!
+//! ```
+//! use aspen::{CompressedEdges, Graph, SnapshotWriter, read_snapshot};
+//!
+//! let g: Graph<CompressedEdges> =
+//!     Graph::from_edges(&[(0, 1), (1, 0)], Default::default());
+//! let g2 = g.insert_edges(&[(1, 2), (2, 1)]);
+//!
+//! let mut w = SnapshotWriter::new(g.config());
+//! w.add_graph(&g);
+//! w.add_graph(&g2); // shared subtrees are written once
+//! let bytes = w.finish();
+//!
+//! let graphs = read_snapshot::<CompressedEdges>(&bytes).unwrap();
+//! assert_eq!(graphs[0].num_edges(), 2);
+//! assert_eq!(graphs[1].num_edges(), 4);
+//! ```
+
+use crate::edges::{EdgeSet, VertexId};
+use crate::graph::{Graph, VertexEntry, VertexTree};
+use std::collections::HashMap;
+use std::marker::PhantomData;
+
+/// Format magic: "aspen snapshot, version 1".
+const MAGIC: &[u8; 6] = b"ASNAP1";
+/// One tree node record follows.
+const TAG_NODE: u8 = 0x01;
+/// The trailing roots section follows; ends the node stream.
+const TAG_ROOTS: u8 = 0x02;
+
+/// Appends `v` as an LEB128 varint.
+pub fn put_u64(mut v: u64, out: &mut Vec<u8>) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends `v` as an LEB128 varint.
+pub fn put_u32(v: u32, out: &mut Vec<u8>) {
+    put_u64(v as u64, out);
+}
+
+/// A bounds-checked cursor over untrusted bytes: every read returns
+/// `None` instead of panicking on truncation or malformed varints.
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A cursor at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether the cursor consumed everything.
+    pub fn is_empty(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Option<u8> {
+        let b = *self.buf.get(self.pos)?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    /// Reads the next `n` bytes as a slice.
+    pub fn bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let s = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(s)
+    }
+
+    /// Reads an LEB128 varint; `None` on truncation or overflow.
+    pub fn u64v(&mut self) -> Option<u64> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8()?;
+            if shift == 63 && byte > 1 {
+                return None; // would overflow u64
+            }
+            v |= ((byte & 0x7f) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return Some(v);
+            }
+            shift += 7;
+            if shift > 63 {
+                return None;
+            }
+        }
+    }
+
+    /// Reads an LEB128 varint that must fit a `u32`.
+    pub fn u32v(&mut self) -> Option<u32> {
+        u32::try_from(self.u64v()?).ok()
+    }
+}
+
+/// Failure while decoding a snapshot payload. Carries a short
+/// diagnostic; the input is untrusted, so every structural violation
+/// maps here rather than to a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotError(String);
+
+impl SnapshotError {
+    fn new(msg: impl Into<String>) -> Self {
+        SnapshotError(msg.into())
+    }
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid snapshot: {}", self.0)
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Serializes one or more graphs (typically consecutive versions) into
+/// a single payload, interning structurally shared subtrees so each
+/// distinct tree node is written once; the format is documented at
+/// the top of this module's source.
+pub struct SnapshotWriter<E: EdgeSet> {
+    buf: Vec<u8>,
+    /// node allocation address → assigned id (1-based; 0 = empty).
+    ids: HashMap<usize, u64>,
+    next_id: u64,
+    roots: Vec<u64>,
+    nodes_written: u64,
+    _marker: PhantomData<E>,
+}
+
+impl<E: EdgeSet> SnapshotWriter<E> {
+    /// A writer whose header records `cfg`; every added graph must use
+    /// the same edge-set configuration.
+    pub fn new(cfg: E::Config) -> Self {
+        let mut buf = Vec::with_capacity(256);
+        buf.extend_from_slice(MAGIC);
+        let name = E::repr_name().as_bytes();
+        put_u32(name.len() as u32, &mut buf);
+        buf.extend_from_slice(name);
+        E::encode_config(&cfg, &mut buf);
+        SnapshotWriter {
+            buf,
+            ids: HashMap::new(),
+            next_id: 1,
+            roots: Vec::new(),
+            nodes_written: 0,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Serializes `g`, writing only nodes not already written by an
+    /// earlier `add_graph` call (shared subtrees are referenced by id).
+    pub fn add_graph(&mut self, g: &Graph<E>) {
+        let root = self.write_tree(g.vertex_tree());
+        self.roots.push(root);
+    }
+
+    /// Distinct tree nodes serialized so far — for `k` versions this is
+    /// the union of their node sets, not the sum (the on-disk face of
+    /// structural sharing).
+    pub fn nodes_written(&self) -> u64 {
+        self.nodes_written
+    }
+
+    /// Writes the trailing roots section and returns the payload.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.buf.push(TAG_ROOTS);
+        put_u32(self.roots.len() as u32, &mut self.buf);
+        for &r in &self.roots {
+            put_u64(r, &mut self.buf);
+        }
+        self.buf
+    }
+
+    fn write_tree(&mut self, t: &VertexTree<E>) -> u64 {
+        let Some(addr) = t.root_id() else {
+            return 0;
+        };
+        if let Some(&id) = self.ids.get(&addr) {
+            return id;
+        }
+        let (left, entry, right) = t.expose().expect("nonempty tree exposes");
+        // Children first (recursion depth is the tree height, O(log n)
+        // w.h.p.), so the reader can rebuild bottom-up in stream order.
+        let left_id = self.write_tree(&left);
+        let right_id = self.write_tree(&right);
+        self.buf.push(TAG_NODE);
+        put_u32(entry.id, &mut self.buf);
+        put_u64(left_id, &mut self.buf);
+        put_u64(right_id, &mut self.buf);
+        // Adjacency as gap-coded varints: degree, first neighbor, then
+        // strictly positive deltas (the list is strictly increasing).
+        put_u32(entry.edges.degree() as u32, &mut self.buf);
+        let mut prev: Option<VertexId> = None;
+        entry.edges.for_each(&mut |v| {
+            match prev {
+                None => put_u32(v, &mut self.buf),
+                Some(p) => put_u32(v - p, &mut self.buf),
+            }
+            prev = Some(v);
+        });
+        let id = self.next_id;
+        self.next_id += 1;
+        self.nodes_written += 1;
+        self.ids.insert(addr, id);
+        id
+    }
+}
+
+/// Decodes a payload produced by [`SnapshotWriter`] for the same edge
+/// representation `E`, returning the graphs in `add_graph` order.
+///
+/// Fails (never panics) on truncation, a representation mismatch, or
+/// any structural violation — dangling node references, unsorted
+/// adjacency, key ordering that breaks the search-tree invariant.
+pub fn read_snapshot<E: EdgeSet>(bytes: &[u8]) -> Result<Vec<Graph<E>>, SnapshotError> {
+    let mut r = ByteReader::new(bytes);
+    let magic = r
+        .bytes(MAGIC.len())
+        .ok_or_else(|| SnapshotError::new("truncated magic"))?;
+    if magic != MAGIC {
+        return Err(SnapshotError::new("bad magic"));
+    }
+    let name_len = r
+        .u32v()
+        .ok_or_else(|| SnapshotError::new("truncated repr name"))? as usize;
+    if name_len > r.remaining() {
+        return Err(SnapshotError::new("repr name overruns payload"));
+    }
+    let name = r.bytes(name_len).expect("length checked");
+    if name != E::repr_name().as_bytes() {
+        return Err(SnapshotError::new(format!(
+            "representation mismatch: snapshot holds {:?}, reading as {:?}",
+            String::from_utf8_lossy(name),
+            E::repr_name()
+        )));
+    }
+    let cfg =
+        E::decode_config(&mut r).ok_or_else(|| SnapshotError::new("malformed edge config"))?;
+
+    // id → rebuilt subtree; index id-1. Shared children are cloned out
+    // of this table, which is exactly an Arc bump — sharing preserved.
+    let mut table: Vec<VertexTree<E>> = Vec::new();
+    let mut neighbors: Vec<VertexId> = Vec::new();
+    loop {
+        match r.u8() {
+            Some(TAG_NODE) => {
+                let id = r
+                    .u32v()
+                    .ok_or_else(|| SnapshotError::new("truncated node record"))?;
+                let left_id = r
+                    .u64v()
+                    .ok_or_else(|| SnapshotError::new("truncated node record"))?;
+                let right_id = r
+                    .u64v()
+                    .ok_or_else(|| SnapshotError::new("truncated node record"))?;
+                let next_id = table.len() as u64 + 1;
+                if left_id >= next_id || right_id >= next_id {
+                    return Err(SnapshotError::new("node references an unwritten child"));
+                }
+                let degree = r
+                    .u32v()
+                    .ok_or_else(|| SnapshotError::new("truncated degree"))?
+                    as usize;
+                if degree > r.remaining() {
+                    // Every neighbor costs at least one byte; reject
+                    // absurd degrees before allocating for them.
+                    return Err(SnapshotError::new("degree overruns payload"));
+                }
+                neighbors.clear();
+                neighbors.reserve(degree);
+                let mut prev: Option<VertexId> = None;
+                for _ in 0..degree {
+                    let raw = r
+                        .u32v()
+                        .ok_or_else(|| SnapshotError::new("truncated adjacency"))?;
+                    let v = match prev {
+                        None => raw,
+                        Some(p) => {
+                            if raw == 0 {
+                                return Err(SnapshotError::new("non-increasing adjacency"));
+                            }
+                            p.checked_add(raw)
+                                .ok_or_else(|| SnapshotError::new("adjacency overflow"))?
+                        }
+                    };
+                    neighbors.push(v);
+                    prev = Some(v);
+                }
+                let fetch = |nid: u64| -> VertexTree<E> {
+                    if nid == 0 {
+                        VertexTree::new()
+                    } else {
+                        table[(nid - 1) as usize].clone()
+                    }
+                };
+                let left = fetch(left_id);
+                let right = fetch(right_id);
+                // The search-tree invariant must hold before join, or
+                // the rebuilt graph would be silently unsearchable.
+                if left.last().is_some_and(|e| e.id >= id)
+                    || right.first().is_some_and(|e| e.id <= id)
+                {
+                    return Err(SnapshotError::new("node keys violate search order"));
+                }
+                let entry = VertexEntry {
+                    id,
+                    edges: E::from_sorted(&neighbors, cfg),
+                };
+                table.push(VertexTree::join(left, entry, right));
+            }
+            Some(TAG_ROOTS) => {
+                let count = r
+                    .u32v()
+                    .ok_or_else(|| SnapshotError::new("truncated root count"))?
+                    as usize;
+                if count > r.remaining() + 1 {
+                    return Err(SnapshotError::new("root count overruns payload"));
+                }
+                let mut graphs = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let root = r
+                        .u64v()
+                        .ok_or_else(|| SnapshotError::new("truncated root id"))?;
+                    if root > table.len() as u64 {
+                        return Err(SnapshotError::new("root references an unwritten node"));
+                    }
+                    let tree = if root == 0 {
+                        VertexTree::new()
+                    } else {
+                        table[(root - 1) as usize].clone()
+                    };
+                    graphs.push(Graph::from_parts(tree, cfg));
+                }
+                if !r.is_empty() {
+                    return Err(SnapshotError::new("trailing bytes after roots"));
+                }
+                return Ok(graphs);
+            }
+            Some(_) => return Err(SnapshotError::new("unknown record tag")),
+            None => return Err(SnapshotError::new("payload ends before roots section")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edges::{CompressedEdges, UncompressedEdges};
+    use ctree::ChunkParams;
+
+    type G = Graph<CompressedEdges>;
+
+    fn sym(edges: &[(u32, u32)]) -> Vec<(u32, u32)> {
+        edges.iter().flat_map(|&(u, v)| [(u, v), (v, u)]).collect()
+    }
+
+    fn assert_same_graph<E: EdgeSet>(a: &Graph<E>, b: &Graph<E>) {
+        assert_eq!(a.num_vertices(), b.num_vertices());
+        assert_eq!(a.num_edges(), b.num_edges());
+        for v in a.vertex_ids() {
+            assert_eq!(
+                a.find_vertex(v).unwrap().edges.to_vec(),
+                b.find_vertex(v).unwrap().edges.to_vec(),
+                "adjacency of {v}"
+            );
+        }
+    }
+
+    /// Distinct node allocations reachable from the tree, via the same
+    /// identity hook the writer interns on.
+    fn unique_nodes<E: EdgeSet>(g: &Graph<E>, seen: &mut std::collections::HashSet<usize>) {
+        fn walk<E: EdgeSet>(t: &VertexTree<E>, seen: &mut std::collections::HashSet<usize>) {
+            let Some(addr) = t.root_id() else { return };
+            if !seen.insert(addr) {
+                return;
+            }
+            let (l, _, r) = t.expose().unwrap();
+            walk(&l, seen);
+            walk(&r, seen);
+        }
+        walk(g.vertex_tree(), seen);
+    }
+
+    #[test]
+    fn roundtrip_single_graph() {
+        let g = G::from_edges(
+            &sym(&[(0, 1), (1, 2), (0, 2), (5, 9)]),
+            ChunkParams::with_b(4),
+        );
+        let mut w = SnapshotWriter::new(g.config());
+        w.add_graph(&g);
+        let bytes = w.finish();
+        let got = read_snapshot::<CompressedEdges>(&bytes).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_same_graph(&g, &got[0]);
+        got[0].check_invariants();
+    }
+
+    #[test]
+    fn roundtrip_empty_graph() {
+        let g = G::new(ChunkParams::default());
+        let mut w = SnapshotWriter::new(g.config());
+        w.add_graph(&g);
+        let got = read_snapshot::<CompressedEdges>(&w.finish()).unwrap();
+        assert_eq!(got[0].num_vertices(), 0);
+    }
+
+    #[test]
+    fn roundtrip_uncompressed_repr() {
+        let g: Graph<UncompressedEdges> = Graph::from_edges(&sym(&[(0, 1), (1, 2)]), ());
+        let mut w = SnapshotWriter::new(());
+        w.add_graph(&g);
+        let got = read_snapshot::<UncompressedEdges>(&w.finish()).unwrap();
+        assert_same_graph(&g, &got[0]);
+    }
+
+    #[test]
+    fn repr_mismatch_is_rejected() {
+        let g: Graph<UncompressedEdges> = Graph::from_edges(&sym(&[(0, 1)]), ());
+        let mut w = SnapshotWriter::new(());
+        w.add_graph(&g);
+        let bytes = w.finish();
+        assert!(read_snapshot::<CompressedEdges>(&bytes).is_err());
+    }
+
+    #[test]
+    fn shared_subtrees_serialize_once_and_rebuild_shared() {
+        let edges: Vec<(u32, u32)> = (0..300u32).map(|i| (i, (i + 1) % 300)).collect();
+        let g = G::from_edges(&sym(&edges), ChunkParams::default());
+        let g2 = g.insert_edges(&sym(&[(7, 999)]));
+
+        let mut both = SnapshotWriter::new(g.config());
+        both.add_graph(&g);
+        both.add_graph(&g2);
+        let shared_nodes = both.nodes_written();
+        let shared_bytes = both.finish();
+
+        let mut solo = SnapshotWriter::new(g.config());
+        solo.add_graph(&g);
+        let solo_nodes = solo.nodes_written();
+
+        // The second version adds only its O(log n) spine.
+        assert!(
+            shared_nodes < solo_nodes + 20,
+            "two versions cost {shared_nodes} nodes vs {solo_nodes} for one"
+        );
+
+        let got = read_snapshot::<CompressedEdges>(&shared_bytes).unwrap();
+        assert_same_graph(&g, &got[0]);
+        assert_same_graph(&g2, &got[1]);
+
+        // Sharing survives reconstruction in memory: the union of node
+        // sets matches what was written, not the sum of two full trees.
+        let mut seen = std::collections::HashSet::new();
+        unique_nodes(&got[0], &mut seen);
+        unique_nodes(&got[1], &mut seen);
+        assert_eq!(seen.len() as u64, shared_nodes);
+    }
+
+    #[test]
+    fn rebuilt_tree_shape_is_canonical() {
+        // Same key set ⇒ identical treap shape, so a round trip must
+        // reproduce pointer-comparable structure against a fresh build.
+        let g = G::from_edges(
+            &sym(&[(0, 1), (2, 3), (4, 5), (1, 4)]),
+            ChunkParams::default(),
+        );
+        let got = read_snapshot::<CompressedEdges>(&{
+            let mut w = SnapshotWriter::new(g.config());
+            w.add_graph(&g);
+            w.finish()
+        })
+        .unwrap();
+        got[0].check_invariants();
+        assert_eq!(got[0].vertex_tree().height(), g.vertex_tree().height());
+    }
+
+    #[test]
+    fn truncation_never_panics() {
+        let g = G::from_edges(&sym(&[(0, 1), (1, 2), (3, 4)]), ChunkParams::default());
+        let mut w = SnapshotWriter::new(g.config());
+        w.add_graph(&g);
+        let bytes = w.finish();
+        for len in 0..bytes.len() {
+            assert!(
+                read_snapshot::<CompressedEdges>(&bytes[..len]).is_err(),
+                "prefix of length {len} decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flips_never_panic() {
+        let g = G::from_edges(
+            &sym(&[(0, 1), (1, 2), (3, 4), (2, 9)]),
+            ChunkParams::default(),
+        );
+        let mut w = SnapshotWriter::new(g.config());
+        w.add_graph(&g);
+        let bytes = w.finish();
+        for i in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut m = bytes.clone();
+                m[i] ^= 1 << bit;
+                // Either rejected or decoded to *some* structurally
+                // valid graph — both acceptable, panics are not.
+                if let Ok(gs) = read_snapshot::<CompressedEdges>(&m) {
+                    for g in &gs {
+                        g.check_invariants();
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        let mut buf = Vec::new();
+        let values = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
+        for &v in &values {
+            put_u64(v, &mut buf);
+        }
+        let mut r = ByteReader::new(&buf);
+        for &v in &values {
+            assert_eq!(r.u64v(), Some(v));
+        }
+        assert!(r.is_empty());
+        // Overlong / truncated varints are rejected.
+        assert_eq!(ByteReader::new(&[0x80]).u64v(), None);
+        assert_eq!(ByteReader::new(&[0xff; 11]).u64v(), None);
+    }
+}

@@ -118,6 +118,20 @@ impl<E: Entry, A: Augment<E>> Tree<E, A> {
         self.root.is_none()
     }
 
+    /// An identity token for the root node's allocation (`None` for the
+    /// empty tree): two trees return the same token iff [`ptr_eq`]
+    /// would answer `true`. Serializers use it to intern structurally
+    /// shared subtrees — a subtree reachable from several versions is
+    /// written once and referenced by the id assigned at first visit.
+    /// The token is only meaningful while a handle keeps the node
+    /// alive; it is an address, not a stable cross-process id.
+    ///
+    /// [`ptr_eq`]: Self::ptr_eq
+    #[inline]
+    pub fn root_id(&self) -> Option<usize> {
+        self.root.as_ref().map(|n| Arc::as_ptr(n) as usize)
+    }
+
     /// The augmented value over all entries (`O(1)`).
     ///
     /// Returns `A::identity()` for an empty tree.

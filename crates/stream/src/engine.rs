@@ -5,7 +5,8 @@ use crate::handle::{IngestHandle, Msg};
 use crate::query::{QueryExecutor, QuerySpec};
 use crate::standing::{StandingAnalytic, StandingHandle, StandingQueryState, StandingSet};
 use crate::stats::{EngineStats, StatsReport};
-use crate::writer::{writer_loop, ConsistencyTracker, WriterShared};
+use crate::wal::{DurabilityConfig, WalWriter};
+use crate::writer::{writer_loop, ConsistencyTracker, WalState, WriterShared};
 use aspen::{EdgeSet, VersionedGraph};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::sync_channel;
@@ -23,6 +24,8 @@ pub struct StreamEngineBuilder<E: EdgeSet> {
     track_consistency: bool,
     directed_arcs: bool,
     stats: Option<Arc<EngineStats>>,
+    durability: Option<DurabilityConfig>,
+    first_seq: u64,
 }
 
 impl<E: EdgeSet> StreamEngineBuilder<E> {
@@ -103,6 +106,25 @@ impl<E: EdgeSet> StreamEngineBuilder<E> {
         self
     }
 
+    /// Turns on durability: every batch is framed into a write-ahead
+    /// log (and fsynced per [`DurabilityConfig::fsync`]) *before* its
+    /// version installs, and checkpoints bound recovery work. To
+    /// restart from an existing log, run [`crate::wal::recover`]
+    /// first, build the [`VersionedGraph`] from the recovered graph,
+    /// and pass the recovered seq to [`first_seq`](Self::first_seq).
+    pub fn durability(mut self, cfg: DurabilityConfig) -> Self {
+        self.durability = Some(cfg);
+        self
+    }
+
+    /// Starts version numbering at `seq` instead of 0 — set this to
+    /// [`crate::wal::Recovered::seq`] when resuming a durable engine,
+    /// so new WAL frames continue the recovered sequence.
+    pub fn first_seq(mut self, seq: u64) -> Self {
+        self.first_seq = seq;
+        self
+    }
+
     /// Validates the configuration, spawns the writer loop and query
     /// threads, and returns the running engine.
     pub fn start(self) -> StreamEngine<E> {
@@ -110,6 +132,29 @@ impl<E: EdgeSet> StreamEngineBuilder<E> {
         self.config.validate();
         let (tx, rx) = sync_channel::<Msg>(self.policy.channel_capacity);
         let stats = self.stats.unwrap_or_else(|| Arc::new(EngineStats::new()));
+        // Open (or create) the WAL before anything can be ingested.
+        // `first_seq` anchors both the version counter and the log, so
+        // frame seqs always equal the versions they produce.
+        let wal = self.durability.map(|cfg| {
+            let writer = WalWriter::open(
+                Arc::clone(&cfg.io),
+                &cfg.dir,
+                cfg.fsync,
+                cfg.segment_bytes,
+                self.first_seq,
+            )
+            .unwrap_or_else(|e| panic!("open write-ahead log in {:?}: {e}", cfg.dir));
+            assert_eq!(
+                writer.next_seq(),
+                self.first_seq + 1,
+                "WAL in {:?} continues past first_seq {} — recover() it first \
+                 and pass the recovered seq to first_seq()",
+                cfg.dir,
+                self.first_seq
+            );
+            stats.wal_durable_seq.set(writer.durable_seq() as i64);
+            WalState { writer, cfg }
+        });
         let tracker = self
             .track_consistency
             .then(|| Arc::new(ConsistencyTracker::new(self.vg.acquire().num_edges())));
@@ -129,7 +174,7 @@ impl<E: EdgeSet> StreamEngineBuilder<E> {
         // Standing queries initialize on the caller's thread (from the
         // engine's starting snapshot) so their version-0 results are
         // readable before `start` even returns.
-        let installed_seq = Arc::new(AtomicU64::new(0));
+        let installed_seq = Arc::new(AtomicU64::new(self.first_seq));
         let mut standing_handles = Vec::with_capacity(self.standing.len());
         let standing_set = if self.standing.is_empty() {
             None
@@ -169,6 +214,7 @@ impl<E: EdgeSet> StreamEngineBuilder<E> {
                         installed_seq,
                         standing: standing_set,
                         directed,
+                        wal,
                     };
                     writer_loop(shared, rx, policy)
                 })
@@ -200,7 +246,10 @@ impl<E: EdgeSet> StreamEngineBuilder<E> {
 
         StreamEngine {
             vg: self.vg,
-            handle: IngestHandle { tx },
+            handle: IngestHandle {
+                tx,
+                closed: Arc::new(AtomicBool::new(false)),
+            },
             writer,
             query_threads,
             stop_queries,
@@ -242,6 +291,8 @@ impl<E: EdgeSet> StreamEngine<E> {
             track_consistency: false,
             directed_arcs: false,
             stats: None,
+            durability: None,
+            first_seq: 0,
         }
     }
 
@@ -297,6 +348,27 @@ impl<E: EdgeSet> StreamEngine<E> {
     pub fn finish(self) -> StatsReport {
         // Dropping the engine's own sender lets the writer's channel
         // disconnect once external producers have dropped theirs.
+        drop(self.handle);
+        self.writer.join().expect("writer thread panicked");
+        self.stop_queries.store(true, Ordering::Release);
+        for t in self.query_threads {
+            t.join().expect("query thread panicked");
+        }
+        self.stats.report()
+    }
+
+    /// Graceful shutdown that does **not** wait for producers to drop
+    /// their handles: everything already enqueued is drained, flushed,
+    /// and installed, the WAL tail is fsynced, and then the writer and
+    /// query threads are joined. Producers racing the close see
+    /// [`crate::IngestError::Closed`] on their next push instead of
+    /// blocking forever on an undrained channel.
+    pub fn close(self) -> StatsReport {
+        self.handle.closed.store(true, Ordering::Release);
+        // FIFO channel: the shutdown message sorts after every update
+        // already accepted, so nothing acked is abandoned. The send
+        // only fails if the writer is already gone — equally done.
+        let _ = self.handle.push_shutdown();
         drop(self.handle);
         self.writer.join().expect("writer thread panicked");
         self.stop_queries.store(true, Ordering::Release);

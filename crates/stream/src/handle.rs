@@ -1,10 +1,12 @@
 //! Producer-side ingestion: a cloneable handle over a bounded MPSC
-//! channel with blocking backpressure.
+//! channel with blocking backpressure, plus non-blocking and bounded-
+//! wait variants for producers that cannot afford to stall forever.
 
 use graphgen::Update;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{SyncSender, TrySendError};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// An update plus the instant a producer enqueued it; the writer loop
 /// uses the timestamp to attribute end-to-end (enqueue → visible)
@@ -35,44 +37,51 @@ impl Barrier {
     }
 }
 
-/// What flows through the ingest channel: updates, or epoch barriers.
+/// What flows through the ingest channel: updates, epoch barriers, or
+/// an explicit shutdown request ([`crate::StreamEngine::close`]).
 pub(crate) enum Msg {
     Update(Envelope),
     Barrier(Barrier),
+    /// Flush what is buffered, sync the WAL tail, and exit the writer
+    /// loop even though producer handles may still be alive.
+    Shutdown,
 }
 
-/// The ingestion channel is closed: the engine shut down before the
-/// push. The rejected update is returned to the caller.
+/// Why an ingest attempt was rejected; the update is handed back so
+/// the producer can retry, reroute, or drop it deliberately.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct IngestError(pub Update);
-
-impl std::fmt::Display for IngestError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "ingest channel closed; rejected {}", self.0)
-    }
-}
-
-impl std::error::Error for IngestError {}
-
-/// Outcome of a non-blocking [`IngestHandle::try_push`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum TryIngestError {
-    /// The channel is at capacity; pushing would have blocked.
+pub enum IngestError {
+    /// The channel is at capacity; a non-blocking push would have
+    /// blocked ([`IngestHandle::try_send`] only).
     Full(Update),
-    /// The engine shut down.
+    /// The engine shut down (or [`crate::StreamEngine::close`] was
+    /// called); no further updates will be accepted.
     Closed(Update),
+    /// The channel stayed full past the caller's deadline
+    /// ([`IngestHandle::send_timeout`] only).
+    TimedOut(Update),
 }
 
-impl std::fmt::Display for TryIngestError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            TryIngestError::Full(u) => write!(f, "ingest channel full; rejected {u}"),
-            TryIngestError::Closed(u) => write!(f, "ingest channel closed; rejected {u}"),
+impl IngestError {
+    /// The update the failed push carried.
+    pub fn update(&self) -> Update {
+        match *self {
+            IngestError::Full(u) | IngestError::Closed(u) | IngestError::TimedOut(u) => u,
         }
     }
 }
 
-impl std::error::Error for TryIngestError {}
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::Full(u) => write!(f, "ingest channel full; rejected {u}"),
+            IngestError::Closed(u) => write!(f, "ingest channel closed; rejected {u}"),
+            IngestError::TimedOut(u) => write!(f, "ingest timed out; rejected {u}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
 
 /// A producer's handle into the engine: push updates, clone freely
 /// across threads.
@@ -80,22 +89,28 @@ impl std::error::Error for TryIngestError {}
 /// The underlying channel is bounded ([`crate::BatchPolicy::channel_capacity`]);
 /// [`push`](Self::push) on a full channel **blocks** until the writer
 /// loop drains space — that is the engine's backpressure, keeping
-/// memory bounded when producers outrun the writer.
+/// memory bounded when producers outrun the writer. Producers that
+/// cannot block use [`try_send`](Self::try_send) (fail fast) or
+/// [`send_timeout`](Self::send_timeout) (bounded wait).
 ///
 /// The writer loop exits (after a final flush) once every handle has
 /// been dropped; hold a handle only as long as you intend to produce.
 #[derive(Clone)]
 pub struct IngestHandle {
     pub(crate) tx: SyncSender<Msg>,
+    /// Set by [`crate::StreamEngine::close`] so producers racing a
+    /// shutdown fail fast instead of blocking on a channel whose
+    /// consumer is about to stop draining it.
+    pub(crate) closed: Arc<AtomicBool>,
 }
 
-/// Extracts the update an errored send carried (barrier sends report a
-/// placeholder; they never fail in practice because the engine keeps
-/// the receiver alive while barriers are in flight).
+/// Extracts the update an errored send carried (barrier/shutdown sends
+/// report a placeholder; they never fail in practice because the
+/// engine keeps the receiver alive while they are in flight).
 fn rejected(msg: Msg) -> Update {
     match msg {
         Msg::Update(env) => env.update,
-        Msg::Barrier(_) => Update::Insert(0, 0),
+        Msg::Barrier(_) | Msg::Shutdown => Update::Insert(0, 0),
     }
 }
 
@@ -115,9 +130,12 @@ impl IngestHandle {
     /// end-to-end latency is measured from the *original* producer
     /// push, not from the routing hop.
     pub(crate) fn push_envelope(&self, env: Envelope) -> Result<(), IngestError> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(IngestError::Closed(env.update));
+        }
         self.tx
             .send(Msg::Update(env))
-            .map_err(|e| IngestError(rejected(e.0)))
+            .map_err(|e| IngestError::Closed(rejected(e.0)))
     }
 
     /// Enqueues an epoch barrier (see [`Barrier`]); blocking, like
@@ -125,21 +143,63 @@ impl IngestHandle {
     pub(crate) fn push_barrier(&self, barrier: Barrier) -> Result<(), IngestError> {
         self.tx
             .send(Msg::Barrier(barrier))
-            .map_err(|e| IngestError(rejected(e.0)))
+            .map_err(|e| IngestError::Closed(rejected(e.0)))
     }
 
-    /// Non-blocking push: fails fast when the channel is full instead
-    /// of exerting backpressure on the caller.
-    pub fn try_push(&self, update: Update) -> Result<(), TryIngestError> {
+    /// Asks the writer loop to flush, sync, and exit; used by
+    /// [`crate::StreamEngine::close`]. Blocking, FIFO-ordered after
+    /// everything already enqueued.
+    pub(crate) fn push_shutdown(&self) -> Result<(), IngestError> {
+        self.tx
+            .send(Msg::Shutdown)
+            .map_err(|e| IngestError::Closed(rejected(e.0)))
+    }
+
+    /// Non-blocking push: fails fast with [`IngestError::Full`] when
+    /// the channel is at capacity instead of exerting backpressure on
+    /// the caller.
+    pub fn try_send(&self, update: Update) -> Result<(), IngestError> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(IngestError::Closed(update));
+        }
         self.tx
             .try_send(Msg::Update(Envelope {
                 update,
                 enqueued: Instant::now(),
             }))
             .map_err(|e| match e {
-                TrySendError::Full(msg) => TryIngestError::Full(rejected(msg)),
-                TrySendError::Disconnected(msg) => TryIngestError::Closed(rejected(msg)),
+                TrySendError::Full(msg) => IngestError::Full(rejected(msg)),
+                TrySendError::Disconnected(msg) => IngestError::Closed(rejected(msg)),
             })
+    }
+
+    /// Alias of [`try_send`](Self::try_send), kept for callers reading
+    /// better as a push.
+    pub fn try_push(&self, update: Update) -> Result<(), IngestError> {
+        self.try_send(update)
+    }
+
+    /// Push with a bounded wait: retries a full channel until
+    /// `timeout` elapses, then gives the update back as
+    /// [`IngestError::TimedOut`]. Closure is still reported
+    /// immediately.
+    pub fn send_timeout(&self, update: Update, timeout: Duration) -> Result<(), IngestError> {
+        let deadline = Instant::now() + timeout;
+        let mut backoff = Duration::from_micros(50);
+        loop {
+            match self.try_send(update) {
+                Err(IngestError::Full(u)) => {
+                    if Instant::now() >= deadline {
+                        return Err(IngestError::TimedOut(u));
+                    }
+                    std::thread::sleep(
+                        backoff.min(deadline.saturating_duration_since(Instant::now())),
+                    );
+                    backoff = (backoff * 2).min(Duration::from_millis(1));
+                }
+                other => return other,
+            }
+        }
     }
 
     /// Pushes a whole slice in order, blocking as needed.
@@ -156,21 +216,28 @@ mod tests {
     use super::*;
     use std::sync::mpsc::sync_channel;
 
+    fn handle(tx: SyncSender<Msg>) -> IngestHandle {
+        IngestHandle {
+            tx,
+            closed: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
     #[test]
     fn push_then_receive() {
         let (tx, rx) = sync_channel(4);
-        let h = IngestHandle { tx };
+        let h = handle(tx);
         h.push(Update::Insert(1, 2)).unwrap();
         match rx.recv().unwrap() {
             Msg::Update(env) => assert_eq!(env.update, Update::Insert(1, 2)),
-            Msg::Barrier(_) => panic!("expected an update"),
+            _ => panic!("expected an update"),
         }
     }
 
     #[test]
     fn barrier_fires_with_its_epoch() {
         let (tx, rx) = sync_channel(4);
-        let h = IngestHandle { tx };
+        let h = handle(tx);
         let seen = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
         let seen2 = seen.clone();
         h.push_barrier(Barrier {
@@ -180,18 +247,18 @@ mod tests {
         .unwrap();
         match rx.recv().unwrap() {
             Msg::Barrier(b) => b.fire(),
-            Msg::Update(_) => panic!("expected a barrier"),
+            _ => panic!("expected a barrier"),
         }
         assert_eq!(seen.load(std::sync::atomic::Ordering::SeqCst), 7);
     }
 
     #[test]
-    fn try_push_full_reports_update() {
+    fn try_send_full_reports_update() {
         let (tx, _rx) = sync_channel(1);
-        let h = IngestHandle { tx };
-        h.try_push(Update::Insert(0, 1)).unwrap();
-        match h.try_push(Update::Delete(2, 3)) {
-            Err(TryIngestError::Full(u)) => assert_eq!(u, Update::Delete(2, 3)),
+        let h = handle(tx);
+        h.try_send(Update::Insert(0, 1)).unwrap();
+        match h.try_send(Update::Delete(2, 3)) {
+            Err(IngestError::Full(u)) => assert_eq!(u, Update::Delete(2, 3)),
             other => panic!("expected Full, got {other:?}"),
         }
     }
@@ -200,10 +267,36 @@ mod tests {
     fn push_after_close_errors() {
         let (tx, rx) = sync_channel(1);
         drop(rx);
-        let h = IngestHandle { tx };
+        let h = handle(tx);
         assert_eq!(
             h.push(Update::Insert(7, 8)),
-            Err(IngestError(Update::Insert(7, 8)))
+            Err(IngestError::Closed(Update::Insert(7, 8)))
         );
+    }
+
+    #[test]
+    fn closed_flag_fails_fast_even_with_receiver_alive() {
+        let (tx, _rx) = sync_channel(1);
+        let h = handle(tx);
+        h.closed.store(true, Ordering::Release);
+        assert_eq!(
+            h.push(Update::Insert(1, 2)),
+            Err(IngestError::Closed(Update::Insert(1, 2)))
+        );
+        assert_eq!(
+            h.try_send(Update::Insert(1, 2)),
+            Err(IngestError::Closed(Update::Insert(1, 2)))
+        );
+    }
+
+    #[test]
+    fn send_timeout_reports_timed_out_on_sustained_full() {
+        let (tx, _rx) = sync_channel(1);
+        let h = handle(tx);
+        h.push(Update::Insert(0, 1)).unwrap();
+        match h.send_timeout(Update::Delete(2, 3), Duration::from_millis(5)) {
+            Err(IngestError::TimedOut(u)) => assert_eq!(u, Update::Delete(2, 3)),
+            other => panic!("expected TimedOut, got {other:?}"),
+        }
     }
 }

@@ -65,11 +65,12 @@ mod query;
 pub mod sharded;
 pub mod standing;
 mod stats;
+pub mod wal;
 mod writer;
 
 pub use config::{BatchPolicy, EngineConfig};
 pub use engine::{StreamEngine, StreamEngineBuilder};
-pub use handle::{IngestError, IngestHandle, TryIngestError};
+pub use handle::{IngestError, IngestHandle};
 pub use query::{analytics, QueryExecutor, QueryFn, QuerySpec};
 pub use sharded::{
     ShardedCut, ShardedEngine, ShardedEngineBuilder, ShardedIngestHandle, ShardedReport,
@@ -78,3 +79,4 @@ pub use standing::{digest_values, StandingAnalytic, StandingHandle, StandingResu
 pub use stats::{
     EngineSnapshot, EngineStats, HistogramSnapshot, LatencyHistogram, LatencySummary, StatsReport,
 };
+pub use wal::{DurabilityConfig, FsyncPolicy, WalError};

@@ -50,8 +50,11 @@
 //! ([`algorithms::bfs_sharded`], [`algorithms::cc_sharded`]).
 
 use crate::config::BatchPolicy;
-use crate::handle::{Barrier, Envelope, IngestError, TryIngestError};
+use crate::handle::{Barrier, Envelope, IngestError};
 use crate::stats::{EngineStats, StatsReport};
+use crate::wal::{
+    prune, write_checkpoint, write_manifest, DurabilityConfig, Manifest, RecoveredSharded, WalError,
+};
 use crate::StreamEngine;
 use aspen::{
     EdgeSet, Graph, GraphView, ShardRouter, Version, VersionVector, VersionedGraph, VertexId,
@@ -60,11 +63,11 @@ use graphgen::{partition_arcs, route_update, Update};
 use obs::{Counter, Gauge, Registry};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A consistent cut across every shard: one immutable snapshot per
 /// shard, all aligned on the same ingest epoch, labeled by the
@@ -297,10 +300,14 @@ impl ShardedMetrics {
 pub struct ShardedEngineBuilder<E: EdgeSet> {
     router: ShardRouter,
     initial_arcs: Vec<(u32, u32)>,
+    initial_shards: Option<Vec<Graph<E>>>,
     policy: BatchPolicy,
     cfg: E::Config,
     shard_threads: Option<usize>,
     registry: Option<Arc<Registry>>,
+    durability: Option<DurabilityConfig>,
+    first_seqs: Option<Vec<u64>>,
+    first_epoch: u64,
 }
 
 impl<E: EdgeSet> ShardedEngineBuilder<E> {
@@ -340,6 +347,49 @@ impl<E: EdgeSet> ShardedEngineBuilder<E> {
         self
     }
 
+    /// Turns on durability: shard `k` logs to `cfg.dir/shard{k}` (see
+    /// [`DurabilityConfig::shard`]) and epoch markers in each shard's
+    /// log let recovery land on a consistent cut. Checkpoints are
+    /// taken across all shards at one pinned cut by
+    /// [`ShardedEngine::checkpoint`] and on [`ShardedEngine::close`].
+    pub fn durability(mut self, cfg: DurabilityConfig) -> Self {
+        self.durability = Some(cfg);
+        self
+    }
+
+    /// Seeds the engine with pre-built per-shard graphs (already
+    /// partitioned and mirror-consistent) instead of partitioning
+    /// [`initial_arcs`](Self::initial_arcs). Used when resuming from
+    /// recovered state.
+    pub fn initial_shards(mut self, shards: Vec<Graph<E>>) -> Self {
+        self.initial_shards = Some(shards);
+        self
+    }
+
+    /// Per-shard starting seqs (version numbers), so new WAL frames
+    /// continue each shard's recovered sequence. Default: all zeros.
+    pub fn first_seqs(mut self, seqs: Vec<u64>) -> Self {
+        self.first_seqs = Some(seqs);
+        self
+    }
+
+    /// The epoch number the router assigns to its first new epoch
+    /// (default 1). Set to [`RecoveredSharded::next_epoch`] when
+    /// resuming, so epoch markers in the logs stay monotone.
+    pub fn first_epoch(mut self, epoch: u64) -> Self {
+        self.first_epoch = epoch.max(1);
+        self
+    }
+
+    /// Resumes from a [`crate::wal::recover_sharded`] result: seeds the
+    /// per-shard graphs, continues each shard's seq, and continues the
+    /// epoch numbering — one call instead of three.
+    pub fn recovered(self, rec: &RecoveredSharded<E>) -> Self {
+        self.initial_shards(rec.shards.clone())
+            .first_seqs(rec.seqs.clone())
+            .first_epoch(rec.next_epoch)
+    }
+
     /// Builds the per-shard graphs, starts every shard engine and the
     /// router thread, and publishes the epoch-0 cut.
     pub fn start(self) -> ShardedEngine<E> {
@@ -349,14 +399,35 @@ impl<E: EdgeSet> ShardedEngineBuilder<E> {
         let registry = self.registry.unwrap_or_else(|| Arc::new(Registry::new()));
         let metrics = ShardedMetrics::on_registry(&registry);
 
-        // Per-shard engines over the partitioned initial arcs, each in
-        // directed-arc mode with stats prefixed by its shard index.
-        let initial = partition_arcs(&self.initial_arcs, shards, |v| router.shard_of(v));
+        // Per-shard engines, each in directed-arc mode with stats
+        // prefixed by its shard index. The shard graphs either come
+        // pre-built (resuming from recovery) or from partitioning the
+        // initial arc list.
+        let initial: Vec<Graph<E>> = match self.initial_shards {
+            Some(graphs) => {
+                assert_eq!(
+                    graphs.len(),
+                    shards,
+                    "initial_shards must match the router's shard count"
+                );
+                graphs
+            }
+            None => partition_arcs(&self.initial_arcs, shards, |v| router.shard_of(v))
+                .into_iter()
+                .map(|arcs| Graph::from_edges(&arcs, self.cfg))
+                .collect(),
+        };
+        let first_seqs = self.first_seqs.unwrap_or_else(|| vec![0; shards]);
+        assert_eq!(
+            first_seqs.len(),
+            shards,
+            "first_seqs must match the router's shard count"
+        );
         let mut engines = Vec::with_capacity(shards);
         let mut graphs = Vec::with_capacity(shards);
         let mut initial_cut = Vec::with_capacity(shards);
-        for (k, arcs) in initial.into_iter().enumerate() {
-            let vg = Arc::new(VersionedGraph::new(Graph::from_edges(&arcs, self.cfg)));
+        for (k, g) in initial.into_iter().enumerate() {
+            let vg = Arc::new(VersionedGraph::new(g));
             let stats = Arc::new(EngineStats::on_registry_with_prefix(
                 registry.clone(),
                 &format!("stream.shard{k}."),
@@ -364,7 +435,11 @@ impl<E: EdgeSet> ShardedEngineBuilder<E> {
             let mut builder = StreamEngine::builder(vg.clone())
                 .policy(self.policy)
                 .directed_arcs(true)
-                .with_stats(stats);
+                .with_stats(stats)
+                .first_seq(first_seqs[k]);
+            if let Some(cfg) = &self.durability {
+                builder = builder.durability(cfg.shard(k));
+            }
             if let Some(n) = self.shard_threads {
                 builder = builder.num_threads(n);
             }
@@ -373,11 +448,15 @@ impl<E: EdgeSet> ShardedEngineBuilder<E> {
             engines.push(builder.start());
         }
 
+        // The pre-ingest cut carries the epoch/vector the engine is
+        // resuming at (both zero on a fresh start).
+        let base_epoch = self.first_epoch - 1;
+        metrics.cut_epoch.set(base_epoch as i64);
         let collector = Arc::new(CutCollector::new(
             Arc::new(ShardedCut {
                 router,
-                epoch: 0,
-                vector: VersionVector::new(shards),
+                epoch: base_epoch,
+                vector: VersionVector::from_versions(first_seqs),
                 shards: initial_cut,
             }),
             metrics.cut_epoch.clone(),
@@ -399,7 +478,7 @@ impl<E: EdgeSet> ShardedEngineBuilder<E> {
             })
             .collect();
 
-        let (tx, rx) = sync_channel::<Envelope>(self.policy.channel_capacity);
+        let (tx, rx) = sync_channel::<RouterMsg>(self.policy.channel_capacity);
         let router_thread = {
             let shard_handles: Vec<_> = engines.iter().map(|e| e.handle()).collect();
             let policy = self.policy;
@@ -418,6 +497,7 @@ impl<E: EdgeSet> ShardedEngineBuilder<E> {
                         cross_shard,
                         rx,
                         policy,
+                        base_epoch,
                     })
                 })
                 .expect("spawn shard router thread")
@@ -427,12 +507,24 @@ impl<E: EdgeSet> ShardedEngineBuilder<E> {
             router,
             engines,
             graphs,
-            handle: ShardedIngestHandle { tx },
+            handle: ShardedIngestHandle {
+                tx,
+                closed: Arc::new(AtomicBool::new(false)),
+            },
             router_thread,
             collector,
             registry,
+            durability: self.durability,
         }
     }
+}
+
+/// What flows through the sharded front-end channel.
+enum RouterMsg {
+    Env(Envelope),
+    /// Route what is buffered as a final epoch, then exit
+    /// ([`ShardedEngine::close`]).
+    Shutdown,
 }
 
 /// Everything the router thread owns.
@@ -443,8 +535,11 @@ struct RouterShared {
     epochs: Arc<Counter>,
     updates_routed: Arc<Counter>,
     cross_shard: Arc<Counter>,
-    rx: Receiver<Envelope>,
+    rx: Receiver<RouterMsg>,
     policy: BatchPolicy,
+    /// Last already-completed epoch; the first epoch formed here is
+    /// `base_epoch + 1` (resuming engines continue the numbering).
+    base_epoch: u64,
 }
 
 /// The router thread's body: drain producer envelopes into epochs
@@ -460,23 +555,29 @@ fn router_loop(shared: RouterShared) {
         cross_shard,
         rx,
         policy,
+        base_epoch,
     } = shared;
-    let mut epoch = 0u64;
+    let mut epoch = base_epoch;
     let mut batch: Vec<Envelope> = Vec::with_capacity(policy.max_batch);
     loop {
         match rx.recv() {
-            Ok(env) => batch.push(env),
-            Err(_) => return, // producers gone, everything routed
+            Ok(RouterMsg::Env(env)) => batch.push(env),
+            Ok(RouterMsg::Shutdown) => return, // nothing buffered
+            Err(_) => return,                  // producers gone, everything routed
         }
         let deadline = batch[0].enqueued + policy.max_linger;
-        let mut disconnected = false;
+        let mut stopping = false;
         while batch.len() < policy.max_batch {
             let left = deadline.saturating_duration_since(Instant::now());
             match rx.recv_timeout(left) {
-                Ok(env) => batch.push(env),
+                Ok(RouterMsg::Env(env)) => batch.push(env),
+                Ok(RouterMsg::Shutdown) => {
+                    stopping = true;
+                    break;
+                }
                 Err(RecvTimeoutError::Timeout) => break,
                 Err(RecvTimeoutError::Disconnected) => {
-                    disconnected = true;
+                    stopping = true;
                     break;
                 }
             }
@@ -506,41 +607,85 @@ fn router_loop(shared: RouterShared) {
                 ack: acks[k].clone(),
             });
         }
-        if disconnected {
+        if stopping {
             return;
         }
     }
 }
 
 /// Producer handle into the sharded engine's front end. Clone freely;
-/// pushes block when the front-end channel is full (backpressure).
+/// pushes block when the front-end channel is full (backpressure);
+/// [`try_send`](Self::try_send) and [`send_timeout`](Self::send_timeout)
+/// mirror the single-engine [`crate::IngestHandle`] variants.
 #[derive(Clone)]
 pub struct ShardedIngestHandle {
-    tx: SyncSender<Envelope>,
+    tx: SyncSender<RouterMsg>,
+    closed: Arc<AtomicBool>,
+}
+
+/// The update an errored front-end send carried (shutdown sends report
+/// a placeholder; they never fail while the router lives).
+fn rejected(msg: RouterMsg) -> Update {
+    match msg {
+        RouterMsg::Env(env) => env.update,
+        RouterMsg::Shutdown => Update::Insert(0, 0),
+    }
 }
 
 impl ShardedIngestHandle {
     /// Enqueues one update, blocking while the channel is full.
     pub fn push(&self, update: Update) -> Result<(), IngestError> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(IngestError::Closed(update));
+        }
         self.tx
-            .send(Envelope {
+            .send(RouterMsg::Env(Envelope {
                 update,
                 enqueued: Instant::now(),
-            })
-            .map_err(|e| IngestError(e.0.update))
+            }))
+            .map_err(|e| IngestError::Closed(rejected(e.0)))
     }
 
-    /// Non-blocking push.
-    pub fn try_push(&self, update: Update) -> Result<(), TryIngestError> {
+    /// Non-blocking push: [`IngestError::Full`] instead of blocking.
+    pub fn try_send(&self, update: Update) -> Result<(), IngestError> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(IngestError::Closed(update));
+        }
         self.tx
-            .try_send(Envelope {
+            .try_send(RouterMsg::Env(Envelope {
                 update,
                 enqueued: Instant::now(),
-            })
+            }))
             .map_err(|e| match e {
-                TrySendError::Full(env) => TryIngestError::Full(env.update),
-                TrySendError::Disconnected(env) => TryIngestError::Closed(env.update),
+                TrySendError::Full(msg) => IngestError::Full(rejected(msg)),
+                TrySendError::Disconnected(msg) => IngestError::Closed(rejected(msg)),
             })
+    }
+
+    /// Alias of [`try_send`](Self::try_send).
+    pub fn try_push(&self, update: Update) -> Result<(), IngestError> {
+        self.try_send(update)
+    }
+
+    /// Push with a bounded wait; [`IngestError::TimedOut`] hands the
+    /// update back once `timeout` elapses with the channel still full.
+    pub fn send_timeout(&self, update: Update, timeout: Duration) -> Result<(), IngestError> {
+        let deadline = Instant::now() + timeout;
+        let mut backoff = Duration::from_micros(50);
+        loop {
+            match self.try_send(update) {
+                Err(IngestError::Full(u)) => {
+                    if Instant::now() >= deadline {
+                        return Err(IngestError::TimedOut(u));
+                    }
+                    std::thread::sleep(
+                        backoff.min(deadline.saturating_duration_since(Instant::now())),
+                    );
+                    backoff = (backoff * 2).min(Duration::from_millis(1));
+                }
+                other => return other,
+            }
+        }
     }
 
     /// Pushes a whole slice in order, blocking as needed.
@@ -586,6 +731,7 @@ pub struct ShardedEngine<E: EdgeSet> {
     router_thread: JoinHandle<()>,
     collector: Arc<CutCollector<E>>,
     registry: Arc<Registry>,
+    durability: Option<DurabilityConfig>,
 }
 
 impl<E: EdgeSet> ShardedEngine<E> {
@@ -594,10 +740,14 @@ impl<E: EdgeSet> ShardedEngine<E> {
         ShardedEngineBuilder {
             router,
             initial_arcs: Vec::new(),
+            initial_shards: None,
             policy: BatchPolicy::default(),
             cfg: E::Config::default(),
             shard_threads: None,
             registry: None,
+            durability: None,
+            first_seqs: None,
+            first_epoch: 1,
         }
     }
 
@@ -635,6 +785,50 @@ impl<E: EdgeSet> ShardedEngine<E> {
         &self.registry
     }
 
+    /// Checkpoints every shard at one consistent cut: writes shard `k`'s
+    /// snapshot under `dir/shard{k}`, then durably publishes the cut
+    /// with a root-level manifest, then prunes covered WAL segments.
+    /// A crash anywhere in the middle is safe — recovery only trusts
+    /// shard checkpoints a manifest names. Returns the checkpointed
+    /// epoch, or `Ok(None)` when the engine runs without durability.
+    pub fn checkpoint(&self) -> Result<Option<u64>, WalError> {
+        match &self.durability {
+            Some(cfg) => Self::checkpoint_cut(cfg, &self.pin()).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    fn checkpoint_cut(cfg: &DurabilityConfig, cut: &ShardedCut<E>) -> Result<u64, WalError> {
+        let seqs: Vec<u64> = cut.vector().as_slice().to_vec();
+        for (k, &seq) in seqs.iter().enumerate() {
+            let shard_cfg = cfg.shard(k);
+            write_checkpoint(
+                cfg.io.as_ref(),
+                &shard_cfg.dir,
+                seq,
+                cut.epoch(),
+                cut.local(k).as_ref(),
+            )?;
+        }
+        // Only now is the cut complete on disk; the manifest makes it
+        // eligible for recovery atomically.
+        write_manifest(
+            cfg.io.as_ref(),
+            &cfg.dir,
+            &Manifest {
+                epoch: cut.epoch(),
+                seqs: seqs.clone(),
+            },
+        )?;
+        for (k, &seq) in seqs.iter().enumerate() {
+            let shard_cfg = cfg.shard(k);
+            if let Err(e) = prune(cfg.io.as_ref(), &shard_cfg.dir, seq, 2) {
+                eprintln!("aspen-stream: prune of shard {k} wal failed: {e}");
+            }
+        }
+        Ok(cut.epoch())
+    }
+
     /// Shuts down: waits for producers to drop their handles, drains
     /// and joins the router thread and every shard engine, and returns
     /// the final reports plus the fully-drained cut.
@@ -650,6 +844,50 @@ impl<E: EdgeSet> ShardedEngine<E> {
         ShardedReport {
             shards,
             final_cut: self.collector.pin(),
+            epochs: snap.counter("stream.sharded.epochs").unwrap_or(0),
+            updates_routed: snap.counter("stream.sharded.updates_routed").unwrap_or(0),
+            cross_shard_updates: snap
+                .counter("stream.sharded.cross_shard_updates")
+                .unwrap_or(0),
+        }
+    }
+
+    /// Graceful shutdown that does **not** wait for producers to drop
+    /// their handles: the router routes what it has buffered as a
+    /// final epoch, every shard drains through that epoch's barrier
+    /// (making it durable when a WAL is configured), and — with
+    /// durability on — a full checkpoint is taken at the final cut so
+    /// the next start recovers instantly. Producers racing the close
+    /// get [`IngestError::Closed`].
+    pub fn close(self) -> ShardedReport<E> {
+        let ShardedEngine {
+            engines,
+            handle,
+            router_thread,
+            collector,
+            registry,
+            durability,
+            ..
+        } = self;
+        handle.closed.store(true, Ordering::Release);
+        let _ = handle.tx.send(RouterMsg::Shutdown);
+        drop(handle);
+        router_thread.join().expect("router thread panicked");
+        // The router pushed its final barriers before exiting; each
+        // shard's close message sorts after them (FIFO), so every
+        // shard installs the final epoch and acks the cut before its
+        // writer exits and syncs its WAL tail.
+        let shards: Vec<StatsReport> = engines.into_iter().map(|e| e.close()).collect();
+        let final_cut = collector.pin();
+        if let Some(cfg) = &durability {
+            if let Err(e) = Self::checkpoint_cut(cfg, &final_cut) {
+                eprintln!("aspen-stream: checkpoint on close failed: {e}");
+            }
+        }
+        let snap = registry.snapshot();
+        ShardedReport {
+            shards,
+            final_cut,
             epochs: snap.counter("stream.sharded.epochs").unwrap_or(0),
             updates_routed: snap.counter("stream.sharded.updates_routed").unwrap_or(0),
             cross_shard_updates: snap

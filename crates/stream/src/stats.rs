@@ -14,7 +14,7 @@
 
 pub use obs::{HistogramSnapshot, LatencyHistogram, LatencySummary};
 
-use obs::{Counter, Registry};
+use obs::{Counter, Gauge, Registry};
 use std::sync::Arc;
 
 /// Shared counters and histograms recorded by the writer loop and the
@@ -73,6 +73,29 @@ pub struct EngineStats {
     /// rebuilding one (the installed version had not changed since the
     /// last round that flattened it).
     pub flat_reuse: Arc<Counter>,
+    /// Latency of appending one batch frame to the WAL, *including* any
+    /// policy-triggered fsync (this sits on the install path, so its
+    /// tail is the durability tax on batch latency).
+    pub wal_append: Arc<LatencyHistogram>,
+    /// Latency of the fsync calls alone (a subset of
+    /// [`wal_append`](Self::wal_append) samples, plus barrier/shutdown
+    /// syncs).
+    pub wal_fsync: Arc<LatencyHistogram>,
+    /// WAL records appended (batch frames + epoch markers).
+    pub wal_frames: Arc<Counter>,
+    /// WAL bytes appended.
+    pub wal_bytes: Arc<Counter>,
+    /// fsync calls issued by the WAL.
+    pub wal_fsyncs: Arc<Counter>,
+    /// Segment rotations performed.
+    pub wal_segments_rotated: Arc<Counter>,
+    /// Checkpoints written.
+    pub wal_checkpoints: Arc<Counter>,
+    /// Bytes of checkpoint files written.
+    pub wal_checkpoint_bytes: Arc<Counter>,
+    /// Highest batch seq known durable (0 until the first sync; stays 0
+    /// when the engine runs without durability).
+    pub wal_durable_seq: Arc<Gauge>,
 }
 
 impl Default for EngineStats {
@@ -118,6 +141,15 @@ impl EngineStats {
             standing_diff_edges: registry.counter(&name("standing.diff_edges")),
             consistency_violations: registry.counter(&name("consistency_violations")),
             flat_reuse: registry.counter(&name("query.flat_reuse")),
+            wal_append: registry.histogram(&name("wal.append")),
+            wal_fsync: registry.histogram(&name("wal.fsync")),
+            wal_frames: registry.counter(&name("wal.frames")),
+            wal_bytes: registry.counter(&name("wal.bytes")),
+            wal_fsyncs: registry.counter(&name("wal.fsyncs")),
+            wal_segments_rotated: registry.counter(&name("wal.segments_rotated")),
+            wal_checkpoints: registry.counter(&name("wal.checkpoints")),
+            wal_checkpoint_bytes: registry.counter(&name("wal.checkpoint_bytes")),
+            wal_durable_seq: registry.gauge(&name("wal.durable_seq")),
             registry,
         }
     }
@@ -145,11 +177,19 @@ impl EngineStats {
             standing_diff_edges: self.standing_diff_edges.get(),
             consistency_violations: self.consistency_violations.get(),
             flat_reuse: self.flat_reuse.get(),
+            wal_frames: self.wal_frames.get(),
+            wal_bytes: self.wal_bytes.get(),
+            wal_fsyncs: self.wal_fsyncs.get(),
+            wal_segments_rotated: self.wal_segments_rotated.get(),
+            wal_checkpoints: self.wal_checkpoints.get(),
+            wal_checkpoint_bytes: self.wal_checkpoint_bytes.get(),
             batch_apply: self.batch_apply.snapshot(),
             update_e2e: self.update_e2e.snapshot(),
             query: self.query.snapshot(),
             standing_repair: self.standing_repair.snapshot(),
             standing_diff: self.standing_diff.snapshot(),
+            wal_append: self.wal_append.snapshot(),
+            wal_fsync: self.wal_fsync.snapshot(),
         }
     }
 
@@ -175,11 +215,19 @@ pub struct EngineSnapshot {
     pub standing_diff_edges: u64,
     pub consistency_violations: u64,
     pub flat_reuse: u64,
+    pub wal_frames: u64,
+    pub wal_bytes: u64,
+    pub wal_fsyncs: u64,
+    pub wal_segments_rotated: u64,
+    pub wal_checkpoints: u64,
+    pub wal_checkpoint_bytes: u64,
     pub batch_apply: HistogramSnapshot,
     pub update_e2e: HistogramSnapshot,
     pub query: HistogramSnapshot,
     pub standing_repair: HistogramSnapshot,
     pub standing_diff: HistogramSnapshot,
+    pub wal_append: HistogramSnapshot,
+    pub wal_fsync: HistogramSnapshot,
 }
 
 impl EngineSnapshot {
@@ -196,11 +244,19 @@ impl EngineSnapshot {
             standing_diff_edges: self.standing_diff_edges,
             consistency_violations: self.consistency_violations,
             flat_reuse: self.flat_reuse,
+            wal_frames: self.wal_frames,
+            wal_bytes: self.wal_bytes,
+            wal_fsyncs: self.wal_fsyncs,
+            wal_segments_rotated: self.wal_segments_rotated,
+            wal_checkpoints: self.wal_checkpoints,
+            wal_checkpoint_bytes: self.wal_checkpoint_bytes,
             batch_apply: self.batch_apply.summarize(),
             update_e2e: self.update_e2e.summarize(),
             query: self.query.summarize(),
             standing_repair: self.standing_repair.summarize(),
             standing_diff: self.standing_diff.summarize(),
+            wal_append: self.wal_append.summarize(),
+            wal_fsync: self.wal_fsync.summarize(),
         }
     }
 
@@ -228,6 +284,16 @@ impl EngineSnapshot {
                 .consistency_violations
                 .saturating_sub(earlier.consistency_violations),
             flat_reuse: self.flat_reuse.saturating_sub(earlier.flat_reuse),
+            wal_frames: self.wal_frames.saturating_sub(earlier.wal_frames),
+            wal_bytes: self.wal_bytes.saturating_sub(earlier.wal_bytes),
+            wal_fsyncs: self.wal_fsyncs.saturating_sub(earlier.wal_fsyncs),
+            wal_segments_rotated: self
+                .wal_segments_rotated
+                .saturating_sub(earlier.wal_segments_rotated),
+            wal_checkpoints: self.wal_checkpoints.saturating_sub(earlier.wal_checkpoints),
+            wal_checkpoint_bytes: self
+                .wal_checkpoint_bytes
+                .saturating_sub(earlier.wal_checkpoint_bytes),
             batch_apply: self
                 .batch_apply
                 .delta_since(&earlier.batch_apply)
@@ -242,6 +308,8 @@ impl EngineSnapshot {
                 .standing_diff
                 .delta_since(&earlier.standing_diff)
                 .summarize(),
+            wal_append: self.wal_append.delta_since(&earlier.wal_append).summarize(),
+            wal_fsync: self.wal_fsync.delta_since(&earlier.wal_fsync).summarize(),
         }
     }
 }
@@ -261,11 +329,19 @@ pub struct StatsReport {
     pub standing_diff_edges: u64,
     pub consistency_violations: u64,
     pub flat_reuse: u64,
+    pub wal_frames: u64,
+    pub wal_bytes: u64,
+    pub wal_fsyncs: u64,
+    pub wal_segments_rotated: u64,
+    pub wal_checkpoints: u64,
+    pub wal_checkpoint_bytes: u64,
     pub batch_apply: LatencySummary,
     pub update_e2e: LatencySummary,
     pub query: LatencySummary,
     pub standing_repair: LatencySummary,
     pub standing_diff: LatencySummary,
+    pub wal_append: LatencySummary,
+    pub wal_fsync: LatencySummary,
 }
 
 impl StatsReport {
@@ -299,6 +375,18 @@ impl std::fmt::Display for StatsReport {
                 f,
                 "standing rep: {} ({} full recomputes, {} diff edges)",
                 self.standing_repairs, self.standing_full_recomputes, self.standing_diff_edges
+            )?;
+        }
+        if self.wal_frames > 0 {
+            writeln!(f, "wal append  : {}", self.wal_append)?;
+            writeln!(
+                f,
+                "wal         : {} frames, {} bytes, {} fsyncs, {} rotations, {} checkpoints",
+                self.wal_frames,
+                self.wal_bytes,
+                self.wal_fsyncs,
+                self.wal_segments_rotated,
+                self.wal_checkpoints
             )?;
         }
         write!(f, "queries run : {}", self.queries_run)?;

@@ -1,0 +1,318 @@
+//! Checkpoint files and the sharded-checkpoint manifest.
+//!
+//! A checkpoint bounds recovery work: replay starts from the newest
+//! loadable checkpoint instead of the beginning of history, and the
+//! segments it covers can be pruned. The payload is the core crate's
+//! structural-sharing snapshot (`aspen::SnapshotWriter`), wrapped in a
+//! checksummed header and installed with an atomic write — a
+//! checkpoint therefore either exists completely or not at all, and a
+//! corrupt one is detected and skipped, never trusted.
+//!
+//! Sharded engines write one checkpoint per shard plus a root-level
+//! **manifest** naming the `(epoch, per-shard seq)` cut they belong
+//! to. Shard checkpoints are only trusted if a manifest lists them:
+//! a crash between two shard checkpoint writes leaves no manifest for
+//! the new cut, so recovery falls back to the previous consistent one.
+
+use super::frame::crc32;
+use super::io::{join, WalIo};
+use super::log::{list_segments, segment_name};
+use super::WalError;
+use aspen::{put_u32, put_u64, ByteReader, EdgeSet, Graph, SnapshotWriter};
+
+const CKPT_MAGIC: &[u8; 6] = b"ACKPT1";
+const MANIFEST_MAGIC: &[u8; 6] = b"AMANI1";
+
+/// File name of the checkpoint taken at batch `seq`.
+pub fn checkpoint_name(seq: u64) -> String {
+    format!("ckpt-{seq:020}.ck")
+}
+
+fn parse_checkpoint_name(name: &str) -> Option<u64> {
+    name.strip_prefix("ckpt-")?
+        .strip_suffix(".ck")?
+        .parse()
+        .ok()
+}
+
+/// File name of the manifest for epoch `epoch`.
+pub fn manifest_name(epoch: u64) -> String {
+    format!("manifest-{epoch:020}.mf")
+}
+
+fn parse_manifest_name(name: &str) -> Option<u64> {
+    name.strip_prefix("manifest-")?
+        .strip_suffix(".mf")?
+        .parse()
+        .ok()
+}
+
+/// A checkpoint loaded back from disk.
+pub struct LoadedCheckpoint<E: EdgeSet> {
+    /// Last batch seq folded into the snapshot.
+    pub seq: u64,
+    /// Epoch of the cut (0 for unsharded engines).
+    pub epoch: u64,
+    pub graph: Graph<E>,
+}
+
+/// Serializes `graph` as the checkpoint for batch `seq` and installs
+/// it atomically. Returns the file size in bytes.
+pub fn write_checkpoint<E: EdgeSet>(
+    io: &dyn WalIo,
+    dir: &str,
+    seq: u64,
+    epoch: u64,
+    graph: &Graph<E>,
+) -> Result<u64, WalError> {
+    let mut w = SnapshotWriter::new(graph.config());
+    w.add_graph(graph);
+    let snap = w.finish();
+    let mut body = Vec::with_capacity(snap.len() + 32);
+    put_u64(seq, &mut body);
+    put_u64(epoch, &mut body);
+    body.extend_from_slice(&snap);
+    let mut file = Vec::with_capacity(body.len() + 10);
+    file.extend_from_slice(CKPT_MAGIC);
+    file.extend_from_slice(&crc32(&body).to_le_bytes());
+    file.extend_from_slice(&body);
+    let bytes = file.len() as u64;
+    io.atomic_write(&join(dir, &checkpoint_name(seq)), &file)
+        .map_err(WalError::io("write checkpoint"))?;
+    Ok(bytes)
+}
+
+/// Decodes one checkpoint file, rejecting any corruption.
+pub fn decode_checkpoint<E: EdgeSet>(bytes: &[u8]) -> Result<LoadedCheckpoint<E>, WalError> {
+    let mut r = ByteReader::new(bytes);
+    let magic = r
+        .bytes(CKPT_MAGIC.len())
+        .ok_or_else(|| WalError::corrupt("checkpoint too short"))?;
+    if magic != CKPT_MAGIC {
+        return Err(WalError::corrupt("bad checkpoint magic"));
+    }
+    let crc_bytes = r
+        .bytes(4)
+        .ok_or_else(|| WalError::corrupt("checkpoint too short"))?;
+    let crc = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+    let body = r.bytes(r.remaining()).expect("remaining always readable");
+    if crc32(body) != crc {
+        return Err(WalError::corrupt("checkpoint crc mismatch"));
+    }
+    let mut br = ByteReader::new(body);
+    let seq = br
+        .u64v()
+        .ok_or_else(|| WalError::corrupt("checkpoint missing seq"))?;
+    let epoch = br
+        .u64v()
+        .ok_or_else(|| WalError::corrupt("checkpoint missing epoch"))?;
+    let snap = br.bytes(br.remaining()).expect("remaining always readable");
+    let mut graphs = aspen::read_snapshot::<E>(snap).map_err(WalError::Snapshot)?;
+    let graph = graphs
+        .pop()
+        .ok_or_else(|| WalError::corrupt("checkpoint holds no graph"))?;
+    Ok(LoadedCheckpoint { seq, epoch, graph })
+}
+
+/// Loads the checkpoint taken at exactly `seq` (manifest-directed).
+pub fn load_checkpoint_at<E: EdgeSet>(
+    io: &dyn WalIo,
+    dir: &str,
+    seq: u64,
+) -> Result<LoadedCheckpoint<E>, WalError> {
+    let bytes = io
+        .read(&join(dir, &checkpoint_name(seq)))
+        .map_err(WalError::io("read checkpoint"))?;
+    let ck = decode_checkpoint::<E>(&bytes)?;
+    if ck.seq != seq {
+        return Err(WalError::corrupt("checkpoint seq does not match its name"));
+    }
+    Ok(ck)
+}
+
+/// Newest checkpoint under `dir` that loads cleanly, skipping (not
+/// failing on) corrupt or unreadable ones.
+pub fn load_latest_checkpoint<E: EdgeSet>(
+    io: &dyn WalIo,
+    dir: &str,
+) -> Option<LoadedCheckpoint<E>> {
+    let mut seqs: Vec<u64> = io
+        .list(dir)
+        .ok()?
+        .iter()
+        .filter_map(|n| parse_checkpoint_name(n))
+        .collect();
+    seqs.sort_unstable();
+    for seq in seqs.into_iter().rev() {
+        if let Ok(ck) = load_checkpoint_at::<E>(io, dir, seq) {
+            return Some(ck);
+        }
+    }
+    None
+}
+
+/// Removes WAL segments every frame of which is covered by a
+/// checkpoint at `upto_seq`, and checkpoints older than the newest
+/// `keep_checkpoints`. A segment is prunable iff the *next* segment
+/// starts at or before `upto_seq + 1` (so no frame above the
+/// checkpoint lives in it); the last segment is never pruned.
+pub fn prune(
+    io: &dyn WalIo,
+    dir: &str,
+    upto_seq: u64,
+    keep_checkpoints: usize,
+) -> Result<u64, WalError> {
+    let segments = list_segments(io, dir)?;
+    let mut removed = 0u64;
+    for w in segments.windows(2) {
+        let (start, next_start) = (w[0], w[1]);
+        if next_start <= upto_seq + 1 {
+            io.remove(&join(dir, &segment_name(start)))
+                .map_err(WalError::io("prune segment"))?;
+            removed += 1;
+        }
+    }
+    let mut ckpts: Vec<u64> = io
+        .list(dir)
+        .map_err(WalError::io("list checkpoints"))?
+        .iter()
+        .filter_map(|n| parse_checkpoint_name(n))
+        .collect();
+    ckpts.sort_unstable();
+    let n = ckpts.len().saturating_sub(keep_checkpoints.max(1));
+    for &seq in &ckpts[..n] {
+        io.remove(&join(dir, &checkpoint_name(seq)))
+            .map_err(WalError::io("prune checkpoint"))?;
+    }
+    Ok(removed)
+}
+
+/// The consistent cut a set of shard checkpoints belongs to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Manifest {
+    pub epoch: u64,
+    /// Per-shard checkpoint seq (the epoch's version vector).
+    pub seqs: Vec<u64>,
+}
+
+/// Durably records that every shard checkpoint of this cut exists.
+/// Must be called only after all of them are on disk.
+pub fn write_manifest(io: &dyn WalIo, root: &str, m: &Manifest) -> Result<(), WalError> {
+    let mut body = Vec::with_capacity(16 + m.seqs.len() * 8);
+    put_u64(m.epoch, &mut body);
+    put_u32(m.seqs.len() as u32, &mut body);
+    for &s in &m.seqs {
+        put_u64(s, &mut body);
+    }
+    let mut file = Vec::with_capacity(body.len() + 10);
+    file.extend_from_slice(MANIFEST_MAGIC);
+    file.extend_from_slice(&crc32(&body).to_le_bytes());
+    file.extend_from_slice(&body);
+    io.atomic_write(&join(root, &manifest_name(m.epoch)), &file)
+        .map_err(WalError::io("write manifest"))
+}
+
+fn decode_manifest(bytes: &[u8]) -> Option<Manifest> {
+    let mut r = ByteReader::new(bytes);
+    if r.bytes(MANIFEST_MAGIC.len())? != MANIFEST_MAGIC {
+        return None;
+    }
+    let crc = u32::from_le_bytes(r.bytes(4)?.try_into().unwrap());
+    let body = r.bytes(r.remaining())?;
+    if crc32(body) != crc {
+        return None;
+    }
+    let mut br = ByteReader::new(body);
+    let epoch = br.u64v()?;
+    let n = br.u32v()? as usize;
+    if n > br.remaining() {
+        return None;
+    }
+    let mut seqs = Vec::with_capacity(n);
+    for _ in 0..n {
+        seqs.push(br.u64v()?);
+    }
+    if !br.is_empty() {
+        return None;
+    }
+    Some(Manifest { epoch, seqs })
+}
+
+/// Newest manifest under `root` that decodes cleanly and names
+/// `num_shards` shards.
+pub fn load_latest_manifest(io: &dyn WalIo, root: &str, num_shards: usize) -> Option<Manifest> {
+    let mut epochs: Vec<u64> = io
+        .list(root)
+        .ok()?
+        .iter()
+        .filter_map(|n| parse_manifest_name(n))
+        .collect();
+    epochs.sort_unstable();
+    for epoch in epochs.into_iter().rev() {
+        let Ok(bytes) = io.read(&join(root, &manifest_name(epoch))) else {
+            continue;
+        };
+        if let Some(m) = decode_manifest(&bytes) {
+            if m.epoch == epoch && m.seqs.len() == num_shards {
+                return Some(m);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::io::MemIo;
+    use super::*;
+    use aspen::{symmetrize, ChunkParams, CompressedEdges};
+
+    type G = Graph<CompressedEdges>;
+
+    fn graph() -> G {
+        G::from_edges(
+            &symmetrize(&[(0, 1), (1, 2), (4, 7), (2, 7)]),
+            ChunkParams::default(),
+        )
+    }
+
+    #[test]
+    fn checkpoint_roundtrip() {
+        let mem = MemIo::new();
+        let g = graph();
+        write_checkpoint(mem.as_ref(), "d", 42, 7, &g).unwrap();
+        let ck = load_latest_checkpoint::<CompressedEdges>(mem.as_ref(), "d").unwrap();
+        assert_eq!(ck.seq, 42);
+        assert_eq!(ck.epoch, 7);
+        assert_eq!(ck.graph.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_skipped_not_trusted() {
+        let mem = MemIo::new();
+        write_checkpoint(mem.as_ref(), "d", 10, 0, &graph()).unwrap();
+        // A newer checkpoint arrives corrupted (bitrot).
+        write_checkpoint(mem.as_ref(), "d", 20, 0, &graph()).unwrap();
+        let path = join("d", &checkpoint_name(20));
+        let mut bytes = mem.read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        mem.atomic_write(&path, &bytes).unwrap();
+
+        let ck = load_latest_checkpoint::<CompressedEdges>(mem.as_ref(), "d").unwrap();
+        assert_eq!(ck.seq, 10, "must fall back to the older clean checkpoint");
+    }
+
+    #[test]
+    fn manifest_roundtrip_and_validation() {
+        let mem = MemIo::new();
+        let m = Manifest {
+            epoch: 9,
+            seqs: vec![3, 5, 2, 4],
+        };
+        write_manifest(mem.as_ref(), "root", &m).unwrap();
+        assert_eq!(load_latest_manifest(mem.as_ref(), "root", 4), Some(m));
+        // Wrong shard count: not trusted.
+        assert_eq!(load_latest_manifest(mem.as_ref(), "root", 3), None);
+    }
+}

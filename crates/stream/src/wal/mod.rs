@@ -1,0 +1,178 @@
+//! Durability for the streaming engine: a write-ahead log, checkpoint
+//! + recovery, and a fault-injection harness.
+//!
+//! The contract the rest of the crate builds on: once the writer loop
+//! has appended a batch's frame and the fsync policy has synced it, a
+//! crash at *any* later point recovers a graph containing that batch;
+//! a batch whose frame never became durable is dropped **whole** —
+//! recovery never applies half a batch, because a frame is guarded by
+//! its CRC and replayed atomically. See `docs/DURABILITY.md` for the
+//! full protocol, including how sharded recovery lands on a consistent
+//! epoch cut.
+//!
+//! Layout on disk (all paths relative to [`DurabilityConfig::dir`]):
+//!
+//! ```text
+//! wal-{first_seq:020}.seg     log segments (CRC-framed records)
+//! ckpt-{seq:020}.ck           checkpoints (atomic, checksummed)
+//! manifest-{epoch:020}.mf     sharded-cut manifests (root dir only)
+//! shard{k}/...                per-shard logs of a ShardedEngine
+//! ```
+
+mod checkpoint;
+mod frame;
+mod io;
+mod log;
+mod recover;
+
+pub use checkpoint::{
+    checkpoint_name, decode_checkpoint, load_latest_checkpoint, load_latest_manifest, prune,
+    write_checkpoint, write_manifest, LoadedCheckpoint, Manifest,
+};
+pub use frame::{
+    crc32, encode_frame, encode_record_frame, scan_segment, ScannedSegment, WalRecord, KIND_BATCH,
+    KIND_EPOCH,
+};
+pub use io::{join, Failpoint, FailpointIo, Fault, MemIo, StdIo, WalFile, WalIo};
+pub use log::{list_segments, segment_name, AppendOutcome, WalWriter};
+pub use recover::{recover, recover_sharded, Recovered, RecoveredSharded, RecoveryReport};
+
+use std::sync::Arc;
+use std::time::Duration;
+
+/// When the WAL calls `fsync` relative to appends. Only a synced frame
+/// is guaranteed to survive a crash — see the table in
+/// `docs/DURABILITY.md` for what each policy promises an acked batch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Sync after every record: an installed batch is always durable.
+    #[default]
+    Always,
+    /// Sync once per `n` appended records: bounded loss window of the
+    /// most recent unsynced records.
+    EveryN(u64),
+    /// Sync when at least this much time passed since the last sync:
+    /// bounded loss window in wall-clock terms.
+    Interval(Duration),
+}
+
+/// Where and how an engine persists its WAL and checkpoints.
+#[derive(Clone)]
+pub struct DurabilityConfig {
+    /// Directory holding segments, checkpoints, and (for sharded
+    /// engines) per-shard subdirectories.
+    pub dir: String,
+    pub fsync: FsyncPolicy,
+    /// Rotate to a new segment once the current one reaches this size.
+    pub segment_bytes: u64,
+    /// Automatically checkpoint every `n` installed batches
+    /// (single-engine mode; sharded engines checkpoint explicitly so
+    /// all shards cut at one epoch).
+    pub checkpoint_every: Option<u64>,
+    /// Storage backend — [`StdIo`] in production, [`MemIo`] /
+    /// [`FailpointIo`] in the crash harness.
+    pub io: Arc<dyn WalIo>,
+}
+
+impl DurabilityConfig {
+    /// A config writing to `dir` on the real filesystem with the
+    /// default policy ([`FsyncPolicy::Always`], 8 MiB segments, no
+    /// automatic checkpoints).
+    pub fn new(dir: impl Into<String>) -> Self {
+        Self::with_io(dir, Arc::new(StdIo))
+    }
+
+    /// Same, but against an explicit storage backend.
+    pub fn with_io(dir: impl Into<String>, io: Arc<dyn WalIo>) -> Self {
+        DurabilityConfig {
+            dir: dir.into(),
+            fsync: FsyncPolicy::Always,
+            segment_bytes: 8 << 20,
+            checkpoint_every: None,
+            io,
+        }
+    }
+
+    pub fn fsync(mut self, policy: FsyncPolicy) -> Self {
+        self.fsync = policy;
+        self
+    }
+
+    pub fn segment_bytes(mut self, bytes: u64) -> Self {
+        self.segment_bytes = bytes.max(1);
+        self
+    }
+
+    pub fn checkpoint_every(mut self, batches: u64) -> Self {
+        self.checkpoint_every = Some(batches.max(1));
+        self
+    }
+
+    /// The derived config for shard `k` of a sharded engine: same
+    /// backend and policy, log under `dir/shard{k}`, automatic
+    /// checkpoints off (the sharded engine checkpoints all shards at
+    /// one pinned cut instead).
+    pub fn shard(&self, k: usize) -> Self {
+        DurabilityConfig {
+            dir: join(&self.dir, &format!("shard{k}")),
+            fsync: self.fsync,
+            segment_bytes: self.segment_bytes,
+            checkpoint_every: None,
+            io: Arc::clone(&self.io),
+        }
+    }
+}
+
+impl std::fmt::Debug for DurabilityConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurabilityConfig")
+            .field("dir", &self.dir)
+            .field("fsync", &self.fsync)
+            .field("segment_bytes", &self.segment_bytes)
+            .field("checkpoint_every", &self.checkpoint_every)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A durability-layer failure.
+#[derive(Debug)]
+pub enum WalError {
+    /// Storage I/O failed (`context`, underlying error).
+    Io(&'static str, std::io::Error),
+    /// On-disk state is malformed beyond the self-healing cases
+    /// (checkpoints and frames that fail validation are skipped, not
+    /// errors; this covers contradictions like a misnamed file).
+    Corrupt(String),
+    /// A checkpoint payload failed snapshot decoding.
+    Snapshot(aspen::SnapshotError),
+}
+
+impl WalError {
+    pub(crate) fn io(context: &'static str) -> impl Fn(std::io::Error) -> WalError {
+        move |e| WalError::Io(context, e)
+    }
+
+    pub(crate) fn corrupt(msg: impl Into<String>) -> WalError {
+        WalError::Corrupt(msg.into())
+    }
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(ctx, e) => write!(f, "wal io error ({ctx}): {e}"),
+            WalError::Corrupt(msg) => write!(f, "wal corrupt: {msg}"),
+            WalError::Snapshot(e) => write!(f, "wal checkpoint: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WalError::Io(_, e) => Some(e),
+            WalError::Snapshot(e) => Some(e),
+            WalError::Corrupt(_) => None,
+        }
+    }
+}

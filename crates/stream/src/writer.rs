@@ -5,6 +5,7 @@ use crate::config::BatchPolicy;
 use crate::handle::{Barrier, Envelope, Msg};
 use crate::standing::StandingSet;
 use crate::stats::EngineStats;
+use crate::wal::{prune, write_checkpoint, DurabilityConfig, WalWriter};
 use aspen::{EdgeSet, VersionedGraph};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
@@ -110,10 +111,112 @@ fn coalesce(batch: &[Envelope], directed: bool) -> NetBatch {
     net
 }
 
+/// The writer thread's durability state: the open WAL appender plus
+/// the config it was built from (for checkpoint cadence and paths).
+pub(crate) struct WalState {
+    pub writer: WalWriter,
+    pub cfg: DurabilityConfig,
+}
+
+/// Appends the batch frame for `seq` (the version about to be
+/// installed) and lets the fsync policy run. A WAL write failure is
+/// fatal by design: continuing would install — and thereby ack —
+/// updates that can never be recovered, silently breaking the
+/// durability contract, so the writer thread panics instead.
+fn wal_append_batch(
+    wal: &mut Option<WalState>,
+    stats: &EngineStats,
+    seq: u64,
+    inserts: &[(u32, u32)],
+    deletes: &[(u32, u32)],
+) {
+    let Some(w) = wal else { return };
+    let t0 = Instant::now();
+    let out = w
+        .writer
+        .append_batch(seq, inserts, deletes)
+        .unwrap_or_else(|e| panic!("wal append for batch {seq} failed, refusing to ack: {e}"));
+    stats.wal_append.record(t0.elapsed());
+    wal_settle(stats, &w.writer, out);
+}
+
+/// Appends an epoch-complete marker before a barrier ack (sharded
+/// engines); same fatality rule as batch frames.
+fn wal_mark_epoch(wal: &mut Option<WalState>, stats: &EngineStats, epoch: u64) {
+    let Some(w) = wal else { return };
+    let out = w
+        .writer
+        .append_epoch(epoch)
+        .unwrap_or_else(|e| panic!("wal epoch marker {epoch} failed, refusing to ack: {e}"));
+    wal_settle(stats, &w.writer, out);
+}
+
+fn wal_settle(stats: &EngineStats, writer: &WalWriter, out: crate::wal::AppendOutcome) {
+    stats.wal_frames.inc();
+    stats.wal_bytes.add(out.bytes);
+    if out.synced {
+        stats.wal_fsyncs.inc();
+        stats.wal_fsync.record(out.sync_time);
+    }
+    if out.rotated {
+        stats.wal_segments_rotated.inc();
+    }
+    stats.wal_durable_seq.set(writer.durable_seq() as i64);
+}
+
+/// Forces the WAL tail to disk — on shutdown/disconnect, so nothing an
+/// exiting engine accepted is left in a volatile tail. Failure here is
+/// reported, not fatal: the engine is going away either way, and a
+/// panic would poison the join the caller is blocked on.
+fn wal_final_sync(wal: &mut Option<WalState>, stats: &EngineStats) {
+    let Some(w) = wal else { return };
+    match w.writer.sync() {
+        Ok(d) => {
+            stats.wal_fsyncs.inc();
+            stats.wal_fsync.record(d);
+            stats.wal_durable_seq.set(w.writer.durable_seq() as i64);
+        }
+        Err(e) => eprintln!("aspen-stream: final wal sync failed: {e}"),
+    }
+}
+
+/// After installing `version`, writes a checkpoint if the config's
+/// cadence says one is due, then prunes segments it covers. Errors are
+/// reported but non-fatal: the WAL still holds every frame a failed
+/// checkpoint would have folded up, so durability is unaffected —
+/// only recovery time.
+fn wal_maybe_checkpoint<E: EdgeSet>(
+    wal: &mut Option<WalState>,
+    stats: &EngineStats,
+    vg: &VersionedGraph<E>,
+    version: u64,
+) {
+    let Some(w) = wal else { return };
+    let Some(every) = w.cfg.checkpoint_every else {
+        return;
+    };
+    if !version.is_multiple_of(every) {
+        return;
+    }
+    // The writer is the only installer, so this acquire is exactly the
+    // version just installed.
+    let g = vg.acquire();
+    match write_checkpoint(w.cfg.io.as_ref(), &w.cfg.dir, version, 0, &g) {
+        Ok(bytes) => {
+            stats.wal_checkpoints.inc();
+            stats.wal_checkpoint_bytes.add(bytes);
+            if let Err(e) = prune(w.cfg.io.as_ref(), &w.cfg.dir, version, 2) {
+                eprintln!("aspen-stream: wal prune after checkpoint {version} failed: {e}");
+            }
+        }
+        Err(e) => eprintln!("aspen-stream: checkpoint at version {version} failed: {e}"),
+    }
+}
+
 /// Everything the engine hands its dedicated writer thread: the graph
 /// and the state the writer shares with readers (stats, the audit
 /// tracker, the installed-version counter) plus writer-private state
-/// (the compute pool and the standing-query set).
+/// (the compute pool, the standing-query set, and the WAL).
 pub(crate) struct WriterShared<E: EdgeSet> {
     pub vg: Arc<VersionedGraph<E>>,
     pub stats: Arc<EngineStats>,
@@ -126,6 +229,11 @@ pub(crate) struct WriterShared<E: EdgeSet> {
     /// engines run in this mode — the mirror arc of each undirected
     /// edge is routed to the other endpoint's shard.
     pub directed: bool,
+    /// Durability: batch frames are appended (and policy-synced)
+    /// *before* the version installs, so an installed batch is in the
+    /// log, and a logged-but-uninstalled batch is replayed whole on
+    /// recovery.
+    pub wal: Option<WalState>,
 }
 
 /// Drains `rx` until every sender is gone, flushing under `policy`.
@@ -151,19 +259,30 @@ pub(crate) fn writer_loop<E: EdgeSet>(
         installed_seq,
         mut standing,
         directed,
+        mut wal,
     } = shared;
     let mut batch: Vec<Envelope> = Vec::with_capacity(policy.max_batch);
     loop {
         // Block for the first message of the next batch. A barrier with
         // nothing buffered acks immediately: every earlier update was
-        // already flushed.
+        // already flushed (its epoch marker still goes to the WAL
+        // first, so a recovered log knows the epoch completed).
         match rx.recv() {
             Ok(Msg::Update(env)) => batch.push(env),
             Ok(Msg::Barrier(b)) => {
+                wal_mark_epoch(&mut wal, &stats, b.epoch);
                 b.fire();
                 continue;
             }
-            Err(_) => return, // all producers gone, nothing buffered
+            Ok(Msg::Shutdown) => {
+                wal_final_sync(&mut wal, &stats);
+                return;
+            }
+            Err(_) => {
+                // All producers gone, nothing buffered.
+                wal_final_sync(&mut wal, &stats);
+                return;
+            }
         }
         // Fill until max_batch or until the oldest buffered update has
         // lingered max_linger, whichever comes first. The deadline is
@@ -173,7 +292,7 @@ pub(crate) fn writer_loop<E: EdgeSet>(
         // was being applied. A barrier ends the fill early: it must not
         // ack until the updates buffered ahead of it are installed.
         let deadline = batch[0].enqueued + policy.max_linger;
-        let mut disconnected = false;
+        let mut stopping = false;
         let mut pending_barrier: Option<Barrier> = None;
         while batch.len() < policy.max_batch {
             let left = deadline.saturating_duration_since(Instant::now());
@@ -183,9 +302,13 @@ pub(crate) fn writer_loop<E: EdgeSet>(
                     pending_barrier = Some(b);
                     break;
                 }
+                Ok(Msg::Shutdown) => {
+                    stopping = true;
+                    break;
+                }
                 Err(RecvTimeoutError::Timeout) => break,
                 Err(RecvTimeoutError::Disconnected) => {
-                    disconnected = true;
+                    stopping = true;
                     break;
                 }
             }
@@ -200,6 +323,7 @@ pub(crate) fn writer_loop<E: EdgeSet>(
                     &installed_seq,
                     standing.as_mut(),
                     directed,
+                    &mut wal,
                 )
             }),
             None => flush(
@@ -210,22 +334,30 @@ pub(crate) fn writer_loop<E: EdgeSet>(
                 &installed_seq,
                 standing.as_mut(),
                 directed,
+                &mut wal,
             ),
         }
         batch.clear();
         if let Some(b) = pending_barrier {
             // Fire only after the flush: the ack's version capture must
-            // observe every update enqueued before the barrier.
+            // observe every update enqueued before the barrier. The
+            // epoch marker lands before the ack for the same reason —
+            // an acked cut must be reconstructible from the log.
+            wal_mark_epoch(&mut wal, &stats, b.epoch);
             b.fire();
         }
-        if disconnected {
+        if stopping {
+            wal_final_sync(&mut wal, &stats);
             return;
         }
     }
 }
 
 /// Applies one batch as a single atomic version install, repairs any
-/// standing queries for the new version, and settles statistics.
+/// standing queries for the new version, and settles statistics. With
+/// durability on, the batch's WAL frame is appended (and policy-
+/// synced) *before* the install — write-ahead in the literal sense.
+#[allow(clippy::too_many_arguments)]
 fn flush<E: EdgeSet>(
     vg: &VersionedGraph<E>,
     batch: &[Envelope],
@@ -234,6 +366,7 @@ fn flush<E: EdgeSet>(
     installed_seq: &AtomicU64,
     standing: Option<&mut StandingSet<E>>,
     directed: bool,
+    wal: &mut Option<WalState>,
 ) {
     if batch.is_empty() {
         return;
@@ -248,6 +381,13 @@ fn flush<E: EdgeSet>(
         let _s = obs::trace::span_cat("batch.coalesce", "stream");
         coalesce(batch, directed)
     };
+    {
+        // Log before install: the frame carries the seq the install
+        // below will produce, so replay order equals install order.
+        let _s = obs::trace::span_cat("batch.wal", "stream");
+        let seq = installed_seq.load(Ordering::Acquire) + 1;
+        wal_append_batch(wal, stats, seq, &net.inserts, &net.deletes);
+    }
     let timing = {
         let _s = obs::trace::span_cat("batch.apply", "stream");
         vg.update_with_timed(|g| {
@@ -282,6 +422,7 @@ fn flush<E: EdgeSet>(
     // result for version N is then guaranteed to read a counter ≥ N
     // (no torn repair — results never get ahead of the install).
     let version = installed_seq.fetch_add(1, Ordering::AcqRel) + 1;
+    wal_maybe_checkpoint(wal, stats, vg, version);
     if let Some(standing) = standing {
         let _s = obs::trace::span_cat("batch.standing", "stream");
         // The writer is the only thread installing versions, so this

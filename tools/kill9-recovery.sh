@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Kill -9 crash-recovery audit: run the durable_stream example against
+# a real filesystem, SIGKILL it mid-stream, recover, and prove that
+# (1) every acked seq survived and (2) the recovered graph matches the
+# deterministic oracle replay of the recovered prefix.
+#
+# Usage: tools/kill9-recovery.sh [seconds-before-kill]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GRACE="${1:-2}"
+
+cargo build --release --example durable_stream
+BIN=target/release/examples/durable_stream
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+LOG="$WORK/run.log"
+
+"$BIN" "$WORK/wal" run 5000000 > "$LOG" &
+PID=$!
+sleep "$GRACE"
+kill -9 "$PID" 2>/dev/null || true
+wait "$PID" 2>/dev/null || true
+
+LAST_ACK=$(grep '^seq=' "$LOG" | tail -n 1 | sed 's/^seq=\([0-9]*\) .*/\1/' || true)
+LAST_ACK="${LAST_ACK:-0}"
+if [ "$LAST_ACK" -eq 0 ]; then
+    echo "FAIL: engine never acked a batch before the kill (grace ${GRACE}s too short?)"
+    exit 1
+fi
+
+OUT=$("$BIN" "$WORK/wal" recover)
+echo "$OUT"
+REC=$(echo "$OUT" | sed -n 's/^recovered seq=\([0-9]*\) .*/\1/p')
+OK=$(echo "$OUT" | sed -n 's/.*digest_ok=\(true\|false\)$/\1/p')
+
+if [ "$OK" != "true" ]; then
+    echo "FAIL: recovered graph does not match the oracle replay"
+    exit 1
+fi
+if [ "$REC" -lt "$LAST_ACK" ]; then
+    echo "FAIL: acked seq $LAST_ACK lost — recovery only reached seq $REC"
+    exit 1
+fi
+
+# Recovery healed the log: a second pass must find nothing torn and
+# land on the same seq.
+OUT2=$("$BIN" "$WORK/wal" recover)
+REC2=$(echo "$OUT2" | sed -n 's/^recovered seq=\([0-9]*\) .*/\1/p')
+TORN2=$(echo "$OUT2" | sed -n 's/.*torn_tail_bytes=\([0-9]*\) .*/\1/p')
+if [ "$REC2" != "$REC" ] || [ "$TORN2" != "0" ]; then
+    echo "FAIL: second recovery unstable (seq $REC2, torn $TORN2)"
+    exit 1
+fi
+
+echo "OK: killed -9 after ack $LAST_ACK, recovered seq $REC, digest verified, log healed"
